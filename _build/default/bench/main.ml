@@ -1,0 +1,105 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus Bechamel micro-benchmarks of the real
+   cryptographic / trusted-log operations backing Table 2.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig8 fig13   # selected experiments
+     dune exec bench/main.exe -- micro        # only the Bechamel suite
+     BENCH_QUICK=1 dune exec bench/main.exe   # reduced sweeps *)
+
+open Repro_util
+open Repro_crypto
+open Repro_core
+
+let quick = Sys.getenv_opt "BENCH_QUICK" <> None
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (one Test.make per operation)              *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let payload = String.init 256 (fun i -> Char.chr (i mod 256)) in
+  let keystore = Keys.create_keystore (Rng.create 1L) in
+  let secret = Keys.gen keystore ~id:0 in
+  let enclave_ks = Keys.create_keystore (Rng.create 2L) in
+  let enclave =
+    Repro_sgx.Enclave.create ~keystore:enclave_ks ~id:0 ~measurement:"bench"
+      ~rng:(Rng.create 3L) ~costs:Cost_model.free
+      ~charge:(fun _ -> ())
+      ~now:(fun () -> 0.0)
+  in
+  let a2m = Repro_sgx.A2m.create enclave ~watermark_window:1_000_000 in
+  let slot = ref 0 in
+  let leaves = List.init 100 (fun i -> "tx-" ^ string_of_int i) in
+  let zipf = Zipf.create ~n:100_000 ~theta:0.99 in
+  let zrng = Rng.create 9L in
+  [
+    Test.make ~name:"sha256/256B" (Staged.stage (fun () -> Sha256.digest_string payload));
+    Test.make ~name:"hmac-sha256/256B"
+      (Staged.stage (fun () -> Sha256.hmac ~key:"secret-key" payload));
+    Test.make ~name:"sign-hmac" (Staged.stage (fun () -> Keys.sign_hmac secret payload));
+    Test.make ~name:"sim-signature" (Staged.stage (fun () -> Keys.sign secret ~msg_tag:42));
+    Test.make ~name:"merkle-root/100" (Staged.stage (fun () -> Merkle.root leaves));
+    Test.make ~name:"a2m-append"
+      (Staged.stage (fun () ->
+           incr slot;
+           Repro_sgx.A2m.append a2m ~log:0 ~slot:!slot ~digest_tag:7));
+    Test.make ~name:"hypergeom-tail"
+      (Staged.stage (fun () ->
+           Logspace.hypergeom_tail ~total:2000 ~bad:500 ~draws:80 ~at_least:40));
+    Test.make ~name:"committee-size-solve"
+      (Staged.stage (fun () ->
+           Repro_shard.Sizing.min_committee_size ~total:2000 ~fraction:0.25
+             ~rule:Repro_shard.Sizing.Ahl_half ~security_bits:20));
+    Test.make ~name:"zipf-sample" (Staged.stage (fun () -> Zipf.sample zipf zrng));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "==== micro: Bechamel benchmarks of real operations ====";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun key ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/op\n" key est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n" key)
+        analyzed)
+    (micro_tests ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure/table harness                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let csv_dir = Sys.getenv_opt "BENCH_CSV_DIR"
+
+let run_experiment id =
+  match Experiment.by_id id with
+  | None -> Printf.printf "unknown experiment id: %s\n" id
+  | Some f ->
+      let t0 = Unix.gettimeofday () in
+      let fig = f ~quick () in
+      Results.print fig;
+      Option.iter (fun dir -> Results.save_csv ~dir fig) csv_dir;
+      Printf.printf "(%s completed in %.1f s wall time)\n\n%!" id (Unix.gettimeofday () -. t0)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  match args with
+  | [] ->
+      run_micro ();
+      List.iter run_experiment Experiment.all_ids
+  | [ "micro" ] -> run_micro ()
+  | ids -> List.iter (fun id -> if id = "micro" then run_micro () else run_experiment id) ids

@@ -1,0 +1,213 @@
+(* Command-line driver for the AHL sharded-blockchain reproduction.
+
+   Subcommands:
+     experiment  — regenerate a paper table/figure by id (or list them)
+     consensus   — run one PBFT-family committee and report measurements
+     sizing      — committee-size calculator (Eq. 1/2)
+     beacon      — run the distributed randomness beacon once
+     shards      — run the full sharded system under a workload *)
+
+open Cmdliner
+open Repro_util
+open Repro_consensus
+open Repro_core
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let run ids quick list_only =
+    if list_only then begin
+      List.iter print_endline Experiment.all_ids;
+      0
+    end
+    else begin
+      let ids = if ids = [] then Experiment.all_ids else ids in
+      List.iter
+        (fun id ->
+          match Experiment.by_id id with
+          | None -> Printf.printf "unknown experiment id: %s (try --list)\n" id
+          | Some f -> Results.print (f ~quick ()))
+        ids;
+      0
+    end
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (fig8, table2, ...)") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps and durations") in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
+    Term.(const run $ ids $ quick $ list_only)
+
+(* ------------------------------------------------------------------ *)
+(* consensus                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let variant_conv =
+  let parse s =
+    match
+      List.find_opt (fun v -> String.lowercase_ascii v.Config.name = String.lowercase_ascii s)
+        (Config.ahl_opt1 :: Config.all_variants)
+    with
+    | Some v -> Ok v
+    | None -> Error (`Msg "expected one of: HL, AHL, AHL+, AHL+op1, AHLR")
+  in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt v.Config.name)
+
+let consensus_cmd =
+  let run variant n rate duration gcp byzantine =
+    let topology = if gcp then Repro_sim.Topology.gcp 8 else Repro_sim.Topology.lan () in
+    let cpu_scale = if gcp then 3.5 else 1.0 in
+    let r =
+      Harness.run ~duration ~warmup:(duration /. 5.0) ~byzantine ~cpu_scale ~variant ~n ~topology
+        ~workload:(Harness.Open_loop { rate; clients = 10 })
+        ()
+    in
+    Format.printf "%s n=%d %s: %a@." variant.Config.name n
+      (if gcp then "gcp8" else "cluster")
+      Harness.pp_result r;
+    0
+  in
+  let variant =
+    Arg.(value & opt variant_conv Config.ahl_plus & info [ "variant"; "v" ] ~doc:"HL, AHL, AHL+, AHLR")
+  in
+  let n = Arg.(value & opt int 19 & info [ "n" ] ~doc:"Committee size") in
+  let rate = Arg.(value & opt float 2200.0 & info [ "rate" ] ~doc:"Offered load (req/s)") in
+  let duration = Arg.(value & opt float 20.0 & info [ "duration" ] ~doc:"Virtual seconds") in
+  let gcp = Arg.(value & flag & info [ "gcp" ] ~doc:"8-region GCP topology instead of the cluster") in
+  let byz = Arg.(value & opt int 0 & info [ "byzantine" ] ~doc:"Byzantine replicas") in
+  Cmd.v
+    (Cmd.info "consensus" ~doc:"Run one consensus committee and report throughput")
+    Term.(const run $ variant $ n $ rate $ duration $ gcp $ byz)
+
+(* ------------------------------------------------------------------ *)
+(* sizing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sizing_cmd =
+  let run total fraction bits =
+    let open Repro_shard in
+    let report rule label =
+      let n = Sizing.min_committee_size ~total ~fraction ~rule ~security_bits:bits in
+      let k = max 1 (total / n) in
+      Printf.printf "%-12s committee %4d  -> %3d shard(s) of %d nodes\n" label n k total
+    in
+    Printf.printf "N = %d, adversary = %.1f%%, target 2^-%d\n" total (100.0 *. fraction) bits;
+    report Sizing.Pbft_third "PBFT";
+    report Sizing.Ahl_half "AHL+";
+    let n = Sizing.min_committee_size ~total ~fraction ~rule:Sizing.Ahl_half ~security_bits:bits in
+    let b = Sizing.swap_batch_size ~n in
+    Printf.printf "epoch transition with B = log n = %d: Pr(faulty) = %.2e\n" b
+      (Sizing.pr_epoch_transition_faulty ~total
+         ~byzantine:(int_of_float (fraction *. float_of_int total))
+         ~n ~k:(max 1 (total / n)) ~batch:b Sizing.Ahl_half);
+    0
+  in
+  let total = Arg.(value & opt int 2000 & info [ "total"; "N" ] ~doc:"Network size") in
+  let fraction = Arg.(value & opt float 0.25 & info [ "adversary"; "s" ] ~doc:"Byzantine fraction") in
+  let bits = Arg.(value & opt int 20 & info [ "bits" ] ~doc:"Security parameter (2^-bits)") in
+  Cmd.v
+    (Cmd.info "sizing" ~doc:"Committee-size security calculator (Equations 1 and 2)")
+    Term.(const run $ total $ fraction $ bits)
+
+(* ------------------------------------------------------------------ *)
+(* beacon                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let beacon_cmd =
+  let run n gcp withhold =
+    let open Repro_shard in
+    let topology = if gcp then Repro_sim.Topology.gcp 8 else Repro_sim.Topology.lan () in
+    let delta = Randomness.measured_delta ~topology ~n in
+    let l_bits = Randomness.paper_l_bits ~n in
+    let o = Randomness.run ~n ~topology ~delta ~l_bits ~byzantine_withhold:withhold () in
+    Printf.printf
+      "n=%d delta=%.1fs l=%d: rnd=%Lx agreed in %.1fs (%d round(s), %d certificates, %d msgs)\n" n
+      delta l_bits o.Randomness.rnd o.Randomness.elapsed o.Randomness.rounds
+      o.Randomness.certificates o.Randomness.messages;
+    Printf.printf "RandHound at the same size: %.1fs\n"
+      (Randomness.randhound_runtime ~n ~group:16 ~topology);
+    0
+  in
+  let n = Arg.(value & opt int 128 & info [ "n" ] ~doc:"Network size") in
+  let gcp = Arg.(value & flag & info [ "gcp" ] ~doc:"GCP topology") in
+  let withhold = Arg.(value & opt int 0 & info [ "withhold" ] ~doc:"Byzantine certificate withholders") in
+  Cmd.v
+    (Cmd.info "beacon" ~doc:"Run the SGX randomness-beacon agreement once")
+    Term.(const run $ n $ gcp $ withhold)
+
+(* ------------------------------------------------------------------ *)
+(* shards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let shards_cmd =
+  let run shards committee duration no_reference theta =
+    let mode = if no_reference then System.Client_driven else System.With_reference in
+    let sys = System.create { (System.default_config ~shards ~committee_size:committee) with System.mode } in
+    let wl = Workload.create Workload.Smallbank ~keyspace:20_000 ~theta ~rng:(Rng.create 4L) in
+    Workload.setup wl sys ~initial_balance:5000;
+    Workload.start_closed_loop wl sys ~clients:(4 * shards) ~outstanding:32;
+    System.run sys ~until:duration;
+    Printf.printf
+      "shards=%d n=%d %s: %.0f tx/s, %d committed, %.1f%% aborts, cross-shard %.0f%%, R busy %.0f%%\n"
+      shards committee
+      (if no_reference then "client-driven" else "with-reference")
+      (System.throughput sys ~warmup:(duration /. 5.0))
+      (System.committed sys)
+      (100.0 *. System.abort_rate sys)
+      (100.0 *. Workload.cross_shard_fraction_seen wl)
+      (100.0 *. System.reference_busy_fraction sys);
+    0
+  in
+  let shards = Arg.(value & opt int 4 & info [ "shards"; "k" ] ~doc:"Number of shards") in
+  let committee = Arg.(value & opt int 3 & info [ "committee" ] ~doc:"Committee size") in
+  let duration = Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Virtual seconds") in
+  let no_ref = Arg.(value & flag & info [ "no-reference" ] ~doc:"Client-driven coordination") in
+  let theta = Arg.(value & opt float 0.2 & info [ "zipf" ] ~doc:"Zipf skew of the workload") in
+  Cmd.v
+    (Cmd.info "shards" ~doc:"Run the full sharded blockchain under SmallBank")
+    Term.(const run $ shards $ committee $ duration $ no_ref $ theta)
+
+(* ------------------------------------------------------------------ *)
+(* contract                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let contract_cmd =
+  let run from_ to_ amount shards =
+    let open Repro_ledger in
+    let send_payment =
+      Contract.define ~name:"sendPayment" ~arity:3
+        [
+          Contract.Transfer
+            { from_ = Contract.Param 0; to_ = Contract.Param 1; amount = Contract.Amount_param 2 };
+        ]
+    in
+    let args = [ from_; to_; string_of_int amount ] in
+    (match Contract.compile send_payment ~args with
+    | Error e ->
+        Printf.printf "compile error: %s\n" e
+    | Ok ops ->
+        Printf.printf "compiled operations:\n";
+        List.iter (fun op -> Format.printf "  %a@." Tx.pp_op op) ops;
+        (match Contract.analyze send_payment ~shards ~args with
+        | `Single s -> Printf.printf "single-shard transaction (shard %d)\n" s
+        | `Cross l ->
+            Printf.printf "distributed transaction across shards [%s] -> 2PC via R\n"
+              (String.concat "; " (List.map string_of_int l))));
+    0
+  in
+  let from_ = Arg.(value & opt string "alice" & info [ "from" ] ~doc:"Source account") in
+  let to_ = Arg.(value & opt string "bob" & info [ "to" ] ~doc:"Destination account") in
+  let amount = Arg.(value & opt int 10 & info [ "amount" ] ~doc:"Amount") in
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Shard count for the analysis") in
+  Cmd.v
+    (Cmd.info "contract" ~doc:"Compile and analyze a contract invocation (the §6.4 transformer)")
+    Term.(const run $ from_ $ to_ $ amount $ shards)
+
+let () =
+  let doc = "Sharded-blockchain (AHL) reproduction toolkit" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "ahl_cli" ~doc)
+          [ experiment_cmd; consensus_cmd; sizing_cmd; beacon_cmd; shards_cmd; contract_cmd ]))

@@ -1,0 +1,1 @@
+examples/auditor.ml: Block Executor List Printf Repro_crypto Repro_ledger Sha256 State String Tx

@@ -1,0 +1,1 @@
+examples/consortium_payments.ml: Assignment Printf Randomness Repro_core Repro_shard Repro_sim Repro_util Rng Sizing System Workload

@@ -1,0 +1,1 @@
+examples/consortium_payments.mli:

@@ -1,0 +1,1 @@
+examples/malicious_coordinator.ml: Executor Printf Repro_core Repro_ledger System Tx

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Block Contract Executor List Printf Repro_core Repro_ledger String System Tx

@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Array Executor List Option Printf Repro_core Repro_ledger Repro_sim Repro_util Rng State System Tx

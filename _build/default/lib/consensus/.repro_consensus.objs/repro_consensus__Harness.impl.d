@@ -1,0 +1,1 @@
+lib/consensus/harness.ml: Array Config Cost_model Engine Faults Format Hashtbl Inbox Keys List Metrics Network Node Pbft Repro_crypto Repro_sim Repro_util Rng Stats Stdlib Topology Types

@@ -1,0 +1,1 @@
+lib/consensus/harness.mli: Config Format Repro_crypto Repro_sim

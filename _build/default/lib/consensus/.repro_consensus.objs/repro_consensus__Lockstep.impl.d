@@ -1,0 +1,1 @@
+lib/consensus/lockstep.ml: Array Cost_model Engine Hashtbl Inbox Keys List Metrics Queue Quorum Repro_crypto Repro_sim Types

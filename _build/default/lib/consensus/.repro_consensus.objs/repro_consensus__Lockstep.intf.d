@@ -1,0 +1,1 @@
+lib/consensus/lockstep.mli: Repro_crypto Repro_sim Types

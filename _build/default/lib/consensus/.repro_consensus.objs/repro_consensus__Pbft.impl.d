@@ -1,0 +1,1 @@
+lib/consensus/pbft.ml: A2m Aggregator Array Config Cost_model Enclave Engine Faults Float Hashtbl Inbox Keys List Metrics Option Queue Quorum Repro_crypto Repro_sgx Repro_sim Repro_util Stdlib Types

@@ -1,0 +1,1 @@
+lib/consensus/pbft.mli: Config Repro_crypto Repro_sgx Repro_sim Types

@@ -1,0 +1,1 @@
+lib/consensus/poet.ml: Array Cost_model Engine Float Hashtbl Keys List Repro_crypto Repro_sgx Repro_sim Repro_util Rng Stdlib Topology

@@ -1,0 +1,1 @@
+lib/consensus/poet.mli: Repro_sim

@@ -1,0 +1,1 @@
+lib/consensus/quorum.ml: Bytes Hashtbl List

@@ -1,0 +1,1 @@
+lib/consensus/raft.ml: Array Cost_model Engine Hashtbl Inbox List Metrics Option Queue Repro_crypto Repro_sim Repro_util Stdlib Types

@@ -1,0 +1,1 @@
+lib/consensus/raft.mli: Repro_crypto Repro_sim Types

@@ -1,0 +1,89 @@
+type variant = {
+  name : string;
+  quorum_rule : [ `Third | `Half ];
+  attested : bool;
+  split_queues : bool;
+  forward_requests : bool;
+  relay : bool;
+}
+
+let hl =
+  {
+    name = "HL";
+    quorum_rule = `Third;
+    attested = false;
+    split_queues = false;
+    forward_requests = false;
+    relay = false;
+  }
+
+let ahl = { hl with name = "AHL"; quorum_rule = `Half; attested = true }
+
+let ahl_opt1 = { ahl with name = "AHL+op1"; split_queues = true }
+
+let ahl_plus = { ahl_opt1 with name = "AHL+"; forward_requests = true }
+
+let ahlr = { ahl_plus with name = "AHLR"; relay = true }
+
+let all_variants = [ hl; ahl; ahl_plus; ahlr ]
+
+type t = {
+  variant : variant;
+  n : int;
+  batch_max : int;
+  batch_delay : float;
+  pipeline_window : int;
+  checkpoint_interval : int;
+  watermark_window : int;
+  progress_timeout : float;
+  relay_timeout : float;
+  relay_tail_prob : float;
+  relay_tail_factor : float;
+  shared_queue_capacity : int;
+  request_queue_capacity : int;
+  consensus_queue_capacity : int;
+  consensus_msg_bytes : int;
+  request_overhead_bytes : int;
+  request_parse_cost : float;
+  client_sig_verify : float;
+  msg_parse_cost : float;
+}
+
+let f_of t =
+  match t.variant.quorum_rule with `Third -> (t.n - 1) / 3 | `Half -> (t.n - 1) / 2
+
+let quorum_size t =
+  match t.variant.quorum_rule with `Third -> (2 * f_of t) + 1 | `Half -> f_of t + 1
+
+let n_for_f variant ~f =
+  match variant.quorum_rule with `Third -> (3 * f) + 1 | `Half -> (2 * f) + 1
+
+let default variant ~n =
+  if n < 1 then invalid_arg "Config.default: n must be positive";
+  {
+    variant;
+    n;
+    batch_max = 200;
+    batch_delay = 0.05;
+    pipeline_window = 8;
+    checkpoint_interval = 16;
+    watermark_window = 128;
+    progress_timeout = 2.0;
+    relay_timeout = 1.0;
+    relay_tail_prob = 0.01;
+    relay_tail_factor = 35.0;
+    shared_queue_capacity = 5000;
+    request_queue_capacity = 4096;
+    consensus_queue_capacity = 8192;
+    consensus_msg_bytes = 160;
+    request_overhead_bytes = 40;
+    request_parse_cost = 15e-6;
+    client_sig_verify = 500e-6;
+    msg_parse_cost = 10e-6;
+  }
+
+let inbox_mode t =
+  if t.variant.split_queues then
+    Repro_sim.Inbox.Split
+      { request_cap = t.request_queue_capacity; consensus_cap = t.consensus_queue_capacity }
+  else Repro_sim.Inbox.Shared t.shared_queue_capacity

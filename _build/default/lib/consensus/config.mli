@@ -1,0 +1,79 @@
+(** Protocol variants and tuning knobs for the PBFT family.
+
+    One replica implementation ({!Pbft}) covers the paper's four protocols;
+    a {!variant} selects the quorum rule, the use of attested logs, and the
+    three optimizations of Section 4.1. *)
+
+type variant = {
+  name : string;
+  quorum_rule : [ `Third | `Half ];
+      (** [`Third]: N = 3f+1, quorums of 2f+1 (vanilla PBFT).
+          [`Half]:  N = 2f+1, quorums of f+1 (TEE-assisted, no
+          equivocation). *)
+  attested : bool;        (** messages carry A2M append proofs *)
+  split_queues : bool;    (** optimization 1: separate request channel *)
+  forward_requests : bool;(** optimization 2: forward to leader, no
+                              request re-broadcast *)
+  relay : bool;           (** optimization 3: leader vote aggregation *)
+}
+
+val hl : variant
+(** Vanilla PBFT as in Hyperledger v0.6. *)
+
+val ahl : variant
+(** Attested HyperLedger: TEE quorums, no communication optimizations. *)
+
+val ahl_opt1 : variant
+(** AHL + separate queues only (the Figure 10 ablation point). *)
+
+val ahl_plus : variant
+(** AHL + optimizations 1 and 2. *)
+
+val ahlr : variant
+(** AHL + optimizations 1, 2 and 3 (leader relay). *)
+
+val all_variants : variant list
+
+type t = {
+  variant : variant;
+  n : int;                    (** committee size *)
+  batch_max : int;            (** max requests per block *)
+  batch_delay : float;        (** propose a partial batch after this long *)
+  pipeline_window : int;      (** outstanding pre-prepares (HL pipelining) *)
+  checkpoint_interval : int;  (** blocks between checkpoints *)
+  watermark_window : int;     (** L: max seq distance beyond a stable
+                                  checkpoint *)
+  progress_timeout : float;   (** no-execution watchdog before view change *)
+  relay_timeout : float;      (** AHLR: max wait for the leader's quorum
+                                  certificate before suspecting it *)
+  relay_tail_prob : float;    (** AHLR: probability that one aggregation
+                                  hits the heavy tail (EPC paging /
+                                  enclave-transition storms on real SGX) *)
+  relay_tail_factor : float;  (** AHLR: cost multiplier of a tail event *)
+  shared_queue_capacity : int;
+  request_queue_capacity : int;
+  consensus_queue_capacity : int;
+  consensus_msg_bytes : int;  (** wire size of a vote-like message *)
+  request_overhead_bytes : int;
+  request_parse_cost : float; (** CPU per request intake *)
+  client_sig_verify : float;
+      (** per-transaction client-signature verification, charged when a
+          replica validates a pre-prepare's batch (amortized batch ECDSA) *)
+  msg_parse_cost : float;     (** CPU per consensus message intake, before
+                                  signature verification *)
+}
+
+val f_of : t -> int
+(** Tolerated failures for the committee size under the variant's rule. *)
+
+val quorum_size : t -> int
+(** Matching votes (including one's own) needed to advance a phase. *)
+
+val n_for_f : variant -> f:int -> int
+(** Committee size achieving tolerance [f] ([3f+1] or [2f+1]). *)
+
+val default : variant -> n:int -> t
+(** Paper-calibrated defaults (Hyperledger v0.6-like batching, 2 s
+    watchdog). *)
+
+val inbox_mode : t -> Repro_sim.Inbox.mode

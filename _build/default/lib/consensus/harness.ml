@@ -1,0 +1,153 @@
+open Repro_util
+open Repro_crypto
+open Repro_sim
+open Types
+
+type workload =
+  | Open_loop of { rate : float; clients : int }
+  | Closed_loop of { clients : int; outstanding : int; think : float }
+
+type result = {
+  throughput : float;
+  latency_mean : float;
+  latency_p50 : float;
+  latency_p99 : float;
+  committed : int;
+  view_changes : int;
+  view_change_attempts : int;
+  blocks : int;
+  consensus_cost_per_block : float;
+  execution_cost_per_block : float;
+  dropped_requests : int;
+  dropped_consensus : int;
+  messages_sent : int;
+}
+
+let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(cpu_scale = 1.0)
+    ?(costs = Cost_model.default) ?(tune = fun (c : Config.t) -> c) ~variant ~n ~topology
+    ~workload () =
+  let engine = Engine.create ~seed in
+  let cfg = tune (Config.default variant ~n) in
+  let keystore = Keys.create_keystore (Engine.rng engine) in
+  let metrics = Metrics.create engine in
+  let faults =
+    if byzantine = 0 then Faults.honest n
+    else Faults.with_byzantine (Rng.split_named (Engine.rng engine) "faults") ~n ~count:byzantine
+  in
+  let network : Pbft.msg Network.t = Network.create engine ~topology in
+  (* Committee and nodes know each other through these mutable cells. *)
+  let committee = ref None in
+  let nodes =
+    Array.init n (fun id ->
+        Node.create engine ~id ~inbox_mode:(Config.inbox_mode cfg) ~handler:(fun node msg ->
+            match !committee with
+            | Some c -> Pbft.handle c ~member:(Node.id node) msg
+            | None -> ()))
+  in
+  Array.iter (Network.register network) nodes;
+  let send ~src ~dst ~channel ~bytes m =
+    Network.send network ~src:nodes.(src) ~dst ~channel ~bytes m
+  in
+  let charge ~member cost = Node.charge nodes.(member) (cost *. cpu_scale) in
+  (* Closed-loop clients resubmit when their request commits at the
+     observer replica. *)
+  let on_commit : (int -> unit) ref = ref (fun _ -> ()) in
+  let c =
+    Pbft.create ~engine ~keystore ~costs ~config:cfg ~faults ~metrics
+      ~enclave_base_id:0 ~send ~charge
+      ~execute:(fun ~member ~seq:_ batch ->
+        match !committee with
+        | Some cm when member = Pbft.observer cm -> List.iter (fun q -> !on_commit q.req_id) batch
+        | Some _ | None -> ())
+  in
+  committee := Some c;
+  Pbft.start c;
+  (* ---------------- clients ---------------- *)
+  let next_req_id = ref 0 in
+  let client_rng = Rng.split_named (Engine.rng engine) "clients" in
+  let submit ~client =
+    let req_id = !next_req_id in
+    incr next_req_id;
+    let req = Types.request ~req_id ~client ~submitted:(Engine.now engine) () in
+    let target = client mod n in
+    let region = Topology.region_of_node topology target in
+    Network.send_external network ~src_region:region ~dst:target
+      ~channel:Pbft.request_channel
+      ~bytes:(Pbft.bytes_of_msg cfg (Pbft.submit_via c ~member:target req))
+      (Pbft.submit_via c ~member:target req);
+    req_id
+  in
+  (match workload with
+  | Open_loop { rate; clients } ->
+      let clients = Stdlib.max 1 clients in
+      let per_client = rate /. float_of_int clients in
+      for client = 0 to clients - 1 do
+        let rng = Rng.split_named client_rng (string_of_int client) in
+        let rec arrival () =
+          ignore (submit ~client);
+          Engine.schedule engine
+            ~delay:(Rng.exponential rng ~mean:(1.0 /. per_client))
+            arrival
+        in
+        (* Ramp clients up over the first second so the run does not open
+           with one giant synchronized burst. *)
+        Engine.schedule engine ~delay:(Rng.float rng 1.0) arrival
+      done
+  | Closed_loop { clients; outstanding; think } ->
+      let in_flight : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+      (* req_id -> client *)
+      let rec resubmit client =
+        let req_id = submit ~client in
+        Hashtbl.replace in_flight req_id client;
+        (* BLOCKBENCH-style client timeout: give up on a lost request and
+           issue a fresh one, so inbox drops cannot leak the window. *)
+        Engine.schedule engine ~delay:10.0 (fun () ->
+            if Hashtbl.mem in_flight req_id then begin
+              Hashtbl.remove in_flight req_id;
+              resubmit client
+            end)
+      in
+      on_commit :=
+        (fun req_id ->
+          match Hashtbl.find_opt in_flight req_id with
+          | None -> ()
+          | Some client ->
+              Hashtbl.remove in_flight req_id;
+              if think > 0.0 then Engine.schedule engine ~delay:think (fun () -> resubmit client)
+              else resubmit client);
+      for client = 0 to clients - 1 do
+        for _ = 1 to outstanding do
+          Engine.schedule engine
+            ~delay:(Rng.float client_rng 0.05)
+            (fun () -> resubmit client)
+        done
+      done);
+  Engine.run engine ~until:duration;
+  (* ---------------- results ---------------- *)
+  let latencies = Metrics.latency_stats metrics in
+  let blocks = Metrics.counter metrics "blocks" in
+  let per_block gauge = if blocks = 0 then 0.0 else Metrics.gauge metrics gauge /. float_of_int blocks in
+  let dropped channel =
+    Array.fold_left (fun acc node -> acc + Node.inbox_dropped node channel) 0 nodes
+  in
+  {
+    throughput = Metrics.throughput metrics ~warmup;
+    latency_mean = Stats.mean latencies;
+    latency_p50 = Stats.percentile latencies 50.0;
+    latency_p99 = Stats.percentile latencies 99.0;
+    committed = Metrics.committed metrics;
+    view_changes = Metrics.counter metrics "view_changes";
+    view_change_attempts = Metrics.counter metrics "view_change_started";
+    blocks;
+    consensus_cost_per_block = per_block "consensus_cost";
+    execution_cost_per_block = per_block "execution_cost";
+    dropped_requests = dropped Inbox.Request;
+    dropped_consensus = dropped Inbox.Consensus;
+    messages_sent = Network.sent_count network;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "tps=%.1f lat(mean/p50/p99)=%.3f/%.3f/%.3f committed=%d blocks=%d vc=%d/%d drops(req/cons)=%d/%d msgs=%d"
+    r.throughput r.latency_mean r.latency_p50 r.latency_p99 r.committed r.blocks r.view_changes
+    r.view_change_attempts r.dropped_requests r.dropped_consensus r.messages_sent

@@ -1,0 +1,53 @@
+(** Single-committee experiment runner.
+
+    Builds an engine, a network over the given topology, one simulated node
+    per replica, and a population of BLOCKBENCH-style clients; runs the
+    requested PBFT-family variant for a virtual duration and reports the
+    measurements the paper's figures plot.  Used directly by the Figure
+    2/8/9/10/15/16/17/19/20 benches and by the integration tests. *)
+
+type workload =
+  | Open_loop of { rate : float; clients : int }
+      (** Poisson arrivals totalling [rate] requests/s, split across
+          clients, each bound to one replica (the BLOCKBENCH driver). *)
+  | Closed_loop of { clients : int; outstanding : int; think : float }
+      (** Each client keeps [outstanding] requests in flight and waits
+          [think] seconds after a commit before resubmitting. *)
+
+type result = {
+  throughput : float;        (** committed tx/s after warmup *)
+  latency_mean : float;
+  latency_p50 : float;
+  latency_p99 : float;
+  committed : int;
+  view_changes : int;        (** successful new-view adoptions *)
+  view_change_attempts : int;
+  blocks : int;
+  consensus_cost_per_block : float;  (** observer CPU seconds, Figure 17 *)
+  execution_cost_per_block : float;
+  dropped_requests : int;    (** inbox tail-drops across replicas *)
+  dropped_consensus : int;
+  messages_sent : int;
+}
+
+val run :
+  ?seed:int64 ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?byzantine:int ->
+  ?cpu_scale:float ->
+  ?costs:Repro_crypto.Cost_model.t ->
+  ?tune:(Config.t -> Config.t) ->
+  variant:Config.variant ->
+  n:int ->
+  topology:Repro_sim.Topology.t ->
+  workload:workload ->
+  unit ->
+  result
+(** Defaults: seed 1, 20 s runs with 5 s warmup, no Byzantine nodes.
+    [cpu_scale] multiplies every CPU charge — 1.0 models the paper's
+    3.5 GHz Xeon cluster servers, 3.5 the 2-vCPU GCP instances.  [tune]
+    post-processes the default {!Config.t} (batch sizes, timeouts) for
+    ablations. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,843 @@
+open Repro_crypto
+open Repro_sim
+open Repro_sgx
+open Types
+
+type msg =
+  | Request of { req : request; relayed : bool }
+  | Forward of request
+  | Pre_prepare of { view : int; seq : int; batch : request list; digest : int }
+  | Prepare of { view : int; seq : int; digest : int; sender : int }
+  | Commit of { view : int; seq : int; digest : int; sender : int }
+  | Checkpoint of { seq : int; digest : int; sender : int }
+  | View_change of {
+      target : int;
+      sender : int;
+      last_stable : int;
+      prepared : (int * int * int * request list) list;
+    }
+  | New_view of {
+      view : int;
+      sender : int;
+      reproposals : (int * int * request list) list;
+    }
+  | Relay_vote of {
+      phase : phase;
+      view : int;
+      seq : int;
+      digest : int;
+      sender : int;
+      vote : Keys.signature;
+    }
+  | Quorum_cert of {
+      phase : phase;
+      view : int;
+      seq : int;
+      digest : int;
+      proof : Aggregator.quorum_proof;
+    }
+
+type replica = {
+  index : int;
+  enclave : Enclave.t option;
+  a2m : A2m.t option;
+  mutable view : int;
+  mutable active : bool;
+  mutable vc_target : int;
+  mutable vc_deadline : float;
+  mutable last_exec : int;
+  mutable last_exec_time : float;
+  mutable last_stable : int;
+  mutable next_seq : int;
+  pending : request Queue.t;
+  mutable oldest_pending_since : float;
+  queued : (int, unit) Hashtbl.t; (* req ids in pending or proposed by me *)
+  known : (int, request) Hashtbl.t; (* unexecuted requests this replica knows *)
+  executed : (int, unit) Hashtbl.t;
+  preprep : (int, int * int * request list) Hashtbl.t; (* seq -> view, digest, batch *)
+  prepares : Quorum.t;
+  commits : Quorum.t;
+  prepared : (int, int) Hashtbl.t; (* seq -> digest *)
+  committed : (int, request list) Hashtbl.t;
+  checkpoints : Quorum.t;
+  vc_votes : Quorum.t; (* keyed: view=target, seq=0, digest=0 *)
+  vc_prepared : (int, (int, int * int * request list) Hashtbl.t) Hashtbl.t;
+      (* target -> seq -> (view, digest, batch), keeping highest view *)
+  relay_pool : (int * int * int * int, Keys.signature list ref) Hashtbl.t;
+  relay_done : (int * int * int * int, unit) Hashtbl.t;
+  mutable earliest_known : float;
+  mutable batch_timer_armed : bool;
+}
+
+type committee = {
+  engine : Engine.t;
+  keystore : Keys.keystore;
+  costs : Cost_model.t;
+  cfg : Config.t;
+  faults : Faults.t;
+  metrics : Metrics.t;
+  send_cb : src:int -> dst:int -> channel:Inbox.channel -> bytes:int -> msg -> unit;
+  charge_cb : member:int -> float -> unit;
+  execute_cb : member:int -> seq:int -> request list -> unit;
+  mutable replicas : replica array;
+  observer : int;
+  rng : Repro_util.Rng.t;
+  mutable alive : int -> bool;
+      (* embedding hook: timers of nodes that are offline (crashed or
+         transitioning between shards) must not fire *)
+}
+
+let request_channel = Inbox.Request
+
+let consensus_channel = Inbox.Consensus
+
+let phase_index = function Prepare_phase -> 1 | Commit_phase -> 2
+
+(* A2M log ids: one log per (phase, view), so a replica cannot attest two
+   different digests for the same slot within a view, while new views can
+   legitimately re-propose a sequence number. *)
+let a2m_log ~phase_idx ~view = (view * 4) + phase_idx
+
+let vote_tag ~phase ~view ~seq ~digest = Hashtbl.hash ("rvote", phase_index phase, view, seq, digest)
+
+let bytes_of_msg (cfg : Config.t) = function
+  | Request { req; _ } | Forward req -> cfg.request_overhead_bytes + req.size
+  | Pre_prepare { batch; _ } -> cfg.consensus_msg_bytes + batch_bytes batch
+  | View_change { prepared; _ } ->
+      List.fold_left
+        (fun acc (_, _, _, batch) -> acc + batch_bytes batch)
+        cfg.consensus_msg_bytes prepared
+  | New_view { reproposals; _ } ->
+      List.fold_left
+        (fun acc (_, _, batch) -> acc + batch_bytes batch)
+        cfg.consensus_msg_bytes reproposals
+  | Prepare _ | Commit _ | Checkpoint _ | Relay_vote _ | Quorum_cert _ ->
+      cfg.consensus_msg_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let now c = Engine.now c.engine
+
+let n_of c = c.cfg.Config.n
+
+let f_of c = Config.f_of c.cfg
+
+let quorum c = Config.quorum_size c.cfg
+
+let leader_of_view_int c v = ((v mod n_of c) + n_of c) mod n_of c
+
+let is_leader c r = r.active && leader_of_view_int c r.view = r.index
+
+let is_byz c r = Faults.is_byzantine c.faults r.index
+
+let observer c = c.observer
+
+let at_observer c r f = if r.index = c.observer then f ()
+
+let charge_consensus c r cost =
+  c.charge_cb ~member:r.index cost;
+  at_observer c r (fun () -> Metrics.add_to c.metrics "consensus_cost" cost)
+
+let charge_exec c r cost =
+  c.charge_cb ~member:r.index cost;
+  at_observer c r (fun () -> Metrics.add_to c.metrics "execution_cost" cost)
+
+let send c r ~dst ~channel m =
+  (* Tiny per-copy serialization cost so O(N) broadcast fan-out is not
+     free at the sender. *)
+  charge_consensus c r c.cfg.Config.msg_parse_cost;
+  c.send_cb ~src:r.index ~dst ~channel ~bytes:(bytes_of_msg c.cfg m) m
+
+let broadcast c r ~channel m =
+  for dst = 0 to n_of c - 1 do
+    if dst <> r.index then send c r ~dst ~channel m
+  done
+
+(* Charge the cost of authenticating an outgoing protocol statement: an
+   A2M append (which embeds the TEE signature) for attested variants, a
+   plain ECDSA signature otherwise.  Returns false if the attested log
+   refused the append (equivocation or recovery). *)
+let authenticate c r ~phase_idx ~view ~slot ~digest =
+  match r.a2m with
+  | Some a2m -> (
+      match A2m.append a2m ~log:(a2m_log ~phase_idx ~view) ~slot ~digest_tag:digest with
+      | Some _ -> true
+      | None -> false)
+  | None ->
+      charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+      true
+
+let verify_in c r = charge_consensus c r (c.cfg.Config.msg_parse_cost +. c.costs.Cost_model.ecdsa_verify)
+
+let parse_in c r cost = charge_consensus c r cost
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_replica c ~enclave_base_id index =
+  let enclave =
+    if c.cfg.Config.variant.Config.attested || c.cfg.Config.variant.Config.relay then
+      Some
+        (Enclave.create ~keystore:c.keystore ~id:(enclave_base_id + index)
+           ~measurement:("pbft-" ^ c.cfg.Config.variant.Config.name) ~rng:(Engine.rng c.engine)
+           ~costs:c.costs
+           ~charge:(fun cost -> c.charge_cb ~member:index cost)
+           ~now:(fun () -> Engine.now c.engine))
+    else None
+  in
+  let a2m =
+    if c.cfg.Config.variant.Config.attested then
+      Some (A2m.create (Option.get enclave) ~watermark_window:c.cfg.Config.watermark_window)
+    else None
+  in
+  {
+    index;
+    enclave;
+    a2m;
+    view = 0;
+    active = true;
+    vc_target = 0;
+    vc_deadline = infinity;
+    last_exec = 0;
+    last_exec_time = 0.0;
+    last_stable = 0;
+    next_seq = 1;
+    pending = Queue.create ();
+    oldest_pending_since = infinity;
+    queued = Hashtbl.create 256;
+    known = Hashtbl.create 256;
+    executed = Hashtbl.create 1024;
+    preprep = Hashtbl.create 128;
+    prepares = Quorum.create ~n:c.cfg.Config.n;
+    commits = Quorum.create ~n:c.cfg.Config.n;
+    prepared = Hashtbl.create 128;
+    committed = Hashtbl.create 128;
+    checkpoints = Quorum.create ~n:c.cfg.Config.n;
+    vc_votes = Quorum.create ~n:c.cfg.Config.n;
+    vc_prepared = Hashtbl.create 8;
+    relay_pool = Hashtbl.create 64;
+    relay_done = Hashtbl.create 64;
+    earliest_known = infinity;
+    batch_timer_armed = false;
+  }
+
+let create ~engine ~keystore ~costs ~config ~faults ~metrics ~enclave_base_id ~send ~charge
+    ~execute =
+  if Faults.size faults <> config.Config.n then
+    invalid_arg "Pbft.create: fault roster size must equal n";
+  let obs =
+    let rec first i =
+      if i >= config.Config.n then 0
+      else if Faults.behavior faults i = Faults.Honest then i
+      else first (i + 1)
+    in
+    first 0
+  in
+  let c =
+    {
+      engine;
+      keystore;
+      costs;
+      cfg = config;
+      faults;
+      metrics;
+      send_cb = send;
+      charge_cb = charge;
+      execute_cb = execute;
+      replicas = [||];
+      observer = obs;
+      rng = Repro_util.Rng.split_named (Engine.rng engine) "pbft";
+      alive = (fun _ -> true);
+    }
+  in
+  c.replicas <- Array.init config.Config.n (make_replica c ~enclave_base_id);
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Request intake and leader batching                                  *)
+(* ------------------------------------------------------------------ *)
+
+let add_known c r req =
+  if (not (Hashtbl.mem r.executed req.req_id)) && not (Hashtbl.mem r.known req.req_id) then begin
+    if Hashtbl.length r.known = 0 then r.earliest_known <- now c;
+    Hashtbl.replace r.known req.req_id req
+  end
+
+let add_pending c r req =
+  if (not (Hashtbl.mem r.executed req.req_id)) && not (Hashtbl.mem r.queued req.req_id) then begin
+    if Queue.is_empty r.pending then r.oldest_pending_since <- now c;
+    Queue.add req r.pending;
+    Hashtbl.replace r.queued req.req_id ()
+  end
+
+let relay_pool_key ~phase ~view ~seq ~digest = (phase_index phase, view, seq, digest)
+
+let rec try_propose c r =
+  if is_leader c r && not (is_byz c r) then begin
+    let cfg = c.cfg in
+    let outstanding = r.next_seq - 1 - r.last_exec in
+    let window_open =
+      outstanding < cfg.Config.pipeline_window
+      && r.next_seq < r.last_stable + cfg.Config.watermark_window
+    in
+    let batch_ready =
+      Queue.length r.pending >= cfg.Config.batch_max
+      || ((not (Queue.is_empty r.pending))
+         && now c -. r.oldest_pending_since >= cfg.Config.batch_delay)
+    in
+    if window_open && batch_ready then begin
+      let batch = ref [] in
+      let count = Stdlib.min cfg.Config.batch_max (Queue.length r.pending) in
+      for _ = 1 to count do
+        batch := Queue.take r.pending :: !batch
+      done;
+      let batch = List.rev !batch in
+      r.oldest_pending_since <- now c;
+      let digest = digest_of_batch batch in
+      let seq = r.next_seq in
+      (* The leader validates client signatures before proposing. *)
+      charge_consensus c r
+        (float_of_int (List.length batch) *. c.cfg.Config.client_sig_verify);
+      if authenticate c r ~phase_idx:0 ~view:r.view ~slot:seq ~digest then begin
+        r.next_seq <- seq + 1;
+        Hashtbl.replace r.preprep seq (r.view, digest, batch);
+        List.iter (add_known c r) batch;
+        broadcast c r ~channel:consensus_channel (Pre_prepare { view = r.view; seq; batch; digest });
+        (* The pre-prepare stands for the leader's prepare vote. *)
+        ignore (Quorum.vote r.prepares ~view:r.view ~seq ~digest ~member:r.index);
+        if cfg.Config.variant.Config.relay then leader_self_vote c r ~phase:Prepare_phase ~seq ~digest
+      end;
+      try_propose c r
+    end
+    else if window_open && not (Queue.is_empty r.pending) then
+      (* Waiting for the batch to fill or age; a timer re-checks.  When the
+         window is closed instead, execution progress re-triggers us. *)
+      arm_batch_timer c r
+  end
+
+and arm_batch_timer c r =
+  if not r.batch_timer_armed then begin
+    r.batch_timer_armed <- true;
+    let fire_in =
+      Float.max 1e-4 (r.oldest_pending_since +. c.cfg.Config.batch_delay -. now c)
+    in
+    Engine.schedule c.engine ~delay:fire_in (fun () ->
+        r.batch_timer_armed <- false;
+        if c.alive r.index then try_propose c r)
+  end
+
+(* AHLR: the leader contributes its own signed vote to the pool and
+   aggregates once the pool holds a quorum. *)
+and leader_self_vote c r ~phase ~seq ~digest =
+  let enclave = Option.get r.enclave in
+  charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+  let vote = Enclave.sign_free enclave ~msg_tag:(vote_tag ~phase ~view:r.view ~seq ~digest) in
+  relay_collect c r ~phase ~view:r.view ~seq ~digest ~vote
+
+and relay_collect c r ~phase ~view ~seq ~digest ~vote =
+  let key = relay_pool_key ~phase ~view ~seq ~digest in
+  if not (Hashtbl.mem r.relay_done key) then begin
+    let pool =
+      match Hashtbl.find_opt r.relay_pool key with
+      | Some p -> p
+      | None ->
+          let p = ref [] in
+          Hashtbl.replace r.relay_pool key p;
+          p
+    in
+    (* Dedup by signer. *)
+    if not (List.exists (fun (v : Keys.signature) -> v.Keys.signer = vote.Keys.signer) !pool)
+    then pool := vote :: !pool;
+    if List.length !pool >= quorum c then begin
+      let enclave = Option.get r.enclave in
+      (* Occasional heavy-tailed aggregation (EPC paging on real SGX): the
+         larger the quorum, the longer the stall — this is what makes the
+         AHLR leader miss relay deadlines at scale (Section 7.1). *)
+      if Repro_util.Rng.float c.rng 1.0 < c.cfg.Config.relay_tail_prob then
+        charge_consensus c r
+          (Cost_model.ahlr_aggregate c.costs ~f:(f_of c)
+          *. (c.cfg.Config.relay_tail_factor -. 1.0));
+      match
+        Aggregator.aggregate enclave ~f:(f_of c) ~stmt_tag:(vote_tag ~phase ~view ~seq ~digest)
+          ~votes:!pool
+      with
+      | None -> ()
+      | Some proof ->
+          Hashtbl.replace r.relay_done key ();
+          Hashtbl.remove r.relay_pool key;
+          broadcast c r ~channel:consensus_channel (Quorum_cert { phase; view; seq; digest; proof });
+          apply_quorum_cert c r ~phase ~view ~seq ~digest
+    end
+  end
+
+(* A quorum certificate (or a full vote quorum) has been established for
+   (phase, view, seq, digest) at this replica. *)
+and apply_quorum_cert c r ~phase ~view ~seq ~digest =
+  match phase with
+  | Prepare_phase -> mark_prepared c r ~view ~seq ~digest
+  | Commit_phase -> mark_committed c r ~seq ~digest
+
+and mark_prepared c r ~view ~seq ~digest =
+  if (not (Hashtbl.mem r.prepared seq)) && view = r.view then begin
+    match Hashtbl.find_opt r.preprep seq with
+    | Some (v, d, _) when v = view && d = digest ->
+        Hashtbl.replace r.prepared seq digest;
+        if c.cfg.Config.variant.Config.relay then begin
+          if is_leader c r then leader_self_vote c r ~phase:Commit_phase ~seq ~digest
+          else begin
+            let enclave = Option.get r.enclave in
+            charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+            let vote =
+              Enclave.sign_free enclave ~msg_tag:(vote_tag ~phase:Commit_phase ~view ~seq ~digest)
+            in
+            send c r ~dst:(leader_of_view_int c r.view) ~channel:consensus_channel
+              (Relay_vote { phase = Commit_phase; view; seq; digest; sender = r.index; vote })
+          end
+        end
+        else if authenticate c r ~phase_idx:2 ~view ~slot:seq ~digest then begin
+          broadcast c r ~channel:consensus_channel (Commit { view; seq; digest; sender = r.index });
+          let n_votes = Quorum.vote r.commits ~view ~seq ~digest ~member:r.index in
+          if n_votes >= quorum c then mark_committed c r ~seq ~digest
+        end
+    | Some _ | None -> ()
+  end
+
+and mark_committed c r ~seq ~digest =
+  if not (Hashtbl.mem r.committed seq) then begin
+    match Hashtbl.find_opt r.preprep seq with
+    | Some (_, d, batch) when d = digest ->
+        Hashtbl.replace r.committed seq batch;
+        try_execute c r
+    | Some _ | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution, checkpoints, watermarks                                  *)
+(* ------------------------------------------------------------------ *)
+
+and try_execute c r =
+  match Hashtbl.find_opt r.committed (r.last_exec + 1) with
+  | None -> ()
+  | Some batch ->
+      let seq = r.last_exec + 1 in
+      let fresh = List.filter (fun q -> not (Hashtbl.mem r.executed q.req_id)) batch in
+      charge_exec c r (float_of_int (List.length fresh) *. c.costs.Cost_model.tx_execute);
+      List.iter
+        (fun q ->
+          Hashtbl.replace r.executed q.req_id ();
+          Hashtbl.remove r.known q.req_id;
+          Hashtbl.remove r.queued q.req_id)
+        batch;
+      c.execute_cb ~member:r.index ~seq fresh;
+      at_observer c r (fun () ->
+          Metrics.incr c.metrics "blocks";
+          Metrics.commit c.metrics ~count:(List.length fresh);
+          List.iter (fun q -> Metrics.commit_latency c.metrics ~submitted:q.submitted) fresh);
+      r.last_exec <- seq;
+      r.last_exec_time <- now c;
+      r.earliest_known <- now c;
+      if seq mod c.cfg.Config.checkpoint_interval = 0 then begin
+        charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+        broadcast c r ~channel:consensus_channel (Checkpoint { seq; digest = seq; sender = r.index });
+        let n_votes = Quorum.vote r.checkpoints ~view:0 ~seq ~digest:seq ~member:r.index in
+        if n_votes >= quorum c then stabilize c r ~seq
+      end;
+      if is_leader c r then try_propose c r;
+      try_execute c r
+
+and stabilize c r ~seq =
+  if seq > r.last_stable then begin
+    r.last_stable <- seq;
+    (* A replica that fell behind fetches state from its peers rather than
+       replaying (Section 5.3's state transfer); committed work it skipped
+       was already counted at the replicas that executed it. *)
+    if r.last_exec < seq then begin
+      r.last_exec <- seq;
+      r.last_exec_time <- now c
+    end;
+    Quorum.forget_below r.prepares ~seq;
+    Quorum.forget_below r.commits ~seq;
+    Quorum.forget_below r.checkpoints ~seq;
+    let drop_below table = Hashtbl.filter_map_inplace (fun s v -> if s <= seq then None else Some v) table in
+    drop_below r.preprep;
+    Hashtbl.filter_map_inplace (fun s v -> if s <= seq then None else Some v) r.prepared;
+    drop_below r.committed;
+    match r.a2m with
+    | Some a2m ->
+        A2m.truncate_below a2m ~slot:seq;
+        ignore (A2m.seal_state a2m)
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* View changes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+and start_view_change c r ~target =
+  let current_goal = if r.active then r.view else r.vc_target in
+  if target > current_goal then begin
+    r.active <- false;
+    r.vc_target <- target;
+    let backoff = Stdlib.min 6 (Stdlib.max 0 (target - r.view - 1)) in
+    r.vc_deadline <- now c +. (c.cfg.Config.progress_timeout *. Float.pow 2.0 (float_of_int backoff));
+    at_observer c r (fun () -> Metrics.incr c.metrics "view_change_started");
+    charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+    let prepared =
+      Hashtbl.fold
+        (fun seq digest acc ->
+          match Hashtbl.find_opt r.preprep seq with
+          | Some (view, d, batch) when d = digest -> (seq, view, digest, batch) :: acc
+          | Some _ | None -> acc)
+        r.prepared []
+    in
+    let m =
+      View_change { target; sender = r.index; last_stable = r.last_stable; prepared }
+    in
+    broadcast c r ~channel:consensus_channel m;
+    record_view_change_vote c r ~target ~sender:r.index ~prepared
+  end
+
+and record_view_change_vote c r ~target ~sender ~prepared =
+  let merged =
+    match Hashtbl.find_opt r.vc_prepared target with
+    | Some table -> table
+    | None ->
+        let table = Hashtbl.create 16 in
+        Hashtbl.replace r.vc_prepared target table;
+        table
+  in
+  List.iter
+    (fun (seq, view, digest, batch) ->
+      match Hashtbl.find_opt merged seq with
+      | Some (v, _, _) when v >= view -> ()
+      | Some _ | None -> Hashtbl.replace merged seq (view, digest, batch))
+    prepared;
+  let votes = Quorum.vote r.vc_votes ~view:target ~seq:0 ~digest:0 ~member:sender in
+  (* Join a view change when f+1 peers demand it. *)
+  let goal = if r.active then r.view else r.vc_target in
+  if votes >= f_of c + 1 && target > goal then start_view_change c r ~target;
+  if
+    votes >= quorum c
+    && leader_of_view_int c target = r.index
+    && (r.view < target || not r.active)
+    && not (is_byz c r)
+  then begin
+    (* Become the new leader: re-propose surviving prepared certificates. *)
+    let reproposals =
+      Hashtbl.fold (fun seq (_, digest, batch) acc -> (seq, digest, batch) :: acc) merged []
+      |> List.filter (fun (seq, _, _) -> seq > r.last_stable)
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    in
+    charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+    broadcast c r ~channel:consensus_channel (New_view { view = target; sender = r.index; reproposals });
+    adopt_new_view c r ~view:target ~reproposals
+  end
+
+and adopt_new_view c r ~view ~reproposals =
+  if view > r.view || ((not r.active) && view >= r.vc_target) || (not r.active && view = r.view)
+  then begin
+    r.view <- Stdlib.max view r.view;
+    r.active <- true;
+    r.vc_deadline <- infinity;
+    at_observer c r (fun () -> Metrics.incr c.metrics "view_changes");
+    (* Drop stale view-change bookkeeping. *)
+    let stale = Hashtbl.fold (fun t _ acc -> if t <= view then t :: acc else acc) r.vc_prepared [] in
+    List.iter (Hashtbl.remove r.vc_prepared) stale;
+    (* Accept the new leader's re-proposals as view-v pre-prepares. *)
+    List.iter
+      (fun (seq, digest, batch) ->
+        if seq > r.last_stable && seq > r.last_exec then begin
+          Hashtbl.replace r.preprep seq (view, digest, batch);
+          Hashtbl.remove r.prepared seq;
+          respond_to_preprepare c r ~view ~seq ~digest
+        end)
+      reproposals;
+    if leader_of_view_int c view = r.index then begin
+      let max_repro = List.fold_left (fun acc (s, _, _) -> Stdlib.max acc s) 0 reproposals in
+      r.next_seq <- 1 + List.fold_left Stdlib.max 0 [ r.last_stable; r.last_exec; max_repro; r.next_seq - 1 ];
+      (* Requeue everything I know about that is not in flight. *)
+      Hashtbl.reset r.queued;
+      Queue.iter (fun q -> Hashtbl.replace r.queued q.req_id ()) r.pending;
+      List.iter (fun (_, _, batch) -> List.iter (fun q -> Hashtbl.replace r.queued q.req_id ()) batch) reproposals;
+      Hashtbl.iter (fun _ q -> add_pending c r q) r.known;
+      try_propose c r
+    end
+    else begin
+      (* Hand the new leader the requests we still wait on. *)
+      let leader = leader_of_view_int c view in
+      let budget = ref 128 in
+      Hashtbl.iter
+        (fun _ q ->
+          if !budget > 0 then begin
+            decr budget;
+            send c r ~dst:leader ~channel:request_channel (Forward q)
+          end)
+        r.known
+    end;
+    r.earliest_known <- now c
+  end
+
+(* Replica-side response to an accepted pre-prepare: vote and move the
+   prepare phase forward under the variant's communication pattern. *)
+and respond_to_preprepare c r ~view ~seq ~digest =
+  if c.cfg.Config.variant.Config.relay then begin
+    if not (is_leader c r) then begin
+      let enclave = Option.get r.enclave in
+      charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+      let vote = Enclave.sign_free enclave ~msg_tag:(vote_tag ~phase:Prepare_phase ~view ~seq ~digest) in
+      send c r ~dst:(leader_of_view_int c view) ~channel:consensus_channel
+        (Relay_vote { phase = Prepare_phase; view; seq; digest; sender = r.index; vote });
+      (* Relay watchdog: while this sequence is outstanding, any commit
+         stall longer than the relay timeout means the leader is sitting on
+         a quorum certificate — suspect it (the AHLR pathology of
+         Section 7.1).  Ordinary pipelining keeps commits flowing, so the
+         watchdog only fires on genuine leader stalls. *)
+      let deadline = c.cfg.Config.relay_timeout in
+      let rec watch () =
+        if c.alive r.index && r.active && r.view = view && r.last_exec < seq then begin
+          let stall = now c -. r.last_exec_time in
+          if stall > deadline then start_view_change c r ~target:(r.view + 1)
+          else ignore (Engine.timer c.engine ~delay:(deadline -. stall +. 1e-3) watch)
+        end
+      in
+      ignore (Engine.timer c.engine ~delay:deadline watch)
+    end
+  end
+  else if authenticate c r ~phase_idx:1 ~view ~slot:seq ~digest then begin
+    broadcast c r ~channel:consensus_channel (Prepare { view; seq; digest; sender = r.index });
+    let n_votes = Quorum.vote r.prepares ~view ~seq ~digest ~member:r.index in
+    if n_votes >= quorum c then mark_prepared c r ~view ~seq ~digest
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine behaviours (the Figure 8/16 attack)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A Byzantine replica mounts the paper's conflicting-message attack: on
+   every pre-prepare it spams peers with garbage votes carrying wrong
+   sequence numbers (burning honest verification CPU), and without A2M it
+   also equivocates, telling half the committee a different digest. *)
+and byz_handle c r m =
+  match m with
+  | Pre_prepare { view; seq; digest; _ } ->
+      verify_in c r;
+      let garbage = Prepare { view; seq = seq + 100_000; digest = digest + 7; sender = r.index } in
+      broadcast c r ~channel:consensus_channel garbage;
+      if not c.cfg.Config.variant.Config.attested then begin
+        (* Equivocation: conflicting digests to the two halves. *)
+        for dst = 0 to n_of c - 1 do
+          if dst <> r.index then
+            let d = if dst < n_of c / 2 then digest else digest + 1 in
+            send c r ~dst ~channel:consensus_channel (Prepare { view; seq; digest = d; sender = r.index })
+        done
+      end
+      else begin
+        match r.a2m with
+        | Some a2m ->
+            (* Try to equivocate through the trusted log; the second append
+               is refused, so only the honest vote goes out. *)
+            let log = a2m_log ~phase_idx:1 ~view in
+            (match A2m.append a2m ~log ~slot:seq ~digest_tag:digest with
+            | Some _ ->
+                broadcast c r ~channel:consensus_channel (Prepare { view; seq; digest; sender = r.index })
+            | None -> ());
+            (match A2m.append a2m ~log ~slot:seq ~digest_tag:(digest + 1) with
+            | Some _ -> assert false (* the A2M must refuse the conflict *)
+            | None -> ())
+        | None -> ()
+      end
+  | Request _ | Forward _ -> parse_in c r c.cfg.Config.request_parse_cost
+  | _ -> parse_in c r c.cfg.Config.msg_parse_cost
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let handle_request c r req ~relayed =
+  parse_in c r c.cfg.Config.request_parse_cost;
+  if not (Hashtbl.mem r.executed req.req_id) then begin
+    add_known c r req;
+    let variant = c.cfg.Config.variant in
+    if variant.Config.forward_requests then begin
+      if is_leader c r then begin
+        add_pending c r req;
+        try_propose c r
+      end
+      else if not relayed then
+        send c r ~dst:(leader_of_view_int c r.view) ~channel:request_channel (Forward req)
+    end
+    else begin
+      (* Hyperledger behaviour: gossip the raw request to everyone. *)
+      if not relayed then broadcast c r ~channel:request_channel (Request { req; relayed = true });
+      if is_leader c r then begin
+        add_pending c r req;
+        try_propose c r
+      end
+    end
+  end
+
+let handle_pre_prepare c r ~view ~seq ~batch ~digest ~charge_batch =
+  verify_in c r;
+  (* Validating a pre-prepare means checking every transaction's client
+     signature (amortized batch verification) plus the batch digest. *)
+  if charge_batch then
+    charge_consensus c r
+      (float_of_int (List.length batch)
+      *. (c.cfg.Config.client_sig_verify +. c.costs.Cost_model.sha256));
+  if
+    r.active && view = r.view
+    && seq > r.last_stable
+    && seq < r.last_stable + c.cfg.Config.watermark_window
+    && (not (Hashtbl.mem r.preprep seq))
+    && digest = digest_of_batch batch
+  then begin
+    Hashtbl.replace r.preprep seq (view, digest, batch);
+    List.iter (add_known c r) batch;
+    (* The pre-prepare carries the leader's prepare vote. *)
+    let leader = leader_of_view_int c view in
+    let after_leader_vote = Quorum.vote r.prepares ~view ~seq ~digest ~member:leader in
+    respond_to_preprepare c r ~view ~seq ~digest;
+    if (not c.cfg.Config.variant.Config.relay) && after_leader_vote + 1 >= quorum c then
+      (* Quorum may already be complete counting our own vote. *)
+      if Quorum.count r.prepares ~view ~seq ~digest >= quorum c then
+        mark_prepared c r ~view ~seq ~digest
+  end
+
+let handle_prepare c r ~view ~seq ~digest ~sender =
+  verify_in c r;
+  if r.active && view = r.view then begin
+    let n_votes = Quorum.vote r.prepares ~view ~seq ~digest ~member:sender in
+    if n_votes >= quorum c && Hashtbl.mem r.preprep seq then mark_prepared c r ~view ~seq ~digest
+  end
+
+let handle_commit c r ~view ~seq ~digest ~sender =
+  verify_in c r;
+  if r.active && view = r.view then begin
+    let n_votes = Quorum.vote r.commits ~view ~seq ~digest ~member:sender in
+    if n_votes >= quorum c && Hashtbl.mem r.prepared seq then mark_committed c r ~seq ~digest
+  end
+
+let handle_checkpoint c r ~seq ~digest ~sender =
+  verify_in c r;
+  if digest = seq then begin
+    let n_votes = Quorum.vote r.checkpoints ~view:0 ~seq ~digest ~member:sender in
+    if n_votes >= quorum c then stabilize c r ~seq
+  end
+
+let handle_relay_vote c r ~phase ~view ~seq ~digest ~vote =
+  parse_in c r c.cfg.Config.msg_parse_cost;
+  if r.active && view = r.view && is_leader c r then
+    relay_collect c r ~phase ~view ~seq ~digest ~vote
+
+let handle_quorum_cert c r ~phase ~view ~seq ~digest ~proof =
+  verify_in c r;
+  if
+    r.active && view = r.view
+    && proof.Aggregator.stmt_tag = vote_tag ~phase ~view ~seq ~digest
+    && Aggregator.verify c.keystore ~f:(f_of c) proof
+  then apply_quorum_cert c r ~phase ~view ~seq ~digest
+
+let handle c ~member m =
+  let r = c.replicas.(member) in
+  if Faults.is_crashed c.faults member then ()
+  else if is_byz c r then byz_handle c r m
+  else
+    match m with
+    | Request { req; relayed } -> handle_request c r req ~relayed
+    | Forward req ->
+        parse_in c r c.cfg.Config.request_parse_cost;
+        add_known c r req;
+        if is_leader c r then begin
+          add_pending c r req;
+          try_propose c r
+        end
+    | Pre_prepare { view; seq; batch; digest } ->
+        handle_pre_prepare c r ~view ~seq ~batch ~digest ~charge_batch:true
+    | Prepare { view; seq; digest; sender } -> handle_prepare c r ~view ~seq ~digest ~sender
+    | Commit { view; seq; digest; sender } -> handle_commit c r ~view ~seq ~digest ~sender
+    | Checkpoint { seq; digest; sender } -> handle_checkpoint c r ~seq ~digest ~sender
+    | View_change { target; sender; last_stable = _; prepared } ->
+        verify_in c r;
+        record_view_change_vote c r ~target ~sender ~prepared
+    | New_view { view; sender; reproposals } ->
+        verify_in c r;
+        if sender = leader_of_view_int c view then adopt_new_view c r ~view ~reproposals
+    | Relay_vote { phase; view; seq; digest; sender = _; vote } ->
+        handle_relay_vote c r ~phase ~view ~seq ~digest ~vote
+    | Quorum_cert { phase; view; seq; digest; proof } ->
+        handle_quorum_cert c r ~phase ~view ~seq ~digest ~proof
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let watchdog c r () =
+  if Faults.is_crashed c.faults r.index || not (c.alive r.index) then ()
+  else if is_byz c r then begin
+    (* Byzantine destabilization: keep calling for view changes; alone
+       they are f votes — one honest timeout tips the committee over. *)
+    let target = (if r.active then r.view else r.vc_target) + 1 in
+    broadcast c r ~channel:consensus_channel
+      (View_change { target; sender = r.index; last_stable = r.last_stable; prepared = [] })
+  end
+  else if r.active then begin
+    let timeout = c.cfg.Config.progress_timeout in
+    let t = now c in
+    if
+      Hashtbl.length r.known > 0
+      && t -. r.last_exec_time > timeout
+      && t -. r.earliest_known > timeout
+    then begin
+      (* PBFT's request retransmission: before (and alongside) suspecting
+         the leader, make sure every peer knows the stalled requests so
+         their timers arm too — without it, a request known to one replica
+         whose forward was lost can never assemble a view-change quorum. *)
+      let budget = ref 64 in
+      Hashtbl.iter
+        (fun _ req ->
+          if !budget > 0 then begin
+            decr budget;
+            broadcast c r ~channel:request_channel (Request { req; relayed = true })
+          end)
+        r.known;
+      start_view_change c r ~target:(r.view + 1)
+    end
+  end
+  else if now c > r.vc_deadline then start_view_change c r ~target:(r.vc_target + 1)
+
+let start c =
+  Array.iter
+    (fun r ->
+      let period = c.cfg.Config.progress_timeout /. 2.0 in
+      let rec loop () =
+        watchdog c r ();
+        Engine.schedule c.engine ~delay:period loop
+      in
+      (* Stagger watchdogs so the committee does not act in lockstep. *)
+      Engine.schedule c.engine
+        ~delay:(period *. (0.5 +. (float_of_int r.index /. float_of_int (n_of c))))
+        loop)
+    c.replicas
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let submit_via _c ~member:_ req = Request { req; relayed = false }
+
+let leader_of_view c v = leader_of_view_int c v
+
+let current_view c ~member = c.replicas.(member).view
+
+let last_executed c ~member = c.replicas.(member).last_exec
+
+let view_changes c = Metrics.counter c.metrics "view_changes"
+
+let known_backlog c ~member = Hashtbl.length c.replicas.(member).known
+
+let last_stable c ~member = c.replicas.(member).last_stable
+
+let set_alive c f = c.alive <- f

@@ -1,0 +1,126 @@
+(** The PBFT family: HL, AHL, AHL+, AHLR (Section 4.1).
+
+    One replica implementation parameterized by {!Config.variant}:
+
+    - {b HL} — vanilla PBFT: pre-prepare / prepare / commit with 2f+1
+      quorums out of N = 3f+1, pipelined within a window, checkpoints and
+      watermarks, and the view-change / new-view protocol.  Client requests
+      received by a replica are re-broadcast to everyone, and requests share
+      one bounded network queue with consensus traffic.
+    - {b AHL} — every protocol message carries an attested append-only
+      memory proof; equivocation is impossible, so quorums shrink to f+1
+      out of N = 2f+1.
+    - {b AHL+} — AHL plus optimization 1 (separate request/consensus
+      queues) and optimization 2 (requests are forwarded to the leader
+      instead of broadcast).
+    - {b AHLR} — AHL+ plus optimization 3: replicas send signed votes to
+      the leader only; the leader's enclave aggregates f+1 of them into one
+      quorum certificate (O(N) messages, but a serial hotspot and a
+      view-change hazard when the certificate misses the relay deadline).
+
+    The module is transport-agnostic: the embedding supplies [send]/[self]
+    callbacks, per-member CPU charging, and an [execute] upcall.  Committee
+    members are addressed by their index 0..n-1. *)
+
+open Types
+
+type msg =
+  | Request of { req : request; relayed : bool }
+  | Forward of request
+  | Pre_prepare of { view : int; seq : int; batch : request list; digest : int }
+  | Prepare of { view : int; seq : int; digest : int; sender : int }
+  | Commit of { view : int; seq : int; digest : int; sender : int }
+  | Checkpoint of { seq : int; digest : int; sender : int }
+  | View_change of {
+      target : int;
+      sender : int;
+      last_stable : int;
+      prepared : (int * int * int * request list) list;
+          (** (seq, view, digest, batch) certificates *)
+    }
+  | New_view of {
+      view : int;
+      sender : int;
+      reproposals : (int * int * request list) list;  (** (seq, digest, batch) *)
+    }
+  | Relay_vote of {
+      phase : phase;
+      view : int;
+      seq : int;
+      digest : int;
+      sender : int;
+      vote : Repro_crypto.Keys.signature;
+    }
+  | Quorum_cert of {
+      phase : phase;
+      view : int;
+      seq : int;
+      digest : int;
+      proof : Repro_sgx.Aggregator.quorum_proof;
+    }
+
+type committee
+
+val create :
+  engine:Repro_sim.Engine.t ->
+  keystore:Repro_crypto.Keys.keystore ->
+  costs:Repro_crypto.Cost_model.t ->
+  config:Config.t ->
+  faults:Repro_sim.Faults.t ->
+  metrics:Repro_sim.Metrics.t ->
+  enclave_base_id:int ->
+  send:(src:int -> dst:int -> channel:Repro_sim.Inbox.channel -> bytes:int -> msg -> unit) ->
+  charge:(member:int -> float -> unit) ->
+  execute:(member:int -> seq:int -> request list -> unit) ->
+  committee
+(** [enclave_base_id]: the attested variants register one enclave per
+    member with keystore principal ids [base .. base+n-1] (pass a range
+    disjoint from other committees).  [faults] is indexed by member.
+    [execute] is called on every replica with the not-yet-executed requests
+    of each decided batch, in sequence order. *)
+
+val set_alive : committee -> (int -> bool) -> unit
+(** Install the embedding's liveness predicate: members for which it
+    returns [false] (crashed / transitioning nodes) fire no timers.
+    Defaults to always-alive. *)
+
+val start : committee -> unit
+(** Arm leader batching and watchdog timers (they run as local engine
+    timers, not network messages — a flooded inbox cannot suppress a
+    timeout).  Call once, after the transport is wired. *)
+
+val handle : committee -> member:int -> msg -> unit
+(** Entry point the embedding's node handler calls for every delivered
+    message (including self-ticks). *)
+
+val submit_via : committee -> member:int -> request -> msg
+(** The wire message a client should send to [member] for this variant
+    (plain request; the replica relays or forwards according to the
+    variant). *)
+
+val request_channel : Repro_sim.Inbox.channel
+
+val consensus_channel : Repro_sim.Inbox.channel
+
+val bytes_of_msg : Config.t -> msg -> int
+(** Wire size estimate used by embeddings when sending. *)
+
+val leader_of_view : committee -> int -> int
+
+val current_view : committee -> member:int -> int
+
+val last_executed : committee -> member:int -> int
+
+val view_changes : committee -> int
+(** Successful new-view adoptions observed by the designated observer. *)
+
+val observer : committee -> int
+(** The lowest-indexed honest member; metrics (commits, latencies,
+    cost gauges) are recorded at this replica only, so committee-wide
+    throughput is not multiple-counted. *)
+
+val known_backlog : committee -> member:int -> int
+(** Requests known to a member but not yet executed (for tests). *)
+
+val last_stable : committee -> member:int -> int
+(** The member's latest stable checkpoint (garbage-collection horizon). *)

@@ -1,0 +1,43 @@
+type slot = { mask : Bytes.t; mutable count : int }
+
+type t = { n : int; slots : (int * int * int, slot) Hashtbl.t }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Quorum.create: n must be positive";
+  { n; slots = Hashtbl.create 256 }
+
+let get_slot t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some s -> s
+  | None ->
+      let s = { mask = Bytes.make t.n '\000'; count = 0 } in
+      Hashtbl.replace t.slots key s;
+      s
+
+let vote t ~view ~seq ~digest ~member =
+  if member < 0 || member >= t.n then invalid_arg "Quorum.vote: member out of range";
+  let s = get_slot t (view, seq, digest) in
+  if Bytes.get s.mask member = '\000' then begin
+    Bytes.set s.mask member '\001';
+    s.count <- s.count + 1
+  end;
+  s.count
+
+let count t ~view ~seq ~digest =
+  match Hashtbl.find_opt t.slots (view, seq, digest) with None -> 0 | Some s -> s.count
+
+let voters t ~view ~seq ~digest =
+  match Hashtbl.find_opt t.slots (view, seq, digest) with
+  | None -> []
+  | Some s ->
+      let acc = ref [] in
+      for i = t.n - 1 downto 0 do
+        if Bytes.get s.mask i = '\001' then acc := i :: !acc
+      done;
+      !acc
+
+let forget_below t ~seq =
+  let stale =
+    Hashtbl.fold (fun ((_, s, _) as key) _ acc -> if s < seq then key :: acc else acc) t.slots []
+  in
+  List.iter (Hashtbl.remove t.slots) stale

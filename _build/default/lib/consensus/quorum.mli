@@ -1,0 +1,21 @@
+(** Vote bookkeeping: who voted for which value in which slot.
+
+    Byzantine peers may vote for different values in the same slot, so
+    votes are keyed by (view, seq, digest); a quorum forms only over
+    matching digests. *)
+
+type t
+
+val create : n:int -> t
+(** [n] committee members, indexed 0 .. n-1. *)
+
+val vote : t -> view:int -> seq:int -> digest:int -> member:int -> int
+(** Record a vote (idempotent per member) and return the current count of
+    distinct voters for this (view, seq, digest). *)
+
+val count : t -> view:int -> seq:int -> digest:int -> int
+
+val voters : t -> view:int -> seq:int -> digest:int -> int list
+
+val forget_below : t -> seq:int -> unit
+(** Garbage-collect slots below a stable checkpoint. *)

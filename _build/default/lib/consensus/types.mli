@@ -1,0 +1,27 @@
+(** Shared vocabulary of the consensus protocols. *)
+
+type request = {
+  req_id : int;       (** globally unique *)
+  client : int;       (** submitting client id *)
+  submitted : float;  (** virtual submission time, for latency accounting *)
+  size : int;         (** serialized bytes *)
+  op_tag : int;       (** opaque handle the application layer resolves to an
+                          operation (chaincode call, coordination step...) *)
+}
+
+val request :
+  req_id:int -> client:int -> submitted:float -> ?size:int -> ?op_tag:int -> unit -> request
+
+type phase = Prepare_phase | Commit_phase
+
+val phase_log : phase -> int
+(** A2M log index for a phase (pre-prepare uses log 0). *)
+
+val digest_of_batch : request list -> int
+(** Structural batch digest used as the value agreed upon.  (Real SHA-256
+    hashing of batches is exercised by the ledger layer; consensus charges
+    hash cost to the simulated clock instead — see DESIGN.md.) *)
+
+val batch_bytes : request list -> int
+
+val pp_phase : Format.formatter -> phase -> unit

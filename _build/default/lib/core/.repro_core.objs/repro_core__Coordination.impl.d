@@ -1,0 +1,1 @@
+lib/core/coordination.ml: Array List Repro_crypto Repro_ledger

@@ -1,0 +1,1 @@
+lib/core/results.ml: Buffer Char Filename List Printf Repro_util String Sys Table

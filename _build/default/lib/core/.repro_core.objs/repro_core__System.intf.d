@@ -1,0 +1,1 @@
+lib/core/system.mli: Repro_consensus Repro_ledger Repro_shard Repro_sim Repro_util

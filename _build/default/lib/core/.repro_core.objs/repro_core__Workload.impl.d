@@ -1,0 +1,1 @@
+lib/core/workload.ml: Executor List Repro_ledger Repro_sim Repro_util Rng Smallbank_cc System Tx Zipf

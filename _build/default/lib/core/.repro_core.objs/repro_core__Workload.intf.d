@@ -1,0 +1,1 @@
+lib/core/workload.mli: Repro_ledger Repro_util System

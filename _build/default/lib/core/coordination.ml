@@ -1,0 +1,32 @@
+type op =
+  | Single of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Begin_tx of { txid : int; participants : int list }
+  | Prepare_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Vote of { txid : int; shard : int; ok : bool }
+  | Commit_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Abort_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+
+type registry = { mutable ops : op array; mutable len : int }
+
+let create_registry () = { ops = Array.make 1024 (Vote { txid = -1; shard = -1; ok = false }); len = 0 }
+
+let register r op =
+  if r.len = Array.length r.ops then begin
+    let bigger = Array.make (2 * r.len) op in
+    Array.blit r.ops 0 bigger 0 r.len;
+    r.ops <- bigger
+  end;
+  r.ops.(r.len) <- op;
+  r.len <- r.len + 1;
+  r.len - 1
+
+let lookup r tag = if tag >= 0 && tag < r.len then Some r.ops.(tag) else None
+
+let op_cost (costs : Repro_crypto.Cost_model.t) op =
+  let per_op = costs.Repro_crypto.Cost_model.tx_execute in
+  match op with
+  | Single { ops; _ } -> float_of_int (List.length ops) *. per_op
+  | Prepare_tx { ops; _ } | Commit_tx { ops; _ } | Abort_tx { ops; _ } ->
+      (* Lock-tuple reads/writes double the state touches. *)
+      2.0 *. float_of_int (List.length ops) *. per_op
+  | Begin_tx _ | Vote _ -> per_op

@@ -1,0 +1,30 @@
+(** The operations that flow through committee consensus in the sharded
+    blockchain, and the registry that maps a consensus request's [op_tag]
+    to its operation.
+
+    Single-shard transactions execute directly; a cross-shard transaction
+    becomes a [Begin_tx] on the reference committee, one [Prepare_tx] per
+    participant shard, [Vote]s back on R, and finally [Commit_tx] /
+    [Abort_tx] on the participants (Figure 5). *)
+
+type op =
+  | Single of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Begin_tx of { txid : int; participants : int list }
+  | Prepare_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Vote of { txid : int; shard : int; ok : bool }
+  | Commit_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Abort_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+
+type registry
+
+val create_registry : unit -> registry
+
+val register : registry -> op -> int
+(** Returns the [op_tag] to embed in the consensus request. *)
+
+val lookup : registry -> int -> op option
+
+val op_cost : Repro_crypto.Cost_model.t -> op -> float
+(** Execution cost charged per replica when the operation runs: prepares
+    and commits touch the lock tuples and state, begin/vote only the
+    reference chaincode's bookkeeping. *)

@@ -1,0 +1,61 @@
+open Repro_util
+
+type panel = {
+  title : string;
+  x_label : string;
+  columns : string list;
+  rows : (float * float list) list;
+}
+
+type figure = { id : string; caption : string; panels : panel list }
+
+let panel ~title ~x_label ~columns ~rows = { title; x_label; columns; rows }
+
+let figure ~id ~caption panels = { id; caption; panels }
+
+let render f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "==== %s: %s ====\n" f.id f.caption);
+  List.iter
+    (fun p ->
+      if p.columns = [] && p.rows = [] then Buffer.add_string buf (p.title ^ "\n")
+      else
+        Buffer.add_string buf
+          (Table.series ~title:p.title ~x_label:p.x_label ~columns:p.columns ~rows:p.rows))
+    f.panels;
+  Buffer.contents buf
+
+let print f = print_string (render f)
+
+let text_figure ~id ~caption body =
+  { id; caption; panels = [ { title = body; x_label = ""; columns = []; rows = [] } ] }
+
+let slug s =
+  String.map (fun c -> if ('a' <= Char.lowercase_ascii c && Char.lowercase_ascii c <= 'z') || ('0' <= c && c <= '9') then Char.lowercase_ascii c else '-') s
+
+let to_csv f =
+  List.filter_map
+    (fun p ->
+      if p.columns = [] then None
+      else begin
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf (String.concat "," (p.x_label :: p.columns));
+        Buffer.add_char buf '\n';
+        List.iter
+          (fun (x, ys) ->
+            Buffer.add_string buf
+              (String.concat "," (List.map (Printf.sprintf "%g") (x :: ys)));
+            Buffer.add_char buf '\n')
+          p.rows;
+        Some (Printf.sprintf "%s-%s.csv" f.id (slug p.title), Buffer.contents buf)
+      end)
+    f.panels
+
+let save_csv ~dir f =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, contents) ->
+      let oc = open_out (Filename.concat dir name) in
+      output_string oc contents;
+      close_out oc)
+    (to_csv f)

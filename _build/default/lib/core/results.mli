@@ -1,0 +1,29 @@
+(** Result containers and rendering for the paper's tables and figures. *)
+
+type panel = {
+  title : string;
+  x_label : string;
+  columns : string list;
+  rows : (float * float list) list;
+}
+
+type figure = { id : string; caption : string; panels : panel list }
+
+val panel :
+  title:string -> x_label:string -> columns:string list -> rows:(float * float list) list -> panel
+
+val figure : id:string -> caption:string -> panel list -> figure
+
+val render : figure -> string
+
+val print : figure -> unit
+
+val text_figure : id:string -> caption:string -> string -> figure
+(** A figure whose body is preformatted text (tables 1 and 3). *)
+
+val to_csv : figure -> (string * string) list
+(** One CSV per panel: [(filename, contents)] with an x column followed by
+    one column per series — ready for gnuplot/pandas. *)
+
+val save_csv : dir:string -> figure -> unit
+(** Write the CSVs under [dir] (created if missing). *)

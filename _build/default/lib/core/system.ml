@@ -1,0 +1,686 @@
+open Repro_util
+open Repro_crypto
+open Repro_sim
+open Repro_consensus
+open Repro_ledger
+open Repro_shard
+
+type coordination_mode = With_reference | Client_driven
+
+type concurrency_control =
+  | Two_phase_locking  (** the paper's 2PL: conflicting prepares vote NotOK *)
+  | Wait_die
+      (** Section 6.4's optimization opportunity: an older transaction
+          whose prepare hits a lock parks and retries when the lock frees
+          (younger ones still die, so no deadlocks) *)
+
+type config = {
+  shards : int;
+  committee_size : int;
+  variant : Config.variant;
+  topology : Topology.t;
+  cpu_scale : float;
+  mode : coordination_mode;
+  concurrency : concurrency_control;
+  seed : int64;
+  tune : Config.t -> Config.t;
+  client_fallback_timeout : float;
+}
+
+let default_config ~shards ~committee_size =
+  {
+    shards;
+    committee_size;
+    variant = Config.ahl_plus;
+    topology = Topology.lan ();
+    cpu_scale = 1.0;
+    mode = With_reference;
+    concurrency = Two_phase_locking;
+    seed = 1L;
+    tune = Fun.id;
+    client_fallback_timeout = 5.0;
+  }
+
+type tx_outcome = Committed | Aborted
+
+type committee_ctx = {
+  index : int; (* 0..shards-1, or [shards] for R *)
+  base : int; (* global node id of member 0 *)
+  pbft : Pbft.committee;
+  nodes : Pbft.msg Node.t array;
+  state : State.t;
+  chain : Block.Chain.chain;
+  cmetrics : Metrics.t;
+  applied : (int * int, unit) Hashtbl.t;
+      (* (txid, phase) pairs already executed — client retries after
+         request loss make re-delivery possible, execution must be
+         idempotent *)
+  parked : (int, Tx.op list * Types.request) Hashtbl.t;
+      (* wait-die: prepares waiting for a lock, retried on releases *)
+  mutable state_commit : Sha256.digest;
+      (* rolling state commitment chained per block; recomputing the full
+         Merkle root over the whole state each block would be O(state) *)
+}
+
+(* Book-keeping for one in-flight cross-shard transaction. *)
+type tx_record = {
+  tx : Tx.t;
+  participant_shards : int list;
+  mutable decided : bool;
+  mutable legs_left : int;
+  legs_done : (int, unit) Hashtbl.t;
+  mutable outcome : tx_outcome;
+  mutable relaying : bool; (* false once a malicious client went silent *)
+  on_done : tx_outcome -> unit;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  network : Pbft.msg Network.t;
+  registry : Coordination.registry;
+  mutable committees : committee_ctx array; (* shards, then optionally R last *)
+  refsm : Reference.t option;
+  metrics : Metrics.t; (* transaction-level *)
+  inflight : (int, tx_record) Hashtbl.t;
+  client_votes : (int, (int, bool) Hashtbl.t) Hashtbl.t;
+      (* per-tx vote collection when the client itself coordinates *)
+  mutable next_req : int;
+  rng : Rng.t;
+}
+
+let ref_index t = t.cfg.shards
+
+let has_reference t = t.cfg.mode = With_reference
+
+let engine t = t.engine
+
+let shards t = t.cfg.shards
+
+let committee_size t = t.cfg.committee_size
+
+let shard_state t s = t.committees.(s).state
+
+let shard_chain t s = t.committees.(s).chain
+
+let reference_machine t = t.refsm
+
+(* ------------------------------------------------------------------ *)
+(* Request plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_req t ~client ~op_tag =
+  let req_id = t.next_req in
+  t.next_req <- req_id + 1;
+  Types.request ~req_id ~client ~submitted:(Engine.now t.engine) ~op_tag ()
+
+(* Submit a coordination step as a consensus request to a committee, via a
+   deterministic entry replica (clients talk to one peer, AHL+ forwards). *)
+let send_to_committee t ~committee ~client op =
+  let ctx = t.committees.(committee) in
+  let op_tag = Coordination.register t.registry op in
+  let req = fresh_req t ~client ~op_tag in
+  (* Clients notice an unresponsive peer (dead TCP connection) and try the
+     next one, so entry requests go to a live member. *)
+  let n = Array.length ctx.nodes in
+  let member =
+    let start = req.Types.req_id mod n in
+    let rec probe i =
+      if i >= n then start
+      else
+        let m = (start + i) mod n in
+        if Node.is_crashed ctx.nodes.(m) then probe (i + 1) else m
+    in
+    probe 0
+  in
+  let dst = ctx.base + member in
+  let msg = Pbft.submit_via ctx.pbft ~member req in
+  let region = Topology.region_of_node t.cfg.topology dst in
+  Network.send_external t.network ~src_region:region ~dst ~channel:Pbft.request_channel
+    ~bytes:(240 + (40 * match op with
+                        | Coordination.Single { ops; _ }
+                        | Coordination.Prepare_tx { ops; _ }
+                        | Coordination.Commit_tx { ops; _ }
+                        | Coordination.Abort_tx { ops; _ } -> List.length ops
+                        | Coordination.Begin_tx _ | Coordination.Vote _ -> 1))
+    msg
+
+(* ------------------------------------------------------------------ *)
+(* Coordination driver (the client relay + R fallback)                 *)
+(* ------------------------------------------------------------------ *)
+
+let finish_leg t txid shard =
+  match Hashtbl.find_opt t.inflight txid with
+  | None -> ()
+  | Some rec_ when Hashtbl.mem rec_.legs_done shard -> ignore rec_
+  | Some rec_ ->
+      Hashtbl.replace rec_.legs_done shard ();
+      rec_.legs_left <- rec_.legs_left - 1;
+      if rec_.legs_left <= 0 then begin
+        Hashtbl.remove t.inflight txid;
+        (match rec_.outcome with
+        | Committed ->
+            Metrics.commit t.metrics ~count:1;
+            Metrics.commit_latency t.metrics ~submitted:rec_.tx.Tx.submitted
+        | Aborted -> Metrics.abort t.metrics ~count:1);
+        rec_.on_done rec_.outcome
+      end
+
+let dispatch_decision t txid ok =
+  match Hashtbl.find_opt t.inflight txid with
+  | None -> ()
+  | Some rec_ ->
+      if not rec_.decided then begin
+        rec_.decided <- true;
+        rec_.outcome <- (if ok then Committed else Aborted);
+        rec_.legs_left <- List.length rec_.participant_shards;
+        List.iter
+          (fun shard ->
+            let ops = Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard in
+            let op =
+              if ok then Coordination.Commit_tx { txid; ops }
+              else Coordination.Abort_tx { txid; ops }
+            in
+            send_to_committee t ~committee:shard ~client:rec_.tx.Tx.client op)
+          rec_.participant_shards
+      end
+
+let dispatch_prepares t txid =
+  match Hashtbl.find_opt t.inflight txid with
+  | None -> ()
+  | Some rec_ ->
+      List.iter
+        (fun shard ->
+          let ops = Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard in
+          send_to_committee t ~committee:shard ~client:rec_.tx.Tx.client
+            (Coordination.Prepare_tx { txid; ops }))
+        rec_.participant_shards
+
+(* Client-driven vote collection (OmniLedger mode). *)
+let on_client_vote t txid shard ok =
+  match Hashtbl.find_opt t.inflight txid with
+  | None -> ()
+  | Some rec_ when rec_.relaying ->
+      let votes =
+        match Hashtbl.find_opt t.client_votes txid with
+        | Some v -> v
+        | None ->
+            let v = Hashtbl.create 4 in
+            Hashtbl.replace t.client_votes txid v;
+            v
+      in
+      Hashtbl.replace votes shard ok;
+      let all_in = Hashtbl.length votes = List.length rec_.participant_shards in
+      let any_nok = Hashtbl.fold (fun _ ok acc -> acc || not ok) votes false in
+      if any_nok || all_in then begin
+        Hashtbl.remove t.client_votes txid;
+        dispatch_decision t txid (not any_nok)
+      end
+  | Some _ -> () (* malicious client: locks stay, nobody decides *)
+
+(* ------------------------------------------------------------------ *)
+(* Execution at committee observers                                    *)
+(* ------------------------------------------------------------------ *)
+
+let record_block t ctx batch =
+  let txs = List.map (fun (r : Types.request) -> Printf.sprintf "req-%d" r.Types.req_id) batch in
+  ctx.state_commit <-
+    Sha256.digest_concat (Sha256.to_raw ctx.state_commit :: txs);
+  ignore
+    (Block.Chain.append ctx.chain ~txs ~state_root:ctx.state_commit
+       ~timestamp:(Engine.now t.engine))
+
+(* Deliver a shard's quorum answer for a prepare to whoever coordinates. *)
+let emit_vote t ctx (req : Types.request) ~txid ~ok =
+  match t.cfg.mode with
+  | With_reference -> (
+      match Hashtbl.find_opt t.inflight txid with
+      | Some rec_ when rec_.relaying ->
+          send_to_committee t ~committee:(ref_index t) ~client:req.Types.client
+            (Coordination.Vote { txid; shard = ctx.index; ok })
+      | Some _ | None ->
+          (* Silent client: R's fallback sweep reads the chain instead. *)
+          ())
+  | Client_driven -> on_client_vote t txid ctx.index ok
+
+(* Wait-die retry: lock releases wake parked prepares in txid order. *)
+let retry_parked t ctx =
+  let waiting = Hashtbl.fold (fun txid v acc -> (txid, v) :: acc) ctx.parked [] in
+  List.iter
+    (fun (txid, (ops, req)) ->
+      match Executor.try_prepare ctx.state ~txid ops with
+      | Ok () ->
+          Hashtbl.remove ctx.parked txid;
+          emit_vote t ctx req ~txid ~ok:true
+      | Error (Executor.Insufficient _) ->
+          Hashtbl.remove ctx.parked txid;
+          emit_vote t ctx req ~txid ~ok:false
+      | Error (Executor.Lock_conflict _) -> ())
+    (List.sort compare waiting)
+
+let execute_on_shard t ctx (req : Types.request) =
+  match Coordination.lookup t.registry req.Types.op_tag with
+  | None -> ()
+  | Some op -> (
+      match op with
+      (* Client retries can re-deliver any step; state-changing ones are
+         applied at most once per (txid, step). *)
+      | Coordination.Single { txid; _ } when Hashtbl.mem ctx.applied (txid, 0) -> ()
+      | Coordination.Commit_tx { txid; _ } when Hashtbl.mem ctx.applied (txid, 1) -> ()
+      | Coordination.Abort_tx { txid; _ } when Hashtbl.mem ctx.applied (txid, 2) -> ()
+      | Coordination.Prepare_tx { txid; _ }
+        when Hashtbl.mem ctx.applied (txid, 1) || Hashtbl.mem ctx.applied (txid, 2) ->
+          (* A retried prepare arriving after the decision must not
+             re-acquire locks the commit/abort already released. *)
+          ()
+      | Coordination.Single { txid; ops } -> (
+          Hashtbl.replace ctx.applied (txid, 0) ();
+          match Executor.execute_single ctx.state ~txid ops with
+          | Ok () -> (
+              match Hashtbl.find_opt t.inflight txid with
+              | Some rec_ ->
+                  Hashtbl.remove t.inflight txid;
+                  Metrics.commit t.metrics ~count:1;
+                  Metrics.commit_latency t.metrics ~submitted:rec_.tx.Tx.submitted;
+                  rec_.on_done Committed
+              | None -> ())
+          | Error _ -> (
+              match Hashtbl.find_opt t.inflight txid with
+              | Some rec_ ->
+                  Hashtbl.remove t.inflight txid;
+                  Metrics.abort t.metrics ~count:1;
+                  rec_.on_done Aborted
+              | None -> ()))
+      | Coordination.Prepare_tx { txid; ops } -> (
+          (* The client reads the vote off the shard's chain and relays. *)
+          match Executor.try_prepare ctx.state ~txid ops with
+          | Ok () -> emit_vote t ctx req ~txid ~ok:true
+          | Error (Executor.Insufficient _) -> emit_vote t ctx req ~txid ~ok:false
+          | Error (Executor.Lock_conflict { holder; _ }) -> (
+              match t.cfg.concurrency with
+              | Two_phase_locking -> emit_vote t ctx req ~txid ~ok:false
+              | Wait_die ->
+                  if txid < holder && not (Hashtbl.mem ctx.parked txid) then begin
+                    (* Older waits; a park timeout bounds the wait. *)
+                    Hashtbl.replace ctx.parked txid (ops, req);
+                    Engine.schedule t.engine ~delay:4.0 (fun () ->
+                        match Hashtbl.find_opt ctx.parked txid with
+                        | Some (_, req) ->
+                            Hashtbl.remove ctx.parked txid;
+                            emit_vote t ctx req ~txid ~ok:false
+                        | None -> ())
+                  end
+                  else emit_vote t ctx req ~txid ~ok:false))
+      | Coordination.Commit_tx { txid; ops } ->
+          Hashtbl.replace ctx.applied (txid, 1) ();
+          Executor.commit ctx.state ~txid ops;
+          Hashtbl.remove ctx.parked txid;
+          finish_leg t txid ctx.index;
+          if t.cfg.concurrency = Wait_die then retry_parked t ctx
+      | Coordination.Abort_tx { txid; ops } ->
+          Hashtbl.replace ctx.applied (txid, 2) ();
+          Executor.abort ctx.state ~txid ops;
+          Hashtbl.remove ctx.parked txid;
+          finish_leg t txid ctx.index;
+          if t.cfg.concurrency = Wait_die then retry_parked t ctx
+      | Coordination.Begin_tx _ | Coordination.Vote _ -> () (* reference-only ops *))
+
+let rec execute_on_reference t (req : Types.request) =
+  let refsm = Option.get t.refsm in
+  match Coordination.lookup t.registry req.Types.op_tag with
+  | None -> ()
+  | Some op -> (
+      match op with
+      | Coordination.Begin_tx { txid; participants } -> (
+          match Reference.step refsm ~txid (Reference.Begin { participants }) with
+          | Reference.Now_started -> (
+              match Hashtbl.find_opt t.inflight txid with
+              | None -> ()
+              | Some rec_ ->
+                  if rec_.relaying then dispatch_prepares t txid
+                  else
+                    (* Fallback: R's nodes dispatch PrepareTx themselves if
+                       the client relay stays silent. *)
+                    Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout (fun () ->
+                        match Reference.state_of refsm ~txid with
+                        | Some (Reference.Preparing _) | Some Reference.Started ->
+                            dispatch_prepares t txid;
+                            (* And collect the votes by watching the shard
+                               chains: model as a second fallback sweep. *)
+                            Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout
+                              (fun () -> fallback_collect t txid)
+                        | Some Reference.Committed | Some Reference.Aborted | None -> ()))
+          | Reference.No_change | Reference.Now_committed | Reference.Now_aborted -> ())
+      | Coordination.Vote { txid; shard; ok } -> (
+          let event =
+            if ok then Reference.Prepare_ok { shard } else Reference.Prepare_not_ok { shard }
+          in
+          match Reference.step refsm ~txid event with
+          | Reference.Now_committed -> dispatch_decision t txid true
+          | Reference.Now_aborted -> dispatch_decision t txid false
+          | Reference.No_change | Reference.Now_started -> ())
+      | Coordination.Single _ | Coordination.Prepare_tx _ | Coordination.Commit_tx _
+      | Coordination.Abort_tx _ ->
+          ())
+
+(* When the client never relays votes, R's members read the participants'
+   chains directly: re-run the prepare decision against the shard state
+   (deterministic) and inject the votes. *)
+and fallback_collect t txid =
+  match Hashtbl.find_opt t.inflight txid with
+  | None -> ()
+  | Some rec_ ->
+      if not rec_.decided then
+        List.iter
+          (fun shard ->
+            let ctx = t.committees.(shard) in
+            let locks = Locks.create ctx.state in
+            let keys =
+              List.sort_uniq compare
+                (List.map Tx.key_of_op (Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard))
+            in
+            let ok = List.for_all (fun k -> Locks.holder locks k = Some txid) keys in
+            send_to_committee t ~committee:(ref_index t) ~client:rec_.tx.Tx.client
+              (Coordination.Vote { txid; shard; ok }))
+          rec_.participant_shards
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create cfg =
+  let engine = Engine.create ~seed:cfg.seed in
+  let keystore = Keys.create_keystore (Engine.rng engine) in
+  let network = Network.create engine ~topology:cfg.topology in
+  let registry = Coordination.create_registry () in
+  let metrics = Metrics.create engine in
+  let committee_count = cfg.shards + (if cfg.mode = With_reference then 1 else 0) in
+  let t =
+    {
+      cfg;
+      engine;
+      network;
+      registry;
+      committees = [||];
+      refsm = (if cfg.mode = With_reference then Some (Reference.create ()) else None);
+      metrics;
+      inflight = Hashtbl.create 1024;
+      client_votes = Hashtbl.create 64;
+      next_req = 0;
+      rng = Rng.split_named (Engine.rng engine) "system";
+    }
+  in
+  let make_committee index =
+    let n = cfg.committee_size in
+    let base = index * n in
+    let pbft_cfg = cfg.tune (Config.default cfg.variant ~n) in
+    let cmetrics = Metrics.create engine in
+    let ctx_ref = ref None in
+    let nodes =
+      Array.init n (fun member ->
+          Node.create engine ~id:(base + member) ~inbox_mode:(Config.inbox_mode pbft_cfg)
+            ~handler:(fun _node msg ->
+              match !ctx_ref with
+              | Some ctx -> Pbft.handle ctx.pbft ~member msg
+              | None -> ()))
+    in
+    Array.iter (Network.register network) nodes;
+    let send ~src ~dst ~channel ~bytes m =
+      Network.send network ~src:nodes.(src) ~dst:(base + dst) ~channel ~bytes m
+    in
+    let charge ~member cost = Node.charge nodes.(member) (cost *. cfg.cpu_scale) in
+    let state = State.create () in
+    let chain = Block.Chain.create ~state_root:(State.root state) in
+    let execute ~member ~seq:_ batch =
+      match !ctx_ref with
+      | None -> ()
+      | Some ctx ->
+          if member = Pbft.observer ctx.pbft && batch <> [] then begin
+            List.iter
+              (fun req ->
+                if ctx.index = cfg.shards then execute_on_reference t req
+                else execute_on_shard t ctx req)
+              batch;
+            record_block t ctx batch
+          end
+    in
+    let pbft =
+      Pbft.create ~engine ~keystore ~costs:Cost_model.default ~config:pbft_cfg
+        ~faults:(Faults.honest n) ~metrics:cmetrics ~enclave_base_id:base ~send ~charge ~execute
+    in
+    let ctx =
+      {
+        index;
+        base;
+        pbft;
+        nodes;
+        state;
+        chain;
+        cmetrics;
+        applied = Hashtbl.create 1024;
+        parked = Hashtbl.create 64;
+        state_commit = State.root state;
+      }
+    in
+    ctx_ref := Some ctx;
+    Pbft.set_alive pbft (fun member -> not (Node.is_crashed nodes.(member)));
+    Pbft.start pbft;
+    ctx
+  in
+  t.committees <- Array.init committee_count make_committee;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* An honest client retries until its transaction finishes: requests can
+   be lost at crashed or transitioning replicas, and every coordination
+   step is idempotent, so re-driving from the top is safe. *)
+let client_retry_period = 25.0
+
+let rec arm_retry t txid =
+  Engine.schedule t.engine ~delay:client_retry_period (fun () ->
+      match Hashtbl.find_opt t.inflight txid with
+      | None -> ()
+      | Some rec_ when not rec_.relaying -> ignore rec_ (* malicious: stays silent *)
+      | Some rec_ ->
+          (match rec_.participant_shards with
+          | [ shard ] when not rec_.decided ->
+              send_to_committee t ~committee:shard ~client:rec_.tx.Tx.client
+                (Coordination.Single { txid; ops = rec_.tx.Tx.ops })
+          | _ when rec_.decided ->
+              (* Re-send the decision to the legs that have not landed. *)
+              List.iter
+                (fun shard ->
+                  if not (Hashtbl.mem rec_.legs_done shard) then begin
+                    let ops = Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard in
+                    let op =
+                      if rec_.outcome = Committed then Coordination.Commit_tx { txid; ops }
+                      else Coordination.Abort_tx { txid; ops }
+                    in
+                    send_to_committee t ~committee:shard ~client:rec_.tx.Tx.client op
+                  end)
+                rec_.participant_shards
+          | _ -> (
+              match t.cfg.mode with
+              | With_reference ->
+                  send_to_committee t ~committee:(ref_index t) ~client:rec_.tx.Tx.client
+                    (Coordination.Begin_tx { txid; participants = rec_.participant_shards });
+                  dispatch_prepares t txid
+              | Client_driven -> dispatch_prepares t txid));
+          arm_retry t txid)
+
+let submit t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
+  let txid = tx.Tx.txid in
+  let touched = Tx.shards_touched ~shards:t.cfg.shards tx in
+  match touched with
+  | [] -> on_done Aborted
+  | [ shard ] ->
+      Hashtbl.replace t.inflight txid
+        {
+          tx;
+          participant_shards = touched;
+          decided = false;
+          legs_left = 1;
+          legs_done = Hashtbl.create 4;
+          outcome = Aborted;
+          relaying = true;
+          on_done;
+        };
+      send_to_committee t ~committee:shard ~client:tx.Tx.client
+        (Coordination.Single { txid; ops = tx.Tx.ops });
+      arm_retry t txid
+  | _ :: _ ->
+      let rec_ =
+        {
+          tx;
+          participant_shards = touched;
+          decided = false;
+          legs_left = List.length touched;
+          legs_done = Hashtbl.create 4;
+          outcome = Aborted;
+          relaying = not malicious_client;
+          on_done;
+        }
+      in
+      Hashtbl.replace t.inflight txid rec_;
+      (match t.cfg.mode with
+      | With_reference ->
+          send_to_committee t ~committee:(ref_index t) ~client:tx.Tx.client
+            (Coordination.Begin_tx { txid; participants = touched })
+      | Client_driven -> dispatch_prepares t txid);
+      arm_retry t txid
+
+let run t ~until = Engine.run t.engine ~until
+
+let committed t = Metrics.committed t.metrics
+
+let aborted t = Metrics.aborted t.metrics
+
+let abort_rate t = Metrics.abort_rate t.metrics
+
+let throughput t ~warmup = Metrics.throughput t.metrics ~warmup
+
+let latency_stats t = Metrics.latency_stats t.metrics
+
+let throughput_series t = Metrics.throughput_series t.metrics
+
+let view_changes t =
+  Array.fold_left (fun acc ctx -> acc + Metrics.counter ctx.cmetrics "view_changes") 0 t.committees
+
+let reference_busy_fraction t =
+  if not (has_reference t) then 0.0
+  else begin
+    let ctx = t.committees.(ref_index t) in
+    let total = Array.fold_left (fun acc node -> acc +. Node.busy_fraction node) 0.0 ctx.nodes in
+    total /. float_of_int (Array.length ctx.nodes)
+  end
+
+let stuck_locks t =
+  let count = ref 0 in
+  for s = 0 to t.cfg.shards - 1 do
+    List.iter
+      (fun k -> if String.length k > 2 && String.sub k 0 2 = "L_" then incr count)
+      (State.keys t.committees.(s).state)
+  done;
+  !count
+
+let schedule_reshard t ~at ~strategy ~fetch_time =
+  let plan_waves () =
+    (* Half of each committee's members are reassigned (two-shard swap of
+       Figure 12); what matters for throughput is how many are offline at
+       once. *)
+    let per_committee = Array.to_list (Array.map (fun ctx -> ctx.nodes) t.committees) in
+    (* Transition the tail half of each committee: the observer (member 0,
+       where state is materialized) stays, mirroring the paper's setup
+       where measurement nodes persist. *)
+    let movers_per_committee =
+      List.map
+        (fun nodes ->
+          let n = Array.length nodes in
+          List.init (n / 2) (fun i -> nodes.(n - 1 - i)))
+        per_committee
+    in
+    match strategy with
+    | `Swap_all ->
+        (* The naive approach stops *every* node, reassigns, and restarts:
+           the whole system is down for the fetch period. *)
+        [ List.concat_map Array.to_list (Array.to_list (Array.map (fun ctx -> ctx.nodes) t.committees)) ]
+    | `Batched b ->
+        (* Wave w takes movers [w·b .. w·b+b-1] from every committee, so no
+           committee ever has more than b members offline. *)
+        let max_len = List.fold_left (fun acc l -> Stdlib.max acc (List.length l)) 0 movers_per_committee in
+        let waves = (max_len + b - 1) / b in
+        List.init waves (fun w ->
+            List.concat_map
+              (fun movers ->
+                List.filteri (fun i _ -> i >= w * b && i < (w + 1) * b) movers)
+              movers_per_committee)
+  in
+  Engine.schedule_at t.engine ~time:at (fun () ->
+      let waves = plan_waves () in
+      let rec run_wave = function
+        | [] -> ()
+        | wave :: rest ->
+            List.iter Node.crash wave;
+            Engine.schedule t.engine ~delay:fetch_time (fun () ->
+                List.iter Node.recover wave;
+                run_wave rest)
+      in
+      run_wave waves)
+
+let advance_epoch t ~at ~seed ~epoch ~strategy =
+  let committees = Array.length t.committees in
+  let nodes_total = Array.fold_left (fun acc ctx -> acc + Array.length ctx.nodes) 0 t.committees in
+  let from_ = Assignment.derive ~seed ~epoch:(epoch - 1) ~nodes:nodes_total ~committees in
+  let to_ = Assignment.derive ~seed ~epoch ~nodes:nodes_total ~committees in
+  let node_of_global id =
+    (* Global ids are dense across committees in creation order. *)
+    let rec find c =
+      let ctx = t.committees.(c) in
+      if id < ctx.base + Array.length ctx.nodes then ctx.nodes.(id - ctx.base) else find (c + 1)
+    in
+    find 0
+  in
+  (* A transitioning node is down for as long as fetching + verifying its
+     destination shard's state takes (plus re-attestation of the new
+     committee, amortized). *)
+  let fetch_time step =
+    let dst = Stdlib.min step.Assignment.to_committee (t.cfg.shards - 1) in
+    let pkg = State_transfer.pack t.committees.(dst).state in
+    let transfer = State_transfer.transfer_time t.cfg.topology pkg in
+    (* Verification recomputes the Merkle root: charged at Table-2 SHA
+       throughput over the package. *)
+    let verify =
+      float_of_int (State_transfer.size_bytes pkg / 64)
+      *. Cost_model.default.Cost_model.sha256 *. t.cfg.cpu_scale
+    in
+    Float.max 1.0 (transfer +. verify +. Cost_model.default.Cost_model.remote_attestation)
+  in
+  let batch =
+    match strategy with
+    | `Swap_all -> nodes_total (* one wave containing everyone who moves *)
+    | `Batched_log -> Sizing.swap_batch_size ~n:t.cfg.committee_size
+  in
+  let waves = Assignment.transition_plan ~from_ ~to_ ~batch in
+  Engine.schedule_at t.engine ~time:at (fun () ->
+      let rec run_wave = function
+        | [] -> ()
+        | wave :: rest ->
+            let max_fetch = ref 1.0 in
+            List.iter
+              (fun step ->
+                let nd = node_of_global step.Assignment.node in
+                (* The observer replica anchors measurement; it is treated
+                   as pinned infrastructure and never transitions. *)
+                if Node.id nd mod t.cfg.committee_size <> 0 || strategy = `Swap_all then begin
+                  Node.crash nd;
+                  let ft = fetch_time step in
+                  if ft > !max_fetch then max_fetch := ft;
+                  Engine.schedule t.engine ~delay:ft (fun () -> Node.recover nd)
+                end)
+              wave;
+            Engine.schedule t.engine ~delay:!max_fetch (fun () -> run_wave rest)
+      in
+      run_wave waves)

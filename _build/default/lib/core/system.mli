@@ -1,0 +1,112 @@
+(** The sharded blockchain system: k shard committees plus an optional
+    reference committee, wired over one simulated network, with the
+    Section 6 coordination protocol on top.
+
+    Committees run the PBFT family (AHL+ by default); each committee's
+    designated observer replica materializes the shard's key-value state
+    and hash chain.  Cross-shard transactions follow Figure 5, with the
+    client relaying messages between R and the tx-committees (Section 6.3's
+    optimization) and R's own nodes falling back to direct dispatch when a
+    client goes silent, which is what defeats malicious coordinators. *)
+
+type coordination_mode =
+  | With_reference            (** 2PC state machine on a BFT committee R *)
+  | Client_driven             (** OmniLedger-style: the client decides —
+                                  unsafe under malicious clients *)
+
+type concurrency_control =
+  | Two_phase_locking  (** the paper's 2PL: conflicting prepares vote NotOK *)
+  | Wait_die
+      (** the Section 6.4 extension: an older transaction whose prepare
+          hits a lock parks (bounded wait) and retries on release; younger
+          transactions still die, so no deadlocks *)
+
+type config = {
+  shards : int;
+  committee_size : int;
+  variant : Repro_consensus.Config.variant;
+  topology : Repro_sim.Topology.t;
+  cpu_scale : float;
+  mode : coordination_mode;
+  concurrency : concurrency_control;
+  seed : int64;
+  tune : Repro_consensus.Config.t -> Repro_consensus.Config.t;
+  client_fallback_timeout : float;
+      (** how long R waits for the client relay before its nodes dispatch
+          PrepareTx/CommitTx themselves *)
+}
+
+val default_config : shards:int -> committee_size:int -> config
+
+type t
+
+type tx_outcome = Committed | Aborted
+
+val create : config -> t
+
+val engine : t -> Repro_sim.Engine.t
+
+val shards : t -> int
+
+val committee_size : t -> int
+
+val shard_state : t -> int -> Repro_ledger.State.t
+(** The observer-materialized state of a shard (for setup and assertions). *)
+
+val shard_chain : t -> int -> Repro_ledger.Block.Chain.chain
+
+val reference_machine : t -> Repro_shard.Reference.t option
+
+val submit :
+  t ->
+  ?on_done:(tx_outcome -> unit) ->
+  ?malicious_client:bool ->
+  Repro_ledger.Tx.t ->
+  unit
+(** Inject a transaction.  Single-shard transactions execute directly on
+    their committee; cross-shard ones run the coordination protocol.
+    [malicious_client] makes the submitting client stop relaying after
+    BeginTx — with a reference committee the fallback completes the
+    transaction anyway; in [Client_driven] mode its locks dangle forever. *)
+
+val run : t -> until:float -> unit
+
+val committed : t -> int
+
+val aborted : t -> int
+
+val abort_rate : t -> float
+
+val throughput : t -> warmup:float -> float
+(** Committed transactions per second. *)
+
+val latency_stats : t -> Repro_util.Stats.t
+
+val throughput_series : t -> (float * float) list
+
+val view_changes : t -> int
+(** Summed across committees. *)
+
+val reference_busy_fraction : t -> float
+(** Mean CPU utilization of the reference committee's replicas (0 when
+    running without R) — the bottleneck measure of Figure 13. *)
+
+val stuck_locks : t -> int
+(** Lock tuples currently held across all shards; non-zero long after all
+    clients finished indicates the OmniLedger blocking problem. *)
+
+val schedule_reshard :
+  t -> at:float -> strategy:[ `Swap_all | `Batched of int ] -> fetch_time:float -> unit
+(** Epoch transition (Section 5.3): transitioning replicas go offline for
+    [fetch_time] (state synchronization) either all at once or in batches
+    of the given size per committee. *)
+
+val advance_epoch :
+  t -> at:float -> seed:int64 -> epoch:int -> strategy:[ `Swap_all | `Batched_log ] -> unit
+(** The full Section 5 pipeline: derive the epoch's node-to-committee
+    assignment from the beacon seed ({!Repro_shard.Assignment.derive}),
+    plan the transition in waves of B = log₂(n)
+    ({!Repro_shard.Sizing.swap_batch_size}), and take each transitioning
+    replica offline for the time needed to fetch and verify its new
+    shard's state ({!Repro_shard.State_transfer}).  [`Swap_all] is the
+    naive everyone-at-once strategy. *)

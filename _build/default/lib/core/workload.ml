@@ -1,0 +1,95 @@
+open Repro_util
+open Repro_ledger
+
+type kind =
+  | Kvstore of { updates_per_tx : int }
+  | Smallbank
+
+type t = {
+  kind : kind;
+  keyspace : int;
+  zipf : Zipf.t;
+  rng : Rng.t;
+  mutable next_txid : int;
+  mutable generated : int;
+  mutable cross_shard : int;
+}
+
+let create kind ~keyspace ~theta ~rng =
+  {
+    kind;
+    keyspace;
+    zipf = Zipf.create ~n:keyspace ~theta;
+    rng = Rng.split_named rng "workload";
+    next_txid = 0;
+    generated = 0;
+    cross_shard = 0;
+  }
+
+let account i = "acc" ^ string_of_int i
+
+let setup t system ~initial_balance =
+  match t.kind with
+  | Kvstore _ -> ()
+  | Smallbank ->
+      let shards = System.shards system in
+      for i = 0 to t.keyspace - 1 do
+        let acc = account i in
+        List.iter
+          (fun key ->
+            let shard = Tx.shard_of_key ~shards key in
+            Executor.set_balance (System.shard_state system shard) key initial_balance)
+          [ Smallbank_cc.checking_key acc; Smallbank_cc.savings_key acc ]
+      done
+
+let distinct_keys t count =
+  let rec draw acc =
+    if List.length acc >= count then acc
+    else begin
+      let k = Zipf.sample t.zipf t.rng in
+      if List.mem k acc then
+        (* Fall back to uniform so high skew cannot loop forever. *)
+        let k' = Rng.int t.rng t.keyspace in
+        draw (if List.mem k' acc then acc else k' :: acc)
+      else draw (k :: acc)
+    end
+  in
+  draw []
+
+let next_tx t system ~client =
+  let txid = t.next_txid in
+  t.next_txid <- txid + 1;
+  let ops =
+    match t.kind with
+    | Kvstore { updates_per_tx } ->
+        let keys = distinct_keys t updates_per_tx in
+        List.map (fun k -> Tx.Put { key = "key" ^ string_of_int k; value = "v" ^ string_of_int txid }) keys
+    | Smallbank -> (
+        match distinct_keys t 2 with
+        | [ a; b ] ->
+            let amount = 1 + Rng.int t.rng 10 in
+            Smallbank_cc.send_payment_ops ~src:(account a) ~dst:(account b) ~amount
+        | _ -> assert false)
+  in
+  let tx =
+    Tx.make ~txid ~client ~submitted:(Repro_sim.Engine.now (System.engine system)) ops
+  in
+  t.generated <- t.generated + 1;
+  if Tx.is_cross_shard ~shards:(System.shards system) tx then
+    t.cross_shard <- t.cross_shard + 1;
+  tx
+
+let start_closed_loop t system ~clients ~outstanding =
+  let engine = System.engine system in
+  let rec submit_next client =
+    let tx = next_tx t system ~client in
+    System.submit system ~on_done:(fun _ -> submit_next client) tx
+  in
+  for client = 0 to clients - 1 do
+    for _ = 1 to outstanding do
+      Repro_sim.Engine.schedule engine ~delay:(Rng.float t.rng 1.0) (fun () -> submit_next client)
+    done
+  done
+
+let cross_shard_fraction_seen t =
+  if t.generated = 0 then 0.0 else float_of_int t.cross_shard /. float_of_int t.generated

@@ -1,0 +1,39 @@
+(** BLOCKBENCH-style workload drivers for the sharded system.
+
+    - {b KVStore}: the paper's modified driver issues 3 updates per
+      transaction on Zipf-popular keys.
+    - {b SmallBank}: [sendPayment] between two Zipf-sampled accounts
+      (reads and writes two different states).
+
+    Keys hash across shards, so the cross-shard fraction follows
+    Appendix B.  The multi-shard experiments use a closed-loop driver:
+    each client keeps a window of transactions outstanding and submits a
+    new one when one finishes. *)
+
+type kind =
+  | Kvstore of { updates_per_tx : int }
+  | Smallbank
+
+type t
+
+val create :
+  kind ->
+  keyspace:int ->
+  theta:float ->
+  rng:Repro_util.Rng.t ->
+  t
+
+val setup : t -> System.t -> initial_balance:int -> unit
+(** Materialize initial state in every shard (SmallBank account balances;
+    KVStore needs nothing). *)
+
+val next_tx : t -> System.t -> client:int -> Repro_ledger.Tx.t
+(** Generate the next transaction (fresh txid, current virtual time). *)
+
+val start_closed_loop :
+  t -> System.t -> clients:int -> outstanding:int -> unit
+(** Launch the driver: [clients] × [outstanding] windows, resubmitting on
+    completion (the modified closed-loop driver of Section 7). *)
+
+val cross_shard_fraction_seen : t -> float
+(** Fraction of generated transactions that touched ≥ 2 shards. *)

@@ -1,0 +1,1 @@
+lib/crypto/keys.ml: Array Hashtbl Int64 Repro_util Rng Sha256

@@ -1,0 +1,1 @@
+lib/crypto/keys.mli: Repro_util Sha256

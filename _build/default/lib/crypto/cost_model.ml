@@ -1,0 +1,51 @@
+type t = {
+  ecdsa_sign : float;
+  ecdsa_verify : float;
+  sha256 : float;
+  ahl_append : float;
+  ahlr_aggregate_base : float;
+  beacon_invoke : float;
+  enclave_switch : float;
+  remote_attestation : float;
+  seal : float;
+  tx_execute : float;
+  poet_cert : float;
+}
+
+let us x = x *. 1e-6
+
+let default =
+  {
+    ecdsa_sign = us 458.4;
+    ecdsa_verify = us 844.2;
+    sha256 = us 2.5;
+    ahl_append = us 465.3;
+    (* 8031.2 µs at f = 8 means base = 8031.2 - 9 * 844.2 = 433.4 µs. *)
+    ahlr_aggregate_base = us 433.4;
+    beacon_invoke = us 482.2;
+    enclave_switch = us 2.7;
+    remote_attestation = 2e-3;
+    seal = us 120.0;
+    tx_execute = us 80.0;
+    poet_cert = us 460.0;
+  }
+
+let ahlr_aggregate t ~f =
+  t.ahlr_aggregate_base +. (float_of_int (f + 1) *. t.ecdsa_verify) +. t.enclave_switch
+
+let verify_batch t n = float_of_int n *. t.ecdsa_verify
+
+let free =
+  {
+    ecdsa_sign = 0.0;
+    ecdsa_verify = 0.0;
+    sha256 = 0.0;
+    ahl_append = 0.0;
+    ahlr_aggregate_base = 0.0;
+    beacon_invoke = 0.0;
+    enclave_switch = 0.0;
+    remote_attestation = 0.0;
+    seal = 0.0;
+    tx_execute = 0.0;
+    poet_cert = 0.0;
+  }

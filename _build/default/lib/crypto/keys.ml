@@ -1,0 +1,40 @@
+open Repro_util
+
+type secret = { id : int; key64 : int64; key_bytes : string }
+
+type keystore = { rng : Rng.t; table : (int, secret) Hashtbl.t }
+
+type signature = { signer : int; auth : int64 }
+
+let create_keystore rng = { rng = Rng.split rng; table = Hashtbl.create 64 }
+
+let gen ks ~id =
+  if Hashtbl.mem ks.table id then invalid_arg "Keys.gen: principal already registered";
+  let secret = { id; key64 = Rng.next_int64 ks.rng; key_bytes = Rng.bytes ks.rng 32 } in
+  Hashtbl.replace ks.table id secret;
+  secret
+
+let gen_many ks n = Array.init n (fun id -> gen ks ~id)
+
+let id_of s = s.id
+
+(* Cheap keyed mix: the tag depends on the secret and the message tag; only
+   the handle's owner can produce it. *)
+let tag_of secret msg_tag =
+  let z = Int64.add secret.key64 (Int64.of_int msg_tag) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  Int64.logxor z (Int64.shift_right_logical z 27)
+
+let sign secret ~msg_tag = { signer = secret.id; auth = tag_of secret msg_tag }
+
+let verify ks signature ~msg_tag =
+  match Hashtbl.find_opt ks.table signature.signer with
+  | None -> false
+  | Some secret -> Int64.equal signature.auth (tag_of secret msg_tag)
+
+let sign_hmac secret payload = Sha256.hmac ~key:secret.key_bytes payload
+
+let verify_hmac ks ~id payload digest =
+  match Hashtbl.find_opt ks.table id with
+  | None -> false
+  | Some secret -> Sha256.equal (Sha256.hmac ~key:secret.key_bytes payload) digest

@@ -1,0 +1,47 @@
+(** Key management and signatures, in two strengths.
+
+    {b Simulated signatures} ([sign] / [verify]) are what protocol code in
+    the discrete-event simulator uses.  They are cheap tokens — no hashing
+    of the payload — whose *time* cost is charged to the simulated clock by
+    {!Cost_model}.  They are unforgeable within a simulation by
+    construction: the only way to obtain a valid token is to call [sign]
+    with the secret handle, and fault-injection code never hands one
+    principal another principal's handle.
+
+    {b Real signatures} ([sign_hmac] / [verify_hmac]) use HMAC-SHA256 over
+    the payload with the same secrets.  The SGX layer uses these for sealed
+    data and attestation evidence in tests, demonstrating that the token
+    scheme has a sound concrete instantiation. *)
+
+type keystore
+(** Shared registry of principals' verification material (models a PKI /
+    membership list distributed out of band in a permissioned network). *)
+
+type secret
+(** A principal's signing handle.  Never serialized. *)
+
+type signature = { signer : int; auth : int64 }
+(** A simulated signature: the claimed signer and an authentication tag. *)
+
+val create_keystore : Repro_util.Rng.t -> keystore
+
+val gen : keystore -> id:int -> secret
+(** Registers principal [id] and returns its signing handle.  Raises
+    [Invalid_argument] if [id] is already registered. *)
+
+val gen_many : keystore -> int -> secret array
+(** [gen_many ks n] registers principals [0 .. n-1]. *)
+
+val id_of : secret -> int
+
+val sign : secret -> msg_tag:int -> signature
+(** Sign a message identified by [msg_tag] (a caller-chosen structural tag,
+    e.g. [Hashtbl.hash] of the message). *)
+
+val verify : keystore -> signature -> msg_tag:int -> bool
+(** True iff the token was produced by [signer]'s handle over [msg_tag]. *)
+
+val sign_hmac : secret -> string -> Sha256.digest
+(** Real HMAC-SHA256 signature over the payload. *)
+
+val verify_hmac : keystore -> id:int -> string -> Sha256.digest -> bool

@@ -1,0 +1,56 @@
+type proof = { leaf_index : int; path : (Sha256.digest * [ `Left | `Right ]) list }
+
+let empty_root = Sha256.digest_string "\x02merkle-empty"
+
+let leaf_hash s = Sha256.digest_concat [ "\x00"; s ]
+
+let node_hash l r = Sha256.digest_concat [ "\x01"; (l : Sha256.digest :> string); (r : Sha256.digest :> string) ]
+
+(* Reduce one level: pair up siblings, promote an unpaired last node. *)
+let level_up nodes =
+  let rec pair acc = function
+    | [] -> List.rev acc
+    | [ last ] -> List.rev (last :: acc)
+    | l :: r :: rest -> pair (node_hash l r :: acc) rest
+  in
+  pair [] nodes
+
+let root leaves =
+  match leaves with
+  | [] -> empty_root
+  | _ ->
+      let rec reduce nodes =
+        match nodes with
+        | [ single ] -> single
+        | _ -> reduce (level_up nodes)
+      in
+      reduce (List.map leaf_hash leaves)
+
+let prove leaves i =
+  let n = List.length leaves in
+  if i < 0 || i >= n then invalid_arg "Merkle.prove: index out of range";
+  let rec walk nodes idx acc =
+    match nodes with
+    | [ _ ] -> List.rev acc
+    | _ ->
+        let arr = Array.of_list nodes in
+        let len = Array.length arr in
+        let sibling =
+          if idx mod 2 = 0 then if idx + 1 < len then Some (arr.(idx + 1), `Right) else None
+          else Some (arr.(idx - 1), `Left)
+        in
+        let acc = match sibling with Some s -> s :: acc | None -> acc in
+        walk (level_up nodes) (idx / 2) acc
+  in
+  { leaf_index = i; path = walk (List.map leaf_hash leaves) i [] }
+
+let verify ~root:expected ~leaf proof =
+  let digest =
+    List.fold_left
+      (fun acc (sibling, side) ->
+        match side with
+        | `Right -> node_hash acc sibling
+        | `Left -> node_hash sibling acc)
+      (leaf_hash leaf) proof.path
+  in
+  Sha256.equal digest expected

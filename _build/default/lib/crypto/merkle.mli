@@ -1,0 +1,27 @@
+(** Merkle trees over transaction lists and state snapshots.
+
+    Blocks commit to their transaction batch with a Merkle root; committee
+    members transfer shard state during epoch transitions and verify it
+    against the root (Section 5.3). *)
+
+type proof = { leaf_index : int; path : (Sha256.digest * [ `Left | `Right ]) list }
+(** Audit path from a leaf to the root.  Each step gives the sibling digest
+    and which side the sibling is on. *)
+
+val empty_root : Sha256.digest
+(** Root of an empty tree (digest of the empty string, domain-separated). *)
+
+val leaf_hash : string -> Sha256.digest
+(** Domain-separated leaf digest (prefix 0x00, RFC 6962 style, preventing
+    leaf/node confusion attacks). *)
+
+val root : string list -> Sha256.digest
+(** Root over the leaves in order.  Odd nodes are promoted (Bitcoin-style
+    duplication is avoided to prevent CVE-2012-2459-like ambiguity). *)
+
+val prove : string list -> int -> proof
+(** [prove leaves i] builds the audit path for leaf [i].
+    Raises [Invalid_argument] if out of range. *)
+
+val verify : root:Sha256.digest -> leaf:string -> proof -> bool
+(** Checks that [leaf] is at [proof.leaf_index] under [root]. *)

@@ -1,0 +1,171 @@
+type digest = string
+
+(* Round constants: first 32 bits of the fractional parts of the cube roots
+   of the first 64 primes. *)
+let k =
+  [|
+    0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
+    0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
+    0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
+    0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
+    0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+    0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
+    0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
+    0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
+    0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
+    0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+    0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l;
+  |]
+
+type state = {
+  h : int32 array; (* 8 words *)
+  buf : Bytes.t; (* 64-byte block buffer *)
+  mutable buf_len : int;
+  mutable total : int64; (* total message bytes *)
+  w : int32 array; (* 64-word message schedule, reused across blocks *)
+}
+
+let init () =
+  {
+    h =
+      [|
+        0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+        0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
+      |];
+    buf = Bytes.create 64;
+    buf_len = 0;
+    total = 0L;
+    w = Array.make 64 0l;
+  }
+
+let ( >>> ) x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let ( ^^ ) = Int32.logxor
+let ( &&& ) = Int32.logand
+let ( +% ) = Int32.add
+
+let compress st block offset =
+  let w = st.w in
+  for i = 0 to 15 do
+    let b j = Int32.of_int (Char.code (Bytes.get block (offset + (4 * i) + j))) in
+    w.(i) <-
+      Int32.logor
+        (Int32.shift_left (b 0) 24)
+        (Int32.logor (Int32.shift_left (b 1) 16) (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for i = 16 to 63 do
+    let s0 = (w.(i - 15) >>> 7) ^^ (w.(i - 15) >>> 18) ^^ Int32.shift_right_logical w.(i - 15) 3 in
+    let s1 = (w.(i - 2) >>> 17) ^^ (w.(i - 2) >>> 19) ^^ Int32.shift_right_logical w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
+  done;
+  let a = ref st.h.(0) and b = ref st.h.(1) and c = ref st.h.(2) and d = ref st.h.(3) in
+  let e = ref st.h.(4) and f = ref st.h.(5) and g = ref st.h.(6) and h = ref st.h.(7) in
+  for i = 0 to 63 do
+    let s1 = (!e >>> 6) ^^ (!e >>> 11) ^^ (!e >>> 25) in
+    let ch = (!e &&& !f) ^^ (Int32.lognot !e &&& !g) in
+    let temp1 = !h +% s1 +% ch +% k.(i) +% w.(i) in
+    let s0 = (!a >>> 2) ^^ (!a >>> 13) ^^ (!a >>> 22) in
+    let maj = (!a &&& !b) ^^ (!a &&& !c) ^^ (!b &&& !c) in
+    let temp2 = s0 +% maj in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := !d +% temp1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := temp1 +% temp2
+  done;
+  st.h.(0) <- st.h.(0) +% !a;
+  st.h.(1) <- st.h.(1) +% !b;
+  st.h.(2) <- st.h.(2) +% !c;
+  st.h.(3) <- st.h.(3) +% !d;
+  st.h.(4) <- st.h.(4) +% !e;
+  st.h.(5) <- st.h.(5) +% !f;
+  st.h.(6) <- st.h.(6) +% !g;
+  st.h.(7) <- st.h.(7) +% !h
+
+let feed st s =
+  let len = String.length s in
+  st.total <- Int64.add st.total (Int64.of_int len);
+  let pos = ref 0 in
+  (* Fill a partial block first. *)
+  if st.buf_len > 0 then begin
+    let need = 64 - st.buf_len in
+    let take = Stdlib.min need len in
+    Bytes.blit_string s 0 st.buf st.buf_len take;
+    st.buf_len <- st.buf_len + take;
+    pos := take;
+    if st.buf_len = 64 then begin
+      compress st st.buf 0;
+      st.buf_len <- 0
+    end
+  end;
+  (* Whole blocks directly from the input. *)
+  let tmp = Bytes.create 64 in
+  while len - !pos >= 64 do
+    Bytes.blit_string s !pos tmp 0 64;
+    compress st tmp 0;
+    pos := !pos + 64
+  done;
+  (* Stash the tail. *)
+  if !pos < len then begin
+    Bytes.blit_string s !pos st.buf st.buf_len (len - !pos);
+    st.buf_len <- st.buf_len + (len - !pos)
+  end
+
+let finish st =
+  let bit_len = Int64.mul st.total 8L in
+  (* Append 0x80, zero padding, and the 64-bit big-endian length. *)
+  let pad_len =
+    let rem = (st.buf_len + 1 + 8) mod 64 in
+    if rem = 0 then 0 else 64 - rem
+  in
+  let tail = Bytes.make (1 + pad_len + 8) '\x00' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set tail
+      (1 + pad_len + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len (8 * (7 - i))) 0xFFL)))
+  done;
+  feed st (Bytes.to_string tail);
+  assert (st.buf_len = 0);
+  String.init 32 (fun i ->
+      let word = st.h.(i / 4) in
+      Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word (8 * (3 - (i mod 4)))) 0xFFl)))
+
+let digest_string s =
+  let st = init () in
+  feed st s;
+  finish st
+
+let digest_concat parts =
+  let st = init () in
+  List.iter (feed st) parts;
+  finish st
+
+let to_hex d =
+  let hex = "0123456789abcdef" in
+  String.init 64 (fun i ->
+      let byte = Char.code d.[i / 2] in
+      if i mod 2 = 0 then hex.[byte lsr 4] else hex.[byte land 0xF])
+
+let of_raw_exn s =
+  if String.length s <> 32 then invalid_arg "Sha256.of_raw_exn: expected 32 bytes";
+  s
+
+let to_raw d = d
+
+let equal = String.equal
+
+let compare = String.compare
+
+let hmac ~key msg =
+  let block = 64 in
+  let key = if String.length key > block then (digest_string key : digest :> string) else key in
+  let pad c =
+    String.init block (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor c))
+  in
+  let inner = digest_concat [ pad 0x36; msg ] in
+  digest_concat [ pad 0x5c; (inner :> string) ]

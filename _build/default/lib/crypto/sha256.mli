@@ -1,0 +1,29 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    Used wherever the reproduction needs a *real* collision-resistant hash:
+    block hash pointers, Merkle roots, enclave measurements, and the
+    signature simulation's message digests.  Protocol-message authentication
+    in the simulator deliberately does not hash full payloads (its cost is
+    charged to the simulated clock instead); see {!Sig_model}. *)
+
+type digest = private string
+(** 32 raw bytes. *)
+
+val digest_string : string -> digest
+
+val digest_concat : string list -> digest
+(** Digest of the concatenation, without building the intermediate string. *)
+
+val to_hex : digest -> string
+
+val of_raw_exn : string -> digest
+(** Wraps a 32-byte string; raises [Invalid_argument] otherwise. *)
+
+val to_raw : digest -> string
+
+val equal : digest -> digest -> bool
+
+val compare : digest -> digest -> int
+
+val hmac : key:string -> string -> digest
+(** HMAC-SHA256 (RFC 2104); the basis of simulated signing and sealing. *)

@@ -1,0 +1,1 @@
+lib/ledger/block.ml: List Merkle Printf Repro_crypto Sha256

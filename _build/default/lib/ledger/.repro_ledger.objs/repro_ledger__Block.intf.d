@@ -1,0 +1,1 @@
+lib/ledger/block.mli: Repro_crypto

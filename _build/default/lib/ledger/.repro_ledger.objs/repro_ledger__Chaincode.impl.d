@@ -1,0 +1,1 @@
+lib/ledger/chaincode.ml: List State Tx

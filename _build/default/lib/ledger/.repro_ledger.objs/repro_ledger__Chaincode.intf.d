@@ -1,0 +1,1 @@
+lib/ledger/chaincode.mli: State Tx

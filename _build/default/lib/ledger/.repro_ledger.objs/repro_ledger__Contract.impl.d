@@ -1,0 +1,1 @@
+lib/ledger/contract.ml: Chaincode Executor Kvstore_cc List Printf Tx

@@ -1,0 +1,1 @@
+lib/ledger/contract.mli: Chaincode Tx

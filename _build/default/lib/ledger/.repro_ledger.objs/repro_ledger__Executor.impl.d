@@ -1,0 +1,1 @@
+lib/ledger/executor.ml: Hashtbl List Locks Option State Tx

@@ -1,0 +1,1 @@
+lib/ledger/executor.mli: State Stdlib Tx

@@ -1,0 +1,1 @@
+lib/ledger/kvstore_cc.ml: Chaincode Executor List State Tx

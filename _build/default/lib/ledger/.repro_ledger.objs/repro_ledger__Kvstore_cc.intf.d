@@ -1,0 +1,1 @@
+lib/ledger/kvstore_cc.mli: Chaincode Tx

@@ -1,0 +1,1 @@
+lib/ledger/locks.ml: List State String

@@ -1,0 +1,1 @@
+lib/ledger/locks.mli: State

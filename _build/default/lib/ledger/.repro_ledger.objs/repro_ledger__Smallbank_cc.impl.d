@@ -1,0 +1,1 @@
+lib/ledger/smallbank_cc.ml: Chaincode Executor Kvstore_cc List State String Tx

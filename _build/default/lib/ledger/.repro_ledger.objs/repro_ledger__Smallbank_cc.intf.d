@@ -1,0 +1,1 @@
+lib/ledger/smallbank_cc.mli: Chaincode State Tx

@@ -1,0 +1,1 @@
+lib/ledger/state.ml: Hashtbl List Merkle Option Printf Repro_crypto

@@ -1,0 +1,1 @@
+lib/ledger/tx.ml: Buffer Char Format List Printf Repro_crypto Sha256 String

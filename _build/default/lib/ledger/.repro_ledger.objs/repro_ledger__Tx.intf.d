@@ -1,0 +1,1 @@
+lib/ledger/tx.mli: Format Repro_crypto

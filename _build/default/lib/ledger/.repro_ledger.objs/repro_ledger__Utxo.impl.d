@@ -1,0 +1,1 @@
+lib/ledger/utxo.ml: Hashtbl List Option Printf

@@ -1,0 +1,72 @@
+open Repro_crypto
+
+type header = {
+  height : int;
+  parent : Sha256.digest;
+  tx_root : Sha256.digest;
+  state_root : Sha256.digest;
+  timestamp : float;
+}
+
+type t = { header : header; txs : string list }
+
+let zero = Sha256.digest_string "genesis-parent"
+
+let header_bytes h =
+  Printf.sprintf "%d|%s|%s|%s|%.6f" h.height
+    (Sha256.to_hex h.parent) (Sha256.to_hex h.tx_root) (Sha256.to_hex h.state_root) h.timestamp
+
+let hash t = Sha256.digest_string (header_bytes t.header)
+
+let genesis state_root =
+  {
+    header =
+      { height = 0; parent = zero; tx_root = Merkle.root []; state_root; timestamp = 0.0 };
+    txs = [];
+  }
+
+let next ~parent ~txs ~state_root ~timestamp =
+  {
+    header =
+      {
+        height = parent.header.height + 1;
+        parent = hash parent;
+        tx_root = Merkle.root txs;
+        state_root;
+        timestamp;
+      };
+    txs;
+  }
+
+let verify_link ~parent ~child =
+  child.header.height = parent.header.height + 1
+  && Sha256.equal child.header.parent (hash parent)
+  && Sha256.equal child.header.tx_root (Merkle.root child.txs)
+
+let tx_proof t i = Merkle.prove t.txs i
+
+let verify_tx t ~tx proof = Merkle.verify ~root:t.header.tx_root ~leaf:tx proof
+
+module Chain = struct
+  type chain = { mutable blocks : t list (* newest first *) }
+
+  let create ~state_root = { blocks = [ genesis state_root ] }
+
+  let tip c = List.hd c.blocks
+
+  let append c ~txs ~state_root ~timestamp =
+    let block = next ~parent:(tip c) ~txs ~state_root ~timestamp in
+    c.blocks <- block :: c.blocks;
+    block
+
+  let height c = (tip c).header.height
+
+  let at c h = List.find_opt (fun b -> b.header.height = h) c.blocks
+
+  let validate c =
+    let rec walk = function
+      | [] | [ _ ] -> true
+      | child :: (parent :: _ as rest) -> verify_link ~parent ~child && walk rest
+    in
+    walk c.blocks
+end

@@ -1,0 +1,24 @@
+type invocation = { fn : string; args : string list }
+
+type response = Success of string | Failure of string
+
+type t = { name : string; handler : State.t -> txid:int -> invocation -> response }
+
+let name t = t.name
+
+let define ~name handler = { name; handler }
+
+let invoke t state ~txid inv = t.handler state ~txid inv
+
+let op_to_args op =
+  match op with
+  | Tx.Put { key; value } -> [ "put"; key; value ]
+  | Tx.Get { key } -> [ "get"; key ]
+  | Tx.Debit { account; amount } -> [ "debit"; account; string_of_int amount ]
+  | Tx.Credit { account; amount } -> [ "credit"; account; string_of_int amount ]
+
+let functions_of_ops ~txid ~phase ops =
+  let fn =
+    match phase with `Prepare -> "prepare" | `Commit -> "commit" | `Abort -> "abort"
+  in
+  { fn; args = string_of_int txid :: List.concat_map op_to_args ops }

@@ -1,0 +1,101 @@
+type vote = Prepare_ok | Prepare_not_ok of string
+
+type prepare_error =
+  | Lock_conflict of { key : string; holder : int }
+  | Insufficient of string
+
+let balance state account =
+  match State.get_data state account with
+  | None -> 0
+  | Some data -> Option.value (int_of_string_opt data) ~default:0
+
+let set_balance state account v = State.put state account (string_of_int v)
+
+(* Net effect of this transaction's local ops per account, so a prepare can
+   validate a debit that is funded by a credit in the same transaction. *)
+let net_deltas ops =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let upd account d =
+        Hashtbl.replace table account (d + Option.value (Hashtbl.find_opt table account) ~default:0)
+      in
+      match op with
+      | Tx.Debit { account; amount } -> upd account (-amount)
+      | Tx.Credit { account; amount } -> upd account amount
+      | Tx.Put _ | Tx.Get _ -> ())
+    ops;
+  table
+
+let validate state ops =
+  let deltas = net_deltas ops in
+  Hashtbl.fold
+    (fun account delta acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> if balance state account + delta < 0 then Some account else None)
+    deltas None
+
+let try_prepare state ~txid ops =
+  let locks = Locks.create state in
+  let keys = List.sort_uniq compare (List.map Tx.key_of_op ops) in
+  if not (Locks.acquire_all locks ~txid keys) then begin
+    (* Report the first conflicting key and its holder. *)
+    let conflict =
+      List.find_map
+        (fun key ->
+          match Locks.holder locks key with
+          | Some holder when holder <> txid -> Some (Lock_conflict { key; holder })
+          | Some _ | None -> None)
+        keys
+    in
+    Error (Option.value conflict ~default:(Lock_conflict { key = "?"; holder = -1 }))
+  end
+  else
+    match validate state ops with
+    | Some account ->
+        Locks.release_all locks ~txid keys;
+        Error (Insufficient account)
+    | None -> Ok ()
+
+let prepare state ~txid ops =
+  match try_prepare state ~txid ops with
+  | Ok () -> Prepare_ok
+  | Error (Lock_conflict _) -> Prepare_not_ok "lock conflict"
+  | Error (Insufficient account) -> Prepare_not_ok ("insufficient funds: " ^ account)
+
+let apply state ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Tx.Put { key; value } -> State.put state key value
+      | Tx.Get _ -> ()
+      | Tx.Debit { account; amount } -> set_balance state account (balance state account - amount)
+      | Tx.Credit { account; amount } -> set_balance state account (balance state account + amount))
+    ops
+
+let locked_by_us state ~txid ops =
+  let locks = Locks.create state in
+  List.for_all
+    (fun key -> Locks.holder locks key = Some txid)
+    (List.sort_uniq compare (List.map Tx.key_of_op ops))
+
+let commit state ~txid ops =
+  if locked_by_us state ~txid ops then begin
+    apply state ops;
+    let locks = Locks.create state in
+    Locks.release_all locks ~txid (List.sort_uniq compare (List.map Tx.key_of_op ops))
+  end
+
+let abort state ~txid ops =
+  let locks = Locks.create state in
+  Locks.release_all locks ~txid (List.sort_uniq compare (List.map Tx.key_of_op ops))
+
+let execute_single state ~txid ops =
+  match prepare state ~txid ops with
+  | Prepare_not_ok reason ->
+      abort state ~txid ops;
+      Error reason
+  | Prepare_ok ->
+      commit state ~txid ops;
+      Ok ()

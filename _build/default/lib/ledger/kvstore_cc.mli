@@ -1,0 +1,20 @@
+(** The BLOCKBENCH KVStore chaincode, sharded per Section 6.3.
+
+    Functions:
+    - ["write" ; key; value] — single-shard write
+    - ["read" ; key]
+    - ["prepare"; txid; (op triples)...] — acquire lock tuples, validate
+    - ["commit" ; txid; ...] — apply writes, drop locks
+    - ["abort"  ; txid; ...] — drop locks *)
+
+val chaincode : Chaincode.t
+
+val with_tx :
+  string list -> (int -> Tx.op list -> Chaincode.response) -> Chaincode.response
+(** Decode [txid :: flat-op-args] produced by
+    {!Chaincode.functions_of_ops}; shared by chaincodes implementing the
+    prepare/commit/abort split. *)
+
+val ops_of_update : keys:string list -> value:string -> Tx.op list
+(** The multi-key update transaction the paper's modified KVStore driver
+    issues (3 updates per transaction). *)

@@ -1,0 +1,44 @@
+open Repro_crypto
+
+type value = { data : string; version : int }
+
+type t = { table : (string, value) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 256 }
+
+let get t key = Hashtbl.find_opt t.table key
+
+let get_data t key = Option.map (fun v -> v.data) (get t key)
+
+let put t key data =
+  let version = match get t key with Some v -> v.version + 1 | None -> 0 in
+  Hashtbl.replace t.table key { data; version }
+
+let delete t key = Hashtbl.remove t.table key
+
+let mem t key = Hashtbl.mem t.table key
+
+let size t = Hashtbl.length t.table
+
+let keys t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
+let snapshot t =
+  List.map (fun k -> (k, Hashtbl.find t.table k)) (keys t)
+
+let root t =
+  let leaves =
+    List.map (fun (k, v) -> Printf.sprintf "%s=%s@%d" k v.data v.version) (snapshot t)
+  in
+  Merkle.root leaves
+
+let restore entries =
+  let t = create () in
+  List.iter (fun (k, v) -> Hashtbl.replace t.table k v) entries;
+  t
+
+let equal a b =
+  size a = size b
+  && List.for_all2
+       (fun (ka, va) (kb, vb) -> ka = kb && va.data = vb.data && va.version = vb.version)
+       (snapshot a) (snapshot b)

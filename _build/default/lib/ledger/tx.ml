@@ -1,0 +1,136 @@
+open Repro_crypto
+
+type op =
+  | Put of { key : string; value : string }
+  | Get of { key : string }
+  | Debit of { account : string; amount : int }
+  | Credit of { account : string; amount : int }
+
+type t = {
+  txid : int;
+  ops : op list;
+  client : int;
+  submitted : float;
+}
+
+let make ~txid ?(client = 0) ?(submitted = 0.0) ops = { txid; ops; client; submitted }
+
+let key_of_op = function
+  | Put { key; _ } | Get { key } -> key
+  | Debit { account; _ } | Credit { account; _ } -> account
+
+let keys t = List.sort_uniq compare (List.map key_of_op t.ops)
+
+let shard_of_key ~shards key =
+  if shards <= 0 then invalid_arg "Tx.shard_of_key: shards must be positive";
+  let digest = Sha256.to_raw (Sha256.digest_string key) in
+  (* First 4 digest bytes as an unsigned int. *)
+  let v =
+    (Char.code digest.[0] lsl 24)
+    lor (Char.code digest.[1] lsl 16)
+    lor (Char.code digest.[2] lsl 8)
+    lor Char.code digest.[3]
+  in
+  v mod shards
+
+let shards_touched ~shards t =
+  List.sort_uniq compare (List.map (fun op -> shard_of_key ~shards (key_of_op op)) t.ops)
+
+let is_cross_shard ~shards t = List.length (shards_touched ~shards t) > 1
+
+let ops_for_shard ~shards t shard =
+  List.filter (fun op -> shard_of_key ~shards (key_of_op op) = shard) t.ops
+
+let pp_op fmt = function
+  | Put { key; value } -> Format.fprintf fmt "put(%s=%s)" key value
+  | Get { key } -> Format.fprintf fmt "get(%s)" key
+  | Debit { account; amount } -> Format.fprintf fmt "debit(%s,%d)" account amount
+  | Credit { account; amount } -> Format.fprintf fmt "credit(%s,%d)" account amount
+
+(* Canonical encoding: header line then one op per line.  Values are
+   percent-escaped so newlines and pipes in user data cannot break
+   framing. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '|' -> Buffer.add_string buf "%7c"
+      | '\n' -> Buffer.add_string buf "%0a"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  let ok = ref true in
+  while !i < n do
+    (if s.[!i] = '%' && !i + 2 < n then begin
+       (match String.sub s (!i + 1) 2 with
+       | "25" -> Buffer.add_char buf '%'
+       | "7c" -> Buffer.add_char buf '|'
+       | "0a" -> Buffer.add_char buf '\n'
+       | _ -> ok := false);
+       i := !i + 3
+     end
+     else begin
+       Buffer.add_char buf s.[!i];
+       incr i
+     end)
+  done;
+  if !ok then Some (Buffer.contents buf) else None
+
+let serialize t =
+  let op_line = function
+    | Put { key; value } -> Printf.sprintf "put|%s|%s" (escape key) (escape value)
+    | Get { key } -> Printf.sprintf "get|%s" (escape key)
+    | Debit { account; amount } -> Printf.sprintf "debit|%s|%d" (escape account) amount
+    | Credit { account; amount } -> Printf.sprintf "credit|%s|%d" (escape account) amount
+  in
+  String.concat "\n"
+    (Printf.sprintf "tx|%d|%d|%.6f" t.txid t.client t.submitted :: List.map op_line t.ops)
+
+let deserialize s =
+  match String.split_on_char '\n' s with
+  | [] -> Error "empty"
+  | header :: op_lines -> (
+      match String.split_on_char '|' header with
+      | [ "tx"; txid; client; submitted ] -> (
+          match (int_of_string_opt txid, int_of_string_opt client, float_of_string_opt submitted)
+          with
+          | Some txid, Some client, Some submitted -> (
+              let parse_op line =
+                match String.split_on_char '|' line with
+                | [ "put"; key; value ] -> (
+                    match (unescape key, unescape value) with
+                    | Some key, Some value -> Ok (Put { key; value })
+                    | _ -> Error "bad escape")
+                | [ "get"; key ] -> (
+                    match unescape key with
+                    | Some key -> Ok (Get { key })
+                    | None -> Error "bad escape")
+                | [ "debit"; account; amount ] -> (
+                    match (unescape account, int_of_string_opt amount) with
+                    | Some account, Some amount -> Ok (Debit { account; amount })
+                    | _ -> Error "bad debit")
+                | [ "credit"; account; amount ] -> (
+                    match (unescape account, int_of_string_opt amount) with
+                    | Some account, Some amount -> Ok (Credit { account; amount })
+                    | _ -> Error "bad credit")
+                | _ -> Error ("bad op line: " ^ line)
+              in
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | line :: rest -> (
+                    match parse_op line with Ok op -> go (op :: acc) rest | Error e -> Error e)
+              in
+              match go [] op_lines with
+              | Ok ops -> Ok { txid; client; submitted; ops }
+              | Error e -> Error e)
+          | _ -> Error "bad header numbers")
+      | _ -> Error "bad header")
+
+let digest t = Sha256.digest_string (serialize t)

@@ -1,0 +1,50 @@
+(** Transactions over the general (non-UTXO) data model.
+
+    A transaction is a set of read/write operations on named state keys;
+    keys are hash-partitioned across [k] shards, so a transaction touching
+    keys in several partitions is a cross-shard (distributed) transaction
+    requiring the Section 6 coordination protocol. *)
+
+type op =
+  | Put of { key : string; value : string }        (** blind write (KVStore) *)
+  | Get of { key : string }                        (** read *)
+  | Debit of { account : string; amount : int }    (** conditional decrement *)
+  | Credit of { account : string; amount : int }   (** increment *)
+
+type t = {
+  txid : int;
+  ops : op list;
+  client : int;
+  submitted : float;
+}
+
+val make : txid:int -> ?client:int -> ?submitted:float -> op list -> t
+
+val key_of_op : op -> string
+
+val keys : t -> string list
+(** Distinct keys touched, sorted. *)
+
+val shard_of_key : shards:int -> string -> int
+(** Stable hash partitioning (SHA-256 based, matching Appendix B's
+    uniformly-random argument-to-shard mapping). *)
+
+val shards_touched : shards:int -> t -> int list
+(** Sorted distinct shard ids. *)
+
+val is_cross_shard : shards:int -> t -> bool
+
+val ops_for_shard : shards:int -> t -> int -> op list
+(** The sub-ops a given participant shard must prepare/commit. *)
+
+val pp_op : Format.formatter -> op -> unit
+
+val serialize : t -> string
+(** Canonical wire encoding (what block bodies and tx digests cover). *)
+
+val deserialize : string -> (t, string) result
+(** Inverse of {!serialize}. *)
+
+val digest : t -> Repro_crypto.Sha256.digest
+(** SHA-256 over the canonical encoding — the transaction id used in
+    Merkle inclusion proofs. *)

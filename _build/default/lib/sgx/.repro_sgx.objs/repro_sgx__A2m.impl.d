@@ -1,0 +1,1 @@
+lib/sgx/a2m.ml: Cost_model Enclave Hashtbl Keys List Repro_crypto Sealing Stdlib

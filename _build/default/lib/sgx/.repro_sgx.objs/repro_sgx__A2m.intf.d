@@ -1,0 +1,1 @@
+lib/sgx/a2m.mli: Enclave Repro_crypto Sealing

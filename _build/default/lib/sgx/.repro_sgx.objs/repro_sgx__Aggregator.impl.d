@@ -1,0 +1,1 @@
+lib/sgx/aggregator.ml: Cost_model Enclave Hashtbl Keys List Repro_crypto

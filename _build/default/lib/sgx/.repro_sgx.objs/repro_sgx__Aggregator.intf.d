@@ -1,0 +1,1 @@
+lib/sgx/aggregator.mli: Enclave Repro_crypto

@@ -1,0 +1,1 @@
+lib/sgx/attestation.mli: Enclave Repro_crypto

@@ -1,0 +1,1 @@
+lib/sgx/beacon.ml: Cost_model Enclave Float Hashtbl Keys Mono_counter Repro_crypto

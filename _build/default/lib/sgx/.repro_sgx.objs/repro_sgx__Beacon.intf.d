@@ -1,0 +1,1 @@
+lib/sgx/beacon.mli: Enclave Mono_counter Repro_crypto

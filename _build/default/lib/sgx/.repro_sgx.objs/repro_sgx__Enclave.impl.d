@@ -1,0 +1,1 @@
+lib/sgx/enclave.ml: Cost_model Keys Printf Repro_crypto Repro_util Rng Sha256

@@ -1,0 +1,1 @@
+lib/sgx/enclave.mli: Repro_crypto Repro_util

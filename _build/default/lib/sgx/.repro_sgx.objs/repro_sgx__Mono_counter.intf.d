@@ -1,0 +1,1 @@
+lib/sgx/mono_counter.mli:

@@ -1,0 +1,1 @@
+lib/sgx/poet_enclave.ml: Cost_model Enclave Hashtbl Keys Repro_crypto

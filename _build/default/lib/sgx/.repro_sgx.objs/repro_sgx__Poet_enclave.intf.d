@@ -1,0 +1,1 @@
+lib/sgx/poet_enclave.mli: Enclave Repro_crypto

@@ -1,0 +1,1 @@
+lib/sgx/sealing.ml: Cost_model Enclave Hashtbl Keys Repro_crypto Sha256

@@ -1,0 +1,35 @@
+open Repro_crypto
+
+type quorum_proof = {
+  aggregator : int;
+  stmt_tag : int;
+  voters : int list;
+  signature : Keys.signature;
+}
+
+let proof_tag ~aggregator ~stmt_tag ~voters = Hashtbl.hash ("ahlr-agg", aggregator, stmt_tag, voters)
+
+let aggregate enclave ~f ~stmt_tag ~votes =
+  let costs = Enclave.costs enclave in
+  Enclave.charge enclave (Cost_model.ahlr_aggregate costs ~f);
+  let keystore = Enclave.keystore enclave in
+  let valid_signers =
+    List.filter_map
+      (fun (s : Keys.signature) ->
+        if Keys.verify keystore s ~msg_tag:stmt_tag then Some s.Keys.signer else None)
+      votes
+  in
+  let distinct = List.sort_uniq compare valid_signers in
+  if List.length distinct < f + 1 then None
+  else begin
+    let aggregator = Enclave.id enclave in
+    let voters = distinct in
+    let signature = Enclave.sign_free enclave ~msg_tag:(proof_tag ~aggregator ~stmt_tag ~voters) in
+    Some { aggregator; stmt_tag; voters; signature }
+  end
+
+let verify keystore ~f p =
+  List.length (List.sort_uniq compare p.voters) >= f + 1
+  && p.signature.Keys.signer = p.aggregator
+  && Keys.verify keystore p.signature
+       ~msg_tag:(proof_tag ~aggregator:p.aggregator ~stmt_tag:p.stmt_tag ~voters:p.voters)

@@ -1,0 +1,28 @@
+(** AHLR vote-aggregation enclave (optimization 3, Section 4.1).
+
+    The leader's enclave verifies [f + 1] signed consensus votes for the
+    same statement and issues a single signed quorum proof, cutting
+    communication from O(N²) to O(N).  Table 2 prices one aggregation at
+    8031.2 µs for f = 8 — this per-block serial cost at the leader is why
+    AHLR loses to AHL+ in practice. *)
+
+type quorum_proof = {
+  aggregator : int;
+  stmt_tag : int;  (** the statement all votes signed, e.g. ⟨req, phase, round⟩ *)
+  voters : int list;
+  signature : Repro_crypto.Keys.signature;
+}
+
+val aggregate :
+  Enclave.t ->
+  f:int ->
+  stmt_tag:int ->
+  votes:Repro_crypto.Keys.signature list ->
+  quorum_proof option
+(** Charges the Table-2 aggregation cost.  Returns [None] unless the votes
+    contain at least [f + 1] valid signatures from distinct signers over
+    [stmt_tag]. *)
+
+val verify : Repro_crypto.Keys.keystore -> f:int -> quorum_proof -> bool
+(** A single signature verification at the receiver — the whole point of
+    the optimization. *)

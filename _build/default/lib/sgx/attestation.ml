@@ -1,0 +1,27 @@
+open Repro_crypto
+
+type quote = {
+  enclave_id : int;
+  measurement : Sha256.digest;
+  signature : Keys.signature;
+}
+
+let msg_tag_of ~enclave_id ~measurement =
+  Hashtbl.hash ("attest", enclave_id, Sha256.to_raw measurement)
+
+let quote enclave =
+  let costs = Enclave.costs enclave in
+  Enclave.charge enclave costs.Cost_model.remote_attestation;
+  let measurement = Enclave.measurement enclave in
+  let enclave_id = Enclave.id enclave in
+  {
+    enclave_id;
+    measurement;
+    signature = Enclave.sign_free enclave ~msg_tag:(msg_tag_of ~enclave_id ~measurement);
+  }
+
+let verify keystore ~expected_measurement q =
+  Sha256.equal q.measurement expected_measurement
+  && Keys.verify keystore q.signature
+       ~msg_tag:(msg_tag_of ~enclave_id:q.enclave_id ~measurement:q.measurement)
+  && q.signature.Keys.signer = q.enclave_id

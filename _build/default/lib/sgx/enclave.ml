@@ -1,0 +1,69 @@
+open Repro_util
+open Repro_crypto
+
+type t = {
+  id : int;
+  measurement : Sha256.digest;
+  keystore : Keys.keystore;
+  secret : Keys.secret;
+  rng : Rng.t;
+  costs : Cost_model.t;
+  charge_cb : float -> unit;
+  now : unit -> float;
+  mutable generation : int;
+  mutable instantiated_at : float;
+}
+
+let create ~keystore ~id ~measurement ~rng ~costs ~charge ~now =
+  {
+    id;
+    measurement = Sha256.digest_string measurement;
+    keystore;
+    secret = Keys.gen keystore ~id;
+    rng = Rng.split_named rng (Printf.sprintf "enclave-%d" id);
+    costs;
+    charge_cb = charge;
+    now;
+    generation = 0;
+    instantiated_at = now ();
+  }
+
+let id t = t.id
+
+let measurement t = t.measurement
+
+let costs t = t.costs
+
+let keystore t = t.keystore
+
+let charge t cost = t.charge_cb cost
+
+let ecall t = charge t t.costs.Cost_model.enclave_switch
+
+let read_rand64 t =
+  ecall t;
+  Rng.next_int64 t.rng
+
+let read_rand_bits t k =
+  ecall t;
+  Rng.bits t.rng k
+
+let trusted_time t = t.now ()
+
+let sign t ~msg_tag =
+  charge t (t.costs.Cost_model.ecdsa_sign +. t.costs.Cost_model.enclave_switch);
+  Keys.sign t.secret ~msg_tag
+
+let verify t signature ~msg_tag =
+  charge t t.costs.Cost_model.ecdsa_verify;
+  Keys.verify t.keystore signature ~msg_tag
+
+let sign_free t ~msg_tag = Keys.sign t.secret ~msg_tag
+
+let restart t =
+  t.generation <- t.generation + 1;
+  t.instantiated_at <- t.now ()
+
+let generation t = t.generation
+
+let instantiated_at t = t.instantiated_at

@@ -1,0 +1,75 @@
+(** Software trusted-execution-environment runtime.
+
+    Models the SGX abstractions the paper relies on, under the paper's
+    threat model (Section 3.3): the host is fully malicious — it can
+    restart the enclave, replay sealed state, drop or reorder the enclave's
+    outputs, and invoke it with arbitrary inputs — but it cannot tamper
+    with enclave execution, forge enclave signatures, or bias
+    [sgx_read_rand].  Enclave confidentiality is *not* assumed except for
+    keys (the "sealed-glass proof" model), which the simulation mirrors:
+    enclave state is plain OCaml data, only signing keys are held as
+    unforgeable handles.
+
+    Every trusted operation charges its Table-2 latency through the
+    [charge] callback supplied by the host (a simulated node's CPU), so
+    enclave costs shape protocol throughput exactly as in the paper. *)
+
+type t
+
+val create :
+  keystore:Repro_crypto.Keys.keystore ->
+  id:int ->
+  measurement:string ->
+  rng:Repro_util.Rng.t ->
+  costs:Repro_crypto.Cost_model.t ->
+  charge:(float -> unit) ->
+  now:(unit -> float) ->
+  t
+(** [id] is the enclave's principal in the shared keystore (one enclave per
+    node, sharing the node's id).  [measurement] names the enclave binary;
+    attestation binds it to the signing key.  [now] provides
+    [sgx_get_trusted_time]. *)
+
+val id : t -> int
+
+val measurement : t -> Repro_crypto.Sha256.digest
+
+val costs : t -> Repro_crypto.Cost_model.t
+
+val keystore : t -> Repro_crypto.Keys.keystore
+
+val charge : t -> float -> unit
+(** Charge simulated CPU time to the host. *)
+
+val ecall : t -> unit
+(** Charge one enclave transition. *)
+
+val read_rand64 : t -> int64
+(** [sgx_read_rand]: unbiased randomness the host cannot influence. *)
+
+val read_rand_bits : t -> int -> int
+
+val trusted_time : t -> float
+(** [sgx_get_trusted_time]. *)
+
+val sign : t -> msg_tag:int -> Repro_crypto.Keys.signature
+(** Sign a statement with the enclave's key; charges ECDSA signing. *)
+
+val verify : t -> Repro_crypto.Keys.signature -> msg_tag:int -> bool
+(** Verify a (possibly foreign) enclave signature; charges ECDSA
+    verification. *)
+
+val sign_free : t -> msg_tag:int -> Repro_crypto.Keys.signature
+(** Signing without charging — for operations whose Table-2 cost already
+    includes the signature (e.g. the A2M append at 465.3 µs). *)
+
+val restart : t -> unit
+(** Host-initiated enclave restart: volatile state is lost.  Components
+    holding volatile state watch {!generation}. *)
+
+val generation : t -> int
+(** Incremented on every restart. *)
+
+val instantiated_at : t -> float
+(** Trusted time of the last (re)start; the Appendix-A beacon defense
+    compares against this. *)

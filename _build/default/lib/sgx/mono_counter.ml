@@ -1,0 +1,9 @@
+type t = { mutable value : int }
+
+let create () = { value = 0 }
+
+let read t = t.value
+
+let increment t =
+  t.value <- t.value + 1;
+  t.value

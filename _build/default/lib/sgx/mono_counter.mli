@@ -1,0 +1,14 @@
+(** CPU monotonic counter.
+
+    Unlike enclave memory, the hardware counter survives enclave restarts;
+    Appendix A uses it to make the genesis-epoch beacon setup
+    restart-evident. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> int
+
+val increment : t -> int
+(** Returns the new value. *)

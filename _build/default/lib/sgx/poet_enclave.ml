@@ -1,0 +1,65 @@
+open Repro_crypto
+
+type wait_cert = {
+  node : int;
+  height : int;
+  wait : float;
+  lucky : bool;
+  signature : Keys.signature;
+}
+
+type t = {
+  enclave : Enclave.t;
+  draws : (int, float * float) Hashtbl.t; (* height -> wait, drawn_at *)
+  luck : (int, bool) Hashtbl.t; (* height -> q = 0 (drawn once, bound to cert) *)
+}
+
+let create enclave = { enclave; draws = Hashtbl.create 32; luck = Hashtbl.create 32 }
+
+let cert_tag ~node ~height ~wait ~lucky = Hashtbl.hash ("poet", node, height, wait, lucky)
+
+let draw_wait t ~height ~mean_wait =
+  match Hashtbl.find_opt t.draws height with
+  | Some (wait, _) -> wait
+  | None ->
+      Enclave.ecall t.enclave;
+      let u =
+        (* Uniform in (0, 1] from trusted randomness. *)
+        let bits = Enclave.read_rand_bits t.enclave 53 in
+        (float_of_int bits +. 1.0) /. 9007199254740992.0
+      in
+      let wait = -.mean_wait *. log u in
+      Hashtbl.replace t.draws height (wait, Enclave.trusted_time t.enclave);
+      wait
+
+let certificate t ~height ~l_bits ~now =
+  match Hashtbl.find_opt t.draws height with
+  | None -> None
+  | Some (wait, drawn_at) ->
+      if now -. drawn_at +. 1e-12 < wait then None
+      else begin
+        let costs = Enclave.costs t.enclave in
+        Enclave.charge t.enclave costs.Cost_model.poet_cert;
+        let lucky =
+          match Hashtbl.find_opt t.luck height with
+          | Some l -> l
+          | None ->
+              let l = l_bits = 0 || Enclave.read_rand_bits t.enclave l_bits = 0 in
+              Hashtbl.replace t.luck height l;
+              l
+        in
+        let node = Enclave.id t.enclave in
+        let signature =
+          Enclave.sign_free t.enclave ~msg_tag:(cert_tag ~node ~height ~wait ~lucky)
+        in
+        Some { node; height; wait; lucky; signature }
+      end
+
+let verify keystore c =
+  c.signature.Keys.signer = c.node
+  && Keys.verify keystore c.signature
+       ~msg_tag:(cert_tag ~node:c.node ~height:c.height ~wait:c.wait ~lucky:c.lucky)
+
+let wins a b =
+  a.lucky
+  && ((not b.lucky) || a.wait < b.wait || (a.wait = b.wait && a.node < b.node))

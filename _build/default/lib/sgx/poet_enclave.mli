@@ -1,0 +1,36 @@
+(** Proof-of-Elapsed-Time enclave (Section 4.2).
+
+    Each node asks its enclave for a randomized [waitTime]; only after it
+    expires does the enclave issue a wait certificate, and the node with
+    the shortest wait proposes the next block.  PoET+ additionally draws an
+    [l]-bit value [q] bound to the certificate and deems the certificate
+    valid only when [q = 0], thinning the field of competing proposers to
+    an expected n·2^-l and thereby cutting the stale-block rate. *)
+
+type wait_cert = {
+  node : int;
+  height : int;
+  wait : float;         (** the drawn waitTime, in seconds *)
+  lucky : bool;         (** PoET+: q = 0; plain PoET always [true] *)
+  signature : Repro_crypto.Keys.signature;
+}
+
+type t
+
+val create : Enclave.t -> t
+
+val draw_wait : t -> height:int -> mean_wait:float -> float
+(** Draw (or recall) this height's [waitTime] — exponential with the given
+    mean.  Repeated calls for the same height return the same value: the
+    host cannot redraw a shorter wait. *)
+
+val certificate : t -> height:int -> l_bits:int -> now:float -> wait_cert option
+(** Issue the certificate; [None] if the wait has not yet elapsed since the
+    draw (cheating host) or nothing was drawn.  [l_bits = 0] gives plain
+    PoET ([lucky] always true). *)
+
+val verify : Repro_crypto.Keys.keystore -> wait_cert -> bool
+
+val wins : wait_cert -> wait_cert -> bool
+(** [wins a b]: certificate [a] beats [b] — valid ([lucky]) and strictly
+    shorter wait, with node id as deterministic tie-break. *)

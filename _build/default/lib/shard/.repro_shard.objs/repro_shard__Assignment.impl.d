@@ -1,0 +1,1 @@
+lib/shard/assignment.ml: Array Hashtbl List Option Printf Repro_util Rng

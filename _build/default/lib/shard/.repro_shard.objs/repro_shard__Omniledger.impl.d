@@ -1,0 +1,1 @@
+lib/shard/omniledger.ml: Array List Locks Repro_ledger Sizing State String

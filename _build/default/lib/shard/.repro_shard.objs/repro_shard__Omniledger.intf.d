@@ -1,0 +1,1 @@
+lib/shard/omniledger.mli: Repro_ledger

@@ -1,0 +1,1 @@
+lib/shard/randomness.ml: Array Cost_model Engine Float Fun Hashtbl Int64 Keys List Option Repro_crypto Repro_sgx Repro_sim Repro_util Rng Stdlib Topology

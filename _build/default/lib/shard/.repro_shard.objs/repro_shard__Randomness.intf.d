@@ -1,0 +1,1 @@
+lib/shard/randomness.mli: Repro_sim

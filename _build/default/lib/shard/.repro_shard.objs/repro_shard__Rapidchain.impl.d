@@ -1,0 +1,1 @@
+lib/shard/rapidchain.ml: Array Executor List Repro_ledger Utxo

@@ -1,0 +1,1 @@
+lib/shard/rapidchain.mli: Repro_ledger

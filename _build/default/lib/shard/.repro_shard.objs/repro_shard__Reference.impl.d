@@ -1,0 +1,1 @@
+lib/shard/reference.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/shard/sizing.ml: Array Float Logspace Repro_util Stdlib

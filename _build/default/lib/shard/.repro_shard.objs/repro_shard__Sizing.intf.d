@@ -1,0 +1,1 @@
+lib/shard/sizing.mli:

@@ -1,0 +1,1 @@
+lib/shard/state_transfer.ml: List Repro_crypto Repro_ledger Repro_sim Sha256 State String

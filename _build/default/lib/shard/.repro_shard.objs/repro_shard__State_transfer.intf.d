@@ -1,0 +1,1 @@
+lib/shard/state_transfer.mli: Repro_crypto Repro_ledger Repro_sim

@@ -1,0 +1,27 @@
+(** Node-to-committee assignment (Section 5.1).
+
+    Given the epoch's agreed random seed, all nodes derive the same random
+    permutation of [0..N-1] and chunk it into k committees.  The module
+    also plans the batched epoch transition of Section 5.3: nodes whose
+    committee changes move [B] at a time, in seed-determined order, so at
+    most [B] members of any committee are offline simultaneously. *)
+
+type t = { epoch : int; committees : int array array }
+(** [committees.(c)] lists the global node ids of committee [c]. *)
+
+val derive : seed:int64 -> epoch:int -> nodes:int -> committees:int -> t
+(** Deterministic in (seed, epoch): every honest node computes the same
+    assignment.  Committee sizes differ by at most one. *)
+
+val committee_of : t -> int -> int
+(** Which committee a node belongs to. *)
+
+val transitioning : from_:t -> to_:t -> int list
+(** Nodes whose committee changes between epochs, in seed order (the order
+    they move). *)
+
+type step = { node : int; from_committee : int; to_committee : int }
+
+val transition_plan : from_:t -> to_:t -> batch:int -> step list list
+(** Batches of at most [batch] moves per committee wave: within one wave no
+    committee loses or gains more than [batch] members. *)

@@ -1,0 +1,46 @@
+(** Distributed randomness generation (Section 5.1), plus the RandHound
+    cost model it is compared against (Figure 11 right).
+
+    Every node invokes its RandomnessBeacon enclave with the epoch number;
+    enclaves answer with a signed ⟨e, rnd⟩ certificate only when their
+    private l-bit draw q is zero.  Certificates are broadcast; after the
+    synchronous bound ∆ nodes lock in the lowest rnd received.  If nobody
+    was lucky the epoch number is bumped and the round repeats
+    (probability (1-2^-l)^N). *)
+
+type outcome = {
+  rnd : int64;              (** the agreed seed *)
+  rounds : int;             (** 1 + number of empty repeats *)
+  elapsed : float;          (** virtual seconds until nodes lock in *)
+  certificates : int;       (** certificates broadcast in the final round *)
+  messages : int;           (** total broadcast messages across rounds *)
+}
+
+val paper_l_bits : n:int -> int
+(** The paper's setting l = log₂(N) - log₂(log₂(N)), giving O(N·logN)
+    communication with repeat probability < 2⁻¹¹. *)
+
+val run :
+  ?seed:int64 ->
+  n:int ->
+  topology:Repro_sim.Topology.t ->
+  delta:float ->
+  l_bits:int ->
+  ?byzantine_withhold:int ->
+  unit ->
+  outcome
+(** Simulate one full beacon agreement.  [byzantine_withhold] nodes
+    suppress their own certificates (the strongest bias an attacker can
+    attempt — the analysis shows it cannot help because the enclave only
+    answers once per epoch).  All honest nodes must lock the same value or
+    the run raises. *)
+
+val measured_delta : topology:Repro_sim.Topology.t -> n:int -> float
+(** The paper's rule: 3× the maximum measured propagation delay of a 1 KB
+    message in the given deployment. *)
+
+val randhound_runtime : n:int -> group:int -> topology:Repro_sim.Topology.t -> float
+(** Cost model of RandHound (Syta et al., S&P'17) as configured in
+    OmniLedger (c = 16): grouped PVSS with O(N·c²) communication and
+    verification, dominated by c² public-key operations per node plus a
+    leader aggregation round.  Returns expected runtime in seconds. *)

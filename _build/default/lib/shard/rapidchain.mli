@@ -1,0 +1,44 @@
+(** RapidChain's cross-shard transaction splitting (Section 6.1,
+    Figure 3a) — executable, including the violations the paper
+    demonstrates.
+
+    A UTXO transaction ⟨(I₁, I₂), O⟩ with inputs in shards S₁, S₂ and
+    output in S₃ is split into three single-shard sub-transactions: txa
+    and txb move I₁ and I₂ into S₃ as I₁′, I₂′; txc spends them into O.
+    If one leg fails the others are not rolled back — the owner is merely
+    told to use the migrated coin — which breaks atomicity and isolation
+    for non-UTXO (account) data, as {!account_transfer} shows. *)
+
+type t
+
+val create : shards:int -> t
+
+val utxo_of_shard : t -> int -> Repro_ledger.Utxo.t
+
+val mint : t -> shard:int -> owner:string -> amount:int -> Repro_ledger.Utxo.coin
+
+type split_outcome = {
+  committed : bool;              (** did the final sub-transaction run? *)
+  migrated_leftovers : (int * Repro_ledger.Utxo.coin) list;
+      (** coins moved to the output shard by successful legs of a failed
+          transaction — the "use I′ instead" consolation *)
+}
+
+val cross_shard_transfer :
+  t ->
+  inputs:(int * Repro_ledger.Utxo.coin_id) list ->
+  output_shard:int ->
+  owner:string ->
+  split_outcome
+(** Execute the split protocol; legs run independently and are not rolled
+    back on sibling failure. *)
+
+(** Account-model demonstration (Figure 4): applying the same splitting to
+    ⟨acc1 + acc3⟩ → ⟨acc2⟩ debits acc1 even when acc3's debit fails. *)
+val account_transfer :
+  Repro_ledger.State.t array ->
+  debits:(int * string * int) list ->
+  credit:int * string * int ->
+  [ `Committed | `Partial of string list ]
+(** [`Partial dangling] lists accounts whose debit succeeded while a
+    sibling failed — money already gone, not rolled back. *)

@@ -1,0 +1,75 @@
+type state = Started | Preparing of int | Committed | Aborted
+
+type event =
+  | Begin of { participants : int list }
+  | Prepare_ok of { shard : int }
+  | Prepare_not_ok of { shard : int }
+  | Client_abort
+
+type decision = No_change | Now_started | Now_committed | Now_aborted
+
+type record = {
+  mutable state : state;
+  participants : (int, unit) Hashtbl.t;
+  voted : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  txs : (int, record) Hashtbl.t;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+let create () = { txs = Hashtbl.create 256; committed = 0; aborted = 0 }
+
+let state_of t ~txid = Option.map (fun r -> r.state) (Hashtbl.find_opt t.txs txid)
+
+let finish t r outcome =
+  r.state <- outcome;
+  (match outcome with
+  | Committed -> t.committed <- t.committed + 1
+  | Aborted -> t.aborted <- t.aborted + 1
+  | Started | Preparing _ -> ());
+  match outcome with Committed -> Now_committed | _ -> Now_aborted
+
+let step t ~txid event =
+  match (Hashtbl.find_opt t.txs txid, event) with
+  | None, Begin { participants } ->
+      let distinct = List.sort_uniq compare participants in
+      if distinct = [] then invalid_arg "Reference.step: participants must be non-empty";
+      let table = Hashtbl.create 4 in
+      List.iter (fun s -> Hashtbl.replace table s ()) distinct;
+      Hashtbl.replace t.txs txid
+        { state = Preparing (List.length distinct); participants = table; voted = Hashtbl.create 4 };
+      Now_started
+  | None, (Prepare_ok _ | Prepare_not_ok _ | Client_abort) -> No_change
+  | Some _, Begin _ -> No_change
+  | Some r, Prepare_ok { shard } -> (
+      match r.state with
+      | Preparing remaining when Hashtbl.mem r.participants shard && not (Hashtbl.mem r.voted shard)
+        ->
+          Hashtbl.replace r.voted shard ();
+          if remaining <= 1 then finish t r Committed
+          else begin
+            r.state <- Preparing (remaining - 1);
+            No_change
+          end
+      | Preparing _ | Started | Committed | Aborted -> No_change)
+  | Some r, Prepare_not_ok { shard } -> (
+      match r.state with
+      | Preparing _ when Hashtbl.mem r.participants shard && not (Hashtbl.mem r.voted shard) ->
+          Hashtbl.replace r.voted shard ();
+          finish t r Aborted
+      | Preparing _ | Started | Committed | Aborted -> No_change)
+  | Some r, Client_abort -> (
+      match r.state with
+      | Preparing _ | Started -> finish t r Aborted
+      | Committed | Aborted -> No_change)
+
+let stats t =
+  let in_flight =
+    Hashtbl.fold
+      (fun _ r acc -> match r.state with Preparing _ | Started -> acc + 1 | _ -> acc)
+      t.txs 0
+  in
+  (in_flight, t.committed, t.aborted)

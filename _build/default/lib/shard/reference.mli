@@ -1,0 +1,36 @@
+(** The reference committee's 2PC state machine (Figure 6).
+
+    R runs this machine as a BFT-replicated chaincode: [BeginTx] starts a
+    transaction with a participant counter c; each participant committee's
+    quorum answer ([PrepareOK]/[PrepareNotOK]) advances it; [Committed] is
+    reached when every participant voted OK, [Aborted] on the first NotOK
+    (or an explicit client abort before completion).  The machine is pure
+    and deterministic, so every replica of R computes identical
+    transitions — the module is exactly the chaincode of Section 6.3. *)
+
+type state = Started | Preparing of int (** remaining OK votes *) | Committed | Aborted
+
+type event =
+  | Begin of { participants : int list }  (** the tx-committees involved *)
+  | Prepare_ok of { shard : int }
+  | Prepare_not_ok of { shard : int }
+  | Client_abort
+
+type decision = No_change | Now_started | Now_committed | Now_aborted
+
+type t
+
+val create : unit -> t
+
+val step : t -> txid:int -> event -> decision
+(** Applies one event; idempotent per (txid, shard) vote (duplicate quorum
+    messages from the same shard do not double-count), and votes from
+    shards that are not participants of the transaction are rejected.
+    Events for unknown or finished transactions return [No_change] (votes
+    arriving after the decision are ignored, as the blockchain already
+    records the outcome). *)
+
+val state_of : t -> txid:int -> state option
+
+val stats : t -> int * int * int
+(** (in-flight, committed, aborted). *)

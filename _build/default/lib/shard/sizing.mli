@@ -1,0 +1,45 @@
+(** Committee-size security calculations (Sections 5.2, 5.3, Appendix B).
+
+    Equation 1: sampling a committee of [n] from [total] nodes of which a
+    fraction [s] is Byzantine is a hypergeometric draw; the committee is
+    faulty when it contains more than its tolerance [f].  Equation 2 bounds
+    the failure probability across the intermediate committees of an epoch
+    transition.  Equation 3 gives the probability that a d-argument
+    transaction touches x shards. *)
+
+type rule = Pbft_third | Ahl_half
+(** f = (n-1)/3 for PBFT committees, f = (n-1)/2 for AHL+ committees. *)
+
+val tolerance : rule -> n:int -> int
+
+val pr_faulty_committee : total:int -> byzantine:int -> n:int -> rule -> float
+(** Equation 1: Pr[X > f]. *)
+
+val log2_pr_faulty : total:int -> byzantine:int -> n:int -> rule -> float
+(** log₂ of the same, usable below double precision (e.g. -40). *)
+
+val min_committee_size :
+  total:int -> fraction:float -> rule:rule -> security_bits:int -> int
+(** Smallest [n] with Pr[faulty] ≤ 2^-security_bits, for an adversary
+    controlling [fraction] of [total] nodes.  The paper's examples: 25%
+    adversary and 2⁻²⁰ need ~600 nodes under PBFT but ~80 under AHL+. *)
+
+val max_shards :
+  total:int -> fraction:float -> rule:rule -> security_bits:int -> int * int
+(** [(k, n)]: with a minimal safe committee size n, how many committees a
+    network of [total] nodes can sustain (Figure 14's shard counts). *)
+
+val pr_epoch_transition_faulty :
+  total:int -> byzantine:int -> n:int -> k:int -> batch:int -> rule -> float
+(** Equation 2: union bound over the n(k-1)/k · B intermediate committees
+    formed while swapping [batch] nodes at a time. *)
+
+val swap_batch_size : n:int -> int
+(** The paper's B = log₂(n) (rounded up, at least 1). *)
+
+val cross_shard_probability : shards:int -> args:int -> touches:int -> float
+(** Equation 3 / Appendix B: probability a transaction with [args]
+    uniformly-hashed arguments touches exactly [touches] shards. *)
+
+val expected_cross_shard_fraction : shards:int -> args:int -> float
+(** Probability the transaction is distributed (touches ≥ 2 shards). *)

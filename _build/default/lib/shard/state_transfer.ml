@@ -1,0 +1,35 @@
+open Repro_crypto
+open Repro_ledger
+
+type package = {
+  entries : (string * State.value) list;
+  root : Sha256.digest;
+}
+
+let pack state = { entries = State.snapshot state; root = State.root state }
+
+let claimed_root p = p.root
+
+let size_bytes p =
+  List.fold_left
+    (fun acc (k, v) -> acc + String.length k + String.length v.State.data + 12)
+    64 p.entries
+
+let tamper p ~key ~value =
+  {
+    p with
+    entries =
+      List.map
+        (fun (k, v) -> if k = key then (k, { v with State.data = value }) else (k, v))
+        p.entries;
+  }
+
+let verify_and_restore p ~expected_root =
+  let state = State.restore p.entries in
+  let actual = State.root state in
+  if not (Sha256.equal actual p.root) then Error "package root does not match its content"
+  else if not (Sha256.equal actual expected_root) then
+    Error "snapshot disagrees with the committee's state root"
+  else Ok state
+
+let transfer_time topology p = Repro_sim.Topology.transfer_time topology ~bytes:(size_bytes p)

@@ -1,0 +1,28 @@
+(** Shard state transfer for epoch transitions (Section 5.3).
+
+    A node joining a committee fetches the shard's state from current
+    members and must verify it before serving: the package carries the
+    serialized snapshot and the state root its block headers commit to;
+    the joiner recomputes the root and compares.  A Byzantine member
+    serving a doctored snapshot is caught immediately. *)
+
+type package
+
+val pack : Repro_ledger.State.t -> package
+(** What a serving member sends: snapshot + claimed root. *)
+
+val claimed_root : package -> Repro_crypto.Sha256.digest
+
+val size_bytes : package -> int
+(** Serialized size estimate, for transfer-time modeling. *)
+
+val tamper : package -> key:string -> value:string -> package
+(** Byzantine server: alter one entry without updating the root. *)
+
+val verify_and_restore :
+  package -> expected_root:Repro_crypto.Sha256.digest -> (Repro_ledger.State.t, string) result
+(** The joiner's check: the package's own integrity (root matches content)
+    and agreement with the root learned from the committee's chain. *)
+
+val transfer_time : Repro_sim.Topology.t -> package -> float
+(** Seconds to pull the package over one link of the topology. *)

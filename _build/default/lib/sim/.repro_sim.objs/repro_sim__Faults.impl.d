@@ -1,0 +1,1 @@
+lib/sim/faults.ml: Array Engine List Repro_util Rng

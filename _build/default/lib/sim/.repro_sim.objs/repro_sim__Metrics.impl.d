@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Engine Hashtbl List Option Repro_util Stats

@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Engine Repro_util

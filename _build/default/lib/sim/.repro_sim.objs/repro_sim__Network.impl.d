@@ -1,0 +1,1 @@
+lib/sim/network.ml: Engine Hashtbl List Node Option Repro_util Rng Topology

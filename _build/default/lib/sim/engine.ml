@@ -1,0 +1,62 @@
+open Repro_util
+
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Heap.t;
+  root_rng : Rng.t;
+  mutable processed : int;
+}
+
+type cancel = bool ref
+
+let create ~seed =
+  { clock = 0.0; queue = Heap.create (); root_rng = Rng.create seed; processed = 0 }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~time f =
+  let time = Float.max time t.clock in
+  Heap.push t.queue time f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let timer t ~delay f =
+  let flag = ref false in
+  schedule t ~delay (fun () -> if not !flag then f ());
+  flag
+
+let cancel flag = flag := true
+
+let cancelled flag = !flag
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      f ();
+      true
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_key t.queue with
+    | Some time when time <= until -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- Float.max t.clock until
+
+let run_until_idle ?(max_events = max_int) t =
+  let n = ref 0 in
+  while !n < max_events && step t do
+    incr n
+  done
+
+let events_processed t = t.processed
+
+let pending t = Heap.size t.queue

@@ -1,0 +1,83 @@
+type channel = Request | Consensus
+
+type mode =
+  | Shared of int
+  | Split of { request_cap : int; consensus_cap : int }
+
+type 'msg t = {
+  mode : mode;
+  shared : (channel * 'msg) Queue.t; (* used in Shared mode *)
+  requests : 'msg Queue.t; (* used in Split mode *)
+  consensus : 'msg Queue.t;
+  mutable dropped_requests : int;
+  mutable dropped_consensus : int;
+}
+
+let create mode =
+  (match mode with
+  | Shared cap when cap <= 0 -> invalid_arg "Inbox.create: capacity must be positive"
+  | Split { request_cap; consensus_cap } when request_cap <= 0 || consensus_cap <= 0 ->
+      invalid_arg "Inbox.create: capacity must be positive"
+  | _ -> ());
+  {
+    mode;
+    shared = Queue.create ();
+    requests = Queue.create ();
+    consensus = Queue.create ();
+    dropped_requests = 0;
+    dropped_consensus = 0;
+  }
+
+let drop t channel =
+  (match channel with
+  | Request -> t.dropped_requests <- t.dropped_requests + 1
+  | Consensus -> t.dropped_consensus <- t.dropped_consensus + 1);
+  false
+
+let push t channel msg =
+  match t.mode with
+  | Shared cap ->
+      if Queue.length t.shared >= cap then drop t channel
+      else begin
+        Queue.add (channel, msg) t.shared;
+        true
+      end
+  | Split { request_cap; consensus_cap } -> (
+      match channel with
+      | Request ->
+          if Queue.length t.requests >= request_cap then drop t channel
+          else begin
+            Queue.add msg t.requests;
+            true
+          end
+      | Consensus ->
+          if Queue.length t.consensus >= consensus_cap then drop t channel
+          else begin
+            Queue.add msg t.consensus;
+            true
+          end)
+
+let pop t =
+  match t.mode with
+  | Shared _ -> Queue.take_opt t.shared
+  | Split _ -> (
+      match Queue.take_opt t.consensus with
+      | Some msg -> Some (Consensus, msg)
+      | None -> (
+          match Queue.take_opt t.requests with
+          | Some msg -> Some (Request, msg)
+          | None -> None))
+
+let length t =
+  match t.mode with
+  | Shared _ -> Queue.length t.shared
+  | Split _ -> Queue.length t.requests + Queue.length t.consensus
+
+let dropped t = function
+  | Request -> t.dropped_requests
+  | Consensus -> t.dropped_consensus
+
+let clear t =
+  Queue.clear t.shared;
+  Queue.clear t.requests;
+  Queue.clear t.consensus

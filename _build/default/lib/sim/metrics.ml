@@ -1,0 +1,70 @@
+open Repro_util
+
+type t = {
+  engine : Engine.t;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable committed_after : (float * int) list; (* (time, count), newest first *)
+  latencies : Stats.t;
+  counters : (string, int) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  series : Stats.Series.s;
+}
+
+let create_with_bin engine ~bin =
+  {
+    engine;
+    committed = 0;
+    aborted = 0;
+    committed_after = [];
+    latencies = Stats.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    series = Stats.Series.create ~bin;
+  }
+
+let create engine = create_with_bin engine ~bin:1.0
+
+let commit t ~count =
+  t.committed <- t.committed + count;
+  let now = Engine.now t.engine in
+  t.committed_after <- (now, count) :: t.committed_after;
+  Stats.Series.record t.series now (float_of_int count)
+
+let commit_latency t ~submitted = Stats.add t.latencies (Engine.now t.engine -. submitted)
+
+let abort t ~count = t.aborted <- t.aborted + count
+
+let incr t name =
+  Hashtbl.replace t.counters name (1 + Option.value (Hashtbl.find_opt t.counters name) ~default:0)
+
+let add_to t name v =
+  Hashtbl.replace t.gauges name (v +. Option.value (Hashtbl.find_opt t.gauges name) ~default:0.0)
+
+let committed t = t.committed
+
+let aborted t = t.aborted
+
+let abort_rate t =
+  let finished = t.committed + t.aborted in
+  if finished = 0 then 0.0 else float_of_int t.aborted /. float_of_int finished
+
+let counter t name = Option.value (Hashtbl.find_opt t.counters name) ~default:0
+
+let gauge t name = Option.value (Hashtbl.find_opt t.gauges name) ~default:0.0
+
+let throughput t ~warmup =
+  let now = Engine.now t.engine in
+  if now <= warmup then 0.0
+  else begin
+    let in_window =
+      List.fold_left
+        (fun acc (time, count) -> if time >= warmup then acc + count else acc)
+        0 t.committed_after
+    in
+    float_of_int in_window /. (now -. warmup)
+  end
+
+let latency_stats t = t.latencies
+
+let throughput_series t = Stats.Series.rate_bins t.series

@@ -1,0 +1,89 @@
+open Repro_util
+
+type verdict = Deliver | Drop | Delay of float
+
+type 'msg t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  nodes : (int, 'msg Node.t * int) Hashtbl.t; (* id -> node, region *)
+  rng : Rng.t;
+  mutable filter : (src:int -> dst:int -> 'msg -> verdict) option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable net_dropped : int;
+  mutable inbox_dropped : int;
+}
+
+let create engine ~topology =
+  {
+    engine;
+    topology;
+    nodes = Hashtbl.create 64;
+    rng = Rng.split_named (Engine.rng engine) "network";
+    filter = None;
+    sent = 0;
+    delivered = 0;
+    net_dropped = 0;
+    inbox_dropped = 0;
+  }
+
+let register_in_region t node ~region =
+  let id = Node.id node in
+  if Hashtbl.mem t.nodes id then invalid_arg "Network.register: duplicate node id";
+  if region < 0 || region >= Topology.regions t.topology then
+    invalid_arg "Network.register: region out of range";
+  Hashtbl.replace t.nodes id (node, region)
+
+let register t node =
+  register_in_region t node ~region:(Topology.region_of_node t.topology (Node.id node))
+
+let node t id = Option.map fst (Hashtbl.find_opt t.nodes id)
+
+let transmit t ~src_id ~src_region ~departure ~dst ~channel ~bytes msg =
+  t.sent <- t.sent + 1;
+  match Hashtbl.find_opt t.nodes dst with
+  | None -> ()
+  | Some (dst_node, dst_region) -> (
+      let decide () =
+        match t.filter with
+        | None -> Deliver
+        | Some f -> f ~src:src_id ~dst msg
+      in
+      match decide () with
+      | Drop -> t.net_dropped <- t.net_dropped + 1
+      | (Deliver | Delay _) as v ->
+          let extra = match v with Delay d -> d | Deliver | Drop -> 0.0 in
+          let propagation = Topology.latency t.topology t.rng ~src_region ~dst_region in
+          let serialization = Topology.transfer_time t.topology ~bytes in
+          let arrival = departure +. serialization +. propagation +. extra in
+          Engine.schedule_at t.engine ~time:arrival (fun () ->
+              if Node.deliver dst_node channel msg then t.delivered <- t.delivered + 1
+              else t.inbox_dropped <- t.inbox_dropped + 1))
+
+let send t ~src ~dst ~channel ~bytes msg =
+  let src_id = Node.id src in
+  let src_region =
+    match Hashtbl.find_opt t.nodes src_id with
+    | Some (_, r) -> r
+    | None -> invalid_arg "Network.send: source not registered"
+  in
+  let departure = Engine.now t.engine +. Node.charged src in
+  transmit t ~src_id ~src_region ~departure ~dst ~channel ~bytes msg
+
+let send_external t ~src_region ~dst ~channel ~bytes msg =
+  transmit t ~src_id:(-1) ~src_region ~departure:(Engine.now t.engine) ~dst ~channel ~bytes msg
+
+let broadcast t ~src ~dsts ~channel ~bytes msg =
+  List.iter (fun dst -> if dst <> Node.id src then send t ~src ~dst ~channel ~bytes msg) dsts
+
+let set_filter t f = t.filter <- Some f
+
+let clear_filter t = t.filter <- None
+
+let sent_count t = t.sent
+
+let delivered_count t = t.delivered
+
+let dropped_in_network t = t.net_dropped
+
+let dropped_at_inbox t = t.inbox_dropped

@@ -1,0 +1,54 @@
+(** Message transport between simulated nodes.
+
+    A send charges the source's current handler offset (messages leave when
+    the CPU work that produced them is done), then the link adds
+    serialization time plus jittered propagation latency from the topology.
+    An installed filter can drop or delay traffic for fault injection
+    (partitions, targeted message suppression). *)
+
+type 'msg t
+
+type verdict = Deliver | Drop | Delay of float
+
+val create : Engine.t -> topology:Topology.t -> 'msg t
+
+val register : 'msg t -> 'msg Node.t -> unit
+(** Make a node addressable; its region comes from
+    [Topology.region_of_node].  Node ids must be unique. *)
+
+val register_in_region : 'msg t -> 'msg Node.t -> region:int -> unit
+(** Like [register] with an explicit region (used when committee-local ids
+    don't coincide with global placement). *)
+
+val node : 'msg t -> int -> 'msg Node.t option
+
+val send :
+  'msg t -> src:'msg Node.t -> dst:int -> channel:Inbox.channel -> bytes:int -> 'msg -> unit
+(** One-way message.  Unknown destinations are ignored (models a peer that
+    has left). *)
+
+val send_external :
+  'msg t -> src_region:int -> dst:int -> channel:Inbox.channel -> bytes:int -> 'msg -> unit
+(** A message from an entity that is not a registered node (clients). *)
+
+val broadcast :
+  'msg t -> src:'msg Node.t -> dsts:int list -> channel:Inbox.channel -> bytes:int -> 'msg -> unit
+(** Send to every id in [dsts] except the source itself. *)
+
+val set_filter : 'msg t -> (src:int -> dst:int -> 'msg -> verdict) -> unit
+(** Install a fault-injection filter consulted on every send ([src = -1]
+    for external senders). *)
+
+val clear_filter : 'msg t -> unit
+
+val sent_count : 'msg t -> int
+(** Total messages handed to the transport (before filtering/drops);
+    the communication-overhead measure for O(N²) vs O(N) comparisons. *)
+
+val delivered_count : 'msg t -> int
+
+val dropped_in_network : 'msg t -> int
+(** Messages eaten by the filter (not by full inboxes). *)
+
+val dropped_at_inbox : 'msg t -> int
+(** Messages that arrived but were tail-dropped by a full inbox. *)

@@ -1,0 +1,45 @@
+(** Network topology: node placement, propagation latency, and bandwidth.
+
+    Two families are provided, matching the paper's two testbeds:
+    - [lan]: the in-house 100-server cluster (sub-millisecond latency,
+      gigabit links);
+    - [gcp n]: Google Cloud Platform with the first [n] of the 8 regions of
+      Table 3 (measured inter-region round-trip latencies). *)
+
+type t
+
+val lan : ?latency_ms:float -> ?jitter:float -> ?bandwidth_mbps:float -> unit -> t
+(** Single-region cluster.  [latency_ms] is the one-way propagation delay
+    (default 0.3 ms), [jitter] a relative spread (default 0.1), and
+    [bandwidth_mbps] the per-link rate (default 1000). *)
+
+val constrained_lan : latency_ms:float -> bandwidth_mbps:float -> t
+(** The PoET experiment setup (Appendix C.1): cluster links throttled to a
+    given latency and bandwidth (the paper used 100 ms and 50 Mbps). *)
+
+val gcp : int -> t
+(** [gcp n] uses the first [n] regions of Table 3 ([1 <= n <= 8]); nodes
+    are placed round-robin across regions.  WAN bandwidth defaults to
+    100 Mbps per flow. *)
+
+val name : t -> string
+
+val regions : t -> int
+
+val region_of_node : t -> int -> int
+(** Round-robin placement of node ids onto regions. *)
+
+val latency : t -> Repro_util.Rng.t -> src_region:int -> dst_region:int -> float
+(** One-way propagation delay in seconds, jittered.  Intra-region delay is
+    small but non-zero. *)
+
+val transfer_time : t -> bytes:int -> float
+(** Serialization time of a message of [bytes] on one link. *)
+
+val gcp_region_names : string array
+(** The 8 zone names of Table 3, in matrix order. *)
+
+val gcp_latency_matrix_ms : float array array
+(** Table 3: one-way(+) latencies in milliseconds between the 8 zones (the
+    paper reports RTT-like values; we use them directly as one-way delays,
+    which only rescales time uniformly). *)

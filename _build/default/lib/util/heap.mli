@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by float priority with a monotone tie-break.
+
+    This is the event queue of the discrete-event simulator: events with
+    equal timestamps pop in insertion order, which keeps simulations
+    deterministic regardless of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-key element; ties resolve FIFO. *)
+
+val peek_key : 'a t -> float option
+(** Key of the minimum element without removing it. *)
+
+val clear : 'a t -> unit

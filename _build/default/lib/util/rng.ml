@@ -1,0 +1,97 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = next_int64 t in
+  create (mix64 s)
+
+(* FNV-1a over the label, folded into a fresh draw from the parent: two
+   different labels give unrelated child seeds regardless of draw order. *)
+let split_named t label =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    label;
+  create (mix64 (Int64.logxor t.state !h))
+
+let bits t k =
+  if k < 0 || k > 62 then invalid_arg "Rng.bits";
+  if k = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (next_int64 t) (64 - k)) land ((1 lsl k) - 1)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let k =
+    let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+    width 0 (n - 1)
+  in
+  if k = 0 then 0
+  else
+    let rec draw () =
+      let v = bits t k in
+      if v < n then v else draw ()
+    in
+    draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 uniform bits scaled to [0, 1). *)
+  let u = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  u /. 9007199254740992.0 *. x
+
+let bool t = Int64.compare (next_int64 t) 0L < 0
+
+let exponential t ~mean =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  -.mean *. log (nonzero ())
+
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick";
+  a.(int t (Array.length a))
+
+let bytes t n =
+  String.init n (fun _ -> Char.chr (bits t 8))

@@ -1,0 +1,95 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable total : float;
+  mutable samples : float list;
+  mutable sorted : float array option; (* cache invalidated on add *)
+}
+
+let create () =
+  {
+    count = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    total = 0.0;
+    samples = [];
+    sorted = None;
+  }
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.total <- t.total +. x;
+  t.samples <- x :: t.samples;
+  t.sorted <- None
+
+let count t = t.count
+
+let mean t = if t.count = 0 then 0.0 else t.mean
+
+let stddev t = if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+let min t = if t.count = 0 then 0.0 else t.min_v
+
+let max t = if t.count = 0 then 0.0 else t.max_v
+
+let total t = t.total
+
+let percentile t p =
+  if t.count = 0 then 0.0
+  else begin
+    let sorted =
+      match t.sorted with
+      | Some a -> a
+      | None ->
+          let a = Array.of_list t.samples in
+          Array.sort compare a;
+          t.sorted <- Some a;
+          a
+    in
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.count - 1) (rank - 1)) in
+    sorted.(idx)
+  end
+
+module Series = struct
+  type s = { bin : float; table : (int, float) Hashtbl.t }
+
+  let create ~bin =
+    if bin <= 0.0 then invalid_arg "Series.create: bin must be positive";
+    { bin; table = Hashtbl.create 64 }
+
+  let record s time weight =
+    let idx = int_of_float (Float.floor (time /. s.bin)) in
+    let cur = Option.value (Hashtbl.find_opt s.table idx) ~default:0.0 in
+    Hashtbl.replace s.table idx (cur +. weight)
+
+  let bins s =
+    if Hashtbl.length s.table = 0 then []
+    else begin
+      let lo = ref max_int and hi = ref min_int in
+      Hashtbl.iter
+        (fun k _ ->
+          if k < !lo then lo := k;
+          if k > !hi then hi := k)
+        s.table;
+      List.init
+        (!hi - !lo + 1)
+        (fun i ->
+          let k = !lo + i in
+          let v = Option.value (Hashtbl.find_opt s.table k) ~default:0.0 in
+          (float_of_int k *. s.bin, v))
+    end
+
+  let rate_bins s = List.map (fun (t, v) -> (t, v /. s.bin)) (bins s)
+end

@@ -1,0 +1,49 @@
+(** Streaming statistics and time-series accumulators for experiment
+    metrics (throughput, latency, abort rates, stale-block rates). *)
+
+type t
+(** Streaming accumulator: count / mean / variance (Welford) plus min/max,
+    with all observed samples retained for percentile queries. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; 0.0 with fewer than two samples. *)
+
+val min : t -> float
+
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]]; nearest-rank on the sorted
+    samples.  0.0 when empty. *)
+
+val total : t -> float
+
+(** Fixed-width time-series binning, e.g. committed transactions per second
+    over the run for the Figure 12 throughput-over-time plot. *)
+module Series : sig
+  type s
+
+  val create : bin:float -> s
+  (** [create ~bin] accumulates events into bins of width [bin] (simulated
+      seconds). *)
+
+  val record : s -> float -> float -> unit
+  (** [record s time weight] adds [weight] to the bin containing [time]. *)
+
+  val bins : s -> (float * float) list
+  (** [(bin_start, sum)] pairs in time order, including empty interior
+      bins. *)
+
+  val rate_bins : s -> (float * float) list
+  (** Like [bins] but each sum is divided by the bin width, giving a rate
+      (per second). *)
+end

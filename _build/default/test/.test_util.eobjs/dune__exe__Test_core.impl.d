@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Block Coordination Executor Fun List Printf Repro_core Repro_crypto Repro_ledger Repro_shard Repro_sim Repro_util Results Rng Smallbank_cc Stats System Tx Workload

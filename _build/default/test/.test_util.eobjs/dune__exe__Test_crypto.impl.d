@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Char Cost_model Fun Gen Keys List Merkle Printf QCheck QCheck_alcotest Repro_crypto Repro_util Rng Sha256 String

@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest Array Block Chaincode Contract Executor Fun Gen Kvstore_cc List Locks QCheck QCheck_alcotest Repro_crypto Repro_ledger Result Smallbank_cc State Tx Utxo

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Faults Gen Inbox List Metrics Network Node Printf QCheck QCheck_alcotest Repro_sim Repro_util Rng Topology

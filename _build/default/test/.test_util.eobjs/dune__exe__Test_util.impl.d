@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen Heap List Logspace QCheck QCheck_alcotest Repro_util Rng Stats String Table Zipf

@@ -1,0 +1,536 @@
+open Repro_util
+open Repro_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_time_starts_at_zero () =
+  let e = Engine.create ~seed:1L in
+  check_float "t0" 0.0 (Engine.now e)
+
+let test_engine_event_ordering () =
+  let e = Engine.create ~seed:1L in
+  let log = ref [] in
+  Engine.schedule e ~delay:3.0 (fun () -> log := 3 :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:2.0 (fun () -> log := 2 :: !log);
+  Engine.run_until_idle e;
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_fifo_at_same_time () =
+  let e = Engine.create ~seed:1L in
+  let log = ref [] in
+  List.iter (fun i -> Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)) [ 1; 2; 3 ];
+  Engine.run_until_idle e;
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_clock_advances_to_event_time () =
+  let e = Engine.create ~seed:1L in
+  let seen = ref 0.0 in
+  Engine.schedule e ~delay:2.5 (fun () -> seen := Engine.now e);
+  Engine.run_until_idle e;
+  check_float "clock at event" 2.5 !seen
+
+let test_engine_run_until_horizon () =
+  let e = Engine.create ~seed:1L in
+  let fired = ref false in
+  Engine.schedule e ~delay:5.0 (fun () -> fired := true);
+  Engine.run e ~until:4.0;
+  Alcotest.(check bool) "not yet" false !fired;
+  check_float "clock at horizon" 4.0 (Engine.now e);
+  Engine.run e ~until:6.0;
+  Alcotest.(check bool) "now fired" true !fired
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create ~seed:1L in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 10 then Engine.schedule e ~delay:1.0 tick
+  in
+  Engine.schedule e ~delay:1.0 tick;
+  Engine.run e ~until:100.0;
+  Alcotest.(check int) "ten ticks" 10 !count;
+  check_float "clock at horizon" 100.0 (Engine.now e)
+
+let test_engine_timer_cancel () =
+  let e = Engine.create ~seed:1L in
+  let fired = ref false in
+  let timer = Engine.timer e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel timer;
+  Engine.run_until_idle e;
+  Alcotest.(check bool) "cancelled" false !fired;
+  Alcotest.(check bool) "reports cancelled" true (Engine.cancelled timer)
+
+let test_engine_negative_delay_rejected () =
+  let e = Engine.create ~seed:1L in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Engine.schedule e ~delay:(-1.0) (fun () -> ()))
+
+let test_engine_schedule_at_past_clamps () =
+  let e = Engine.create ~seed:1L in
+  Engine.schedule e ~delay:2.0 (fun () -> Engine.schedule_at e ~time:0.5 (fun () -> ()));
+  Engine.run_until_idle e;
+  check_float "clock did not go backwards" 2.0 (Engine.now e)
+
+let test_engine_determinism () =
+  let run () =
+    let e = Engine.create ~seed:42L in
+    let acc = ref [] in
+    let rng = Engine.rng e in
+    for i = 1 to 20 do
+      Engine.schedule e ~delay:(Rng.float rng 10.0) (fun () -> acc := i :: !acc)
+    done;
+    Engine.run_until_idle e;
+    !acc
+  in
+  Alcotest.(check (list int)) "same schedule twice" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_lan_single_region () =
+  let t = Topology.lan () in
+  Alcotest.(check int) "one region" 1 (Topology.regions t);
+  Alcotest.(check int) "all nodes region 0" 0 (Topology.region_of_node t 17)
+
+let test_topology_gcp_regions () =
+  let t = Topology.gcp 8 in
+  Alcotest.(check int) "eight regions" 8 (Topology.regions t);
+  Alcotest.(check int) "round robin" 3 (Topology.region_of_node t 11)
+
+let test_topology_gcp_bad_count () =
+  Alcotest.check_raises "9 regions" (Invalid_argument "Topology.gcp: regions must be in 1..8")
+    (fun () -> ignore (Topology.gcp 9))
+
+let test_topology_latency_positive_and_jittered () =
+  let t = Topology.gcp 8 in
+  let rng = Rng.create 7L in
+  for src = 0 to 7 do
+    for dst = 0 to 7 do
+      let l = Topology.latency t rng ~src_region:src ~dst_region:dst in
+      Alcotest.(check bool) "positive" true (l > 0.0)
+    done
+  done
+
+let test_topology_wan_slower_than_lan () =
+  let t = Topology.gcp 8 in
+  let rng = Rng.create 7L in
+  let intra = Topology.latency t rng ~src_region:0 ~dst_region:0 in
+  let inter = Topology.latency t rng ~src_region:0 ~dst_region:5 in
+  Alcotest.(check bool) "asia far from us-west" true (inter > 10.0 *. intra)
+
+let test_topology_table3_matches () =
+  (* us-west1-b -> asia-southeast1-b is 150.8 ms in Table 3. *)
+  check_float "matrix value" 150.8 Topology.gcp_latency_matrix_ms.(0).(5)
+
+let test_topology_transfer_time () =
+  let t = Topology.lan ~bandwidth_mbps:1000.0 () in
+  (* 1 MB over 1 Gbps = 8 ms. *)
+  Alcotest.(check (float 1e-6)) "1MB @ 1Gbps" 8.388608e-3
+    (Topology.transfer_time t ~bytes:(1024 * 1024))
+
+(* ------------------------------------------------------------------ *)
+(* Inbox                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_inbox_shared_fifo () =
+  let q = Inbox.create (Inbox.Shared 10) in
+  ignore (Inbox.push q Inbox.Request "r1");
+  ignore (Inbox.push q Inbox.Consensus "c1");
+  ignore (Inbox.push q Inbox.Request "r2");
+  let order = List.init 3 (fun _ -> match Inbox.pop q with Some (_, m) -> m | None -> "?") in
+  Alcotest.(check (list string)) "FIFO across channels" [ "r1"; "c1"; "r2" ] order
+
+let test_inbox_shared_drops_when_full () =
+  let q = Inbox.create (Inbox.Shared 2) in
+  Alcotest.(check bool) "1 ok" true (Inbox.push q Inbox.Request "a");
+  Alcotest.(check bool) "2 ok" true (Inbox.push q Inbox.Consensus "b");
+  Alcotest.(check bool) "3 dropped" false (Inbox.push q Inbox.Consensus "c");
+  Alcotest.(check int) "consensus drop counted" 1 (Inbox.dropped q Inbox.Consensus);
+  Alcotest.(check int) "request drops zero" 0 (Inbox.dropped q Inbox.Request)
+
+let test_inbox_split_priority () =
+  let q = Inbox.create (Inbox.Split { request_cap = 10; consensus_cap = 10 }) in
+  ignore (Inbox.push q Inbox.Request "r1");
+  ignore (Inbox.push q Inbox.Consensus "c1");
+  ignore (Inbox.push q Inbox.Request "r2");
+  ignore (Inbox.push q Inbox.Consensus "c2");
+  let order = List.init 4 (fun _ -> match Inbox.pop q with Some (_, m) -> m | None -> "?") in
+  Alcotest.(check (list string)) "consensus first" [ "c1"; "c2"; "r1"; "r2" ] order
+
+let test_inbox_split_request_flood_spares_consensus () =
+  (* Optimization 1's whole point. *)
+  let q = Inbox.create (Inbox.Split { request_cap = 2; consensus_cap = 2 }) in
+  for i = 0 to 9 do
+    ignore (Inbox.push q Inbox.Request (Printf.sprintf "r%d" i))
+  done;
+  Alcotest.(check int) "8 requests dropped" 8 (Inbox.dropped q Inbox.Request);
+  Alcotest.(check bool) "consensus unaffected" true (Inbox.push q Inbox.Consensus "c");
+  Alcotest.(check int) "no consensus drops" 0 (Inbox.dropped q Inbox.Consensus)
+
+let test_inbox_clear () =
+  let q = Inbox.create (Inbox.Shared 10) in
+  ignore (Inbox.push q Inbox.Request "x");
+  Inbox.clear q;
+  Alcotest.(check int) "empty" 0 (Inbox.length q)
+
+let test_inbox_zero_capacity_rejected () =
+  Alcotest.check_raises "zero cap" (Invalid_argument "Inbox.create: capacity must be positive")
+    (fun () -> ignore (Inbox.create (Inbox.Shared 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Node                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_node e ?(inbox = Inbox.Shared 100) handler = Node.create e ~id:0 ~inbox_mode:inbox ~handler
+
+let test_node_processes_in_order () =
+  let e = Engine.create ~seed:1L in
+  let log = ref [] in
+  let node = make_node e (fun _ m -> log := m :: !log) in
+  ignore (Node.deliver node Inbox.Consensus "a");
+  ignore (Node.deliver node Inbox.Consensus "b");
+  Engine.run_until_idle e;
+  Alcotest.(check (list string)) "in order" [ "a"; "b" ] (List.rev !log)
+
+let test_node_serial_cpu () =
+  (* Two messages each costing 1 s: the second completes at t = 2. *)
+  let e = Engine.create ~seed:1L in
+  let finish = ref [] in
+  let node_ref = ref None in
+  let node =
+    make_node e (fun node _ ->
+        Node.charge node 1.0;
+        finish := Engine.now e :: !finish)
+  in
+  node_ref := Some node;
+  ignore (Node.deliver node Inbox.Consensus "m1");
+  ignore (Node.deliver node Inbox.Consensus "m2");
+  Engine.run_until_idle e;
+  (* Handlers run at dequeue time: m1 at 0, m2 once the CPU frees at 1. *)
+  Alcotest.(check (list (float 1e-9))) "dequeue times" [ 0.0; 1.0 ] (List.rev !finish)
+
+let test_node_charge_from_timer_context () =
+  (* Work charged outside a handler still occupies the CPU. *)
+  let e = Engine.create ~seed:1L in
+  let handled_at = ref 0.0 in
+  let node = make_node e (fun _ _ -> handled_at := Engine.now e) in
+  Node.charge node 2.0;
+  ignore (Node.deliver node Inbox.Consensus "m");
+  Engine.run_until_idle e;
+  check_float "waited for external work" 2.0 !handled_at
+
+let test_node_crash_drops_messages () =
+  let e = Engine.create ~seed:1L in
+  let count = ref 0 in
+  let node = make_node e (fun _ _ -> incr count) in
+  Node.crash node;
+  Alcotest.(check bool) "rejected" false (Node.deliver node Inbox.Consensus "m");
+  Engine.run_until_idle e;
+  Alcotest.(check int) "nothing handled" 0 !count
+
+let test_node_recover_resumes () =
+  let e = Engine.create ~seed:1L in
+  let count = ref 0 in
+  let node = make_node e (fun _ _ -> incr count) in
+  Node.crash node;
+  ignore (Node.deliver node Inbox.Consensus "lost");
+  Node.recover node;
+  ignore (Node.deliver node Inbox.Consensus "kept");
+  Engine.run_until_idle e;
+  Alcotest.(check int) "one handled" 1 !count
+
+let test_node_busy_fraction () =
+  let e = Engine.create ~seed:1L in
+  let node = make_node e (fun node _ -> Node.charge node 1.0) in
+  ignore (Node.deliver node Inbox.Consensus "m");
+  Engine.run_until_idle e;
+  Engine.run e ~until:4.0;
+  Alcotest.(check (float 1e-9)) "1s busy of 4s" 0.25 (Node.busy_fraction node)
+
+let test_node_inbox_backpressure () =
+  let e = Engine.create ~seed:1L in
+  let node =
+    Node.create e ~id:0 ~inbox_mode:(Inbox.Shared 2) ~handler:(fun node _ -> Node.charge node 10.0)
+  in
+  (* First is consumed immediately (CPU busy), then 2 queue, rest drop. *)
+  let accepted = List.filter (fun b -> b) (List.init 5 (fun _ -> Node.deliver node Inbox.Consensus "m")) in
+  Alcotest.(check int) "three accepted" 3 (List.length accepted);
+  Alcotest.(check int) "two dropped" 2 (Node.inbox_dropped node Inbox.Consensus)
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let two_nodes () =
+  let e = Engine.create ~seed:1L in
+  let net = Network.create e ~topology:(Topology.lan ()) in
+  let received = ref [] in
+  let n0 = Node.create e ~id:0 ~inbox_mode:(Inbox.Shared 100) ~handler:(fun _ _ -> ()) in
+  let n1 =
+    Node.create e ~id:1 ~inbox_mode:(Inbox.Shared 100) ~handler:(fun _ m ->
+        received := (m, Engine.now e) :: !received)
+  in
+  Network.register net n0;
+  Network.register net n1;
+  (e, net, n0, n1, received)
+
+let test_network_delivers_with_latency () =
+  let e, net, n0, _, received = two_nodes () in
+  Network.send net ~src:n0 ~dst:1 ~channel:Inbox.Consensus ~bytes:100 "hello";
+  Engine.run_until_idle e;
+  match !received with
+  | [ ("hello", at) ] -> Alcotest.(check bool) "positive latency" true (at > 0.0)
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_network_unknown_destination_ignored () =
+  let e, net, n0, _, _ = two_nodes () in
+  Network.send net ~src:n0 ~dst:99 ~channel:Inbox.Consensus ~bytes:100 "void";
+  Engine.run_until_idle e;
+  Alcotest.(check int) "sent counted" 2 (Network.sent_count net + 1)
+
+let test_network_filter_drop () =
+  let e, net, n0, _, received = two_nodes () in
+  Network.set_filter net (fun ~src:_ ~dst:_ _ -> Network.Drop);
+  Network.send net ~src:n0 ~dst:1 ~channel:Inbox.Consensus ~bytes:100 "blocked";
+  Engine.run_until_idle e;
+  Alcotest.(check int) "nothing delivered" 0 (List.length !received);
+  Alcotest.(check int) "drop counted" 1 (Network.dropped_in_network net);
+  Network.clear_filter net;
+  Network.send net ~src:n0 ~dst:1 ~channel:Inbox.Consensus ~bytes:100 "open";
+  Engine.run_until_idle e;
+  Alcotest.(check int) "delivered after clear" 1 (List.length !received)
+
+let test_network_filter_delay () =
+  let e, net, n0, _, received = two_nodes () in
+  Network.set_filter net (fun ~src:_ ~dst:_ _ -> Network.Delay 5.0);
+  Network.send net ~src:n0 ~dst:1 ~channel:Inbox.Consensus ~bytes:100 "slow";
+  Engine.run_until_idle e;
+  match !received with
+  | [ (_, at) ] -> Alcotest.(check bool) "delayed" true (at >= 5.0)
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_network_broadcast_excludes_self () =
+  let e = Engine.create ~seed:1L in
+  let net = Network.create e ~topology:(Topology.lan ()) in
+  let hits = Array.make 3 0 in
+  let nodes =
+    Array.init 3 (fun id ->
+        Node.create e ~id ~inbox_mode:(Inbox.Shared 10) ~handler:(fun node _ ->
+            hits.(Node.id node) <- hits.(Node.id node) + 1))
+  in
+  Array.iter (Network.register net) nodes;
+  Network.broadcast net ~src:nodes.(0) ~dsts:[ 0; 1; 2 ] ~channel:Inbox.Consensus ~bytes:10 "b";
+  Engine.run_until_idle e;
+  Alcotest.(check (array int)) "others only" [| 0; 1; 1 |] hits
+
+let test_network_send_external () =
+  let e, net, _, _, received = two_nodes () in
+  Network.send_external net ~src_region:0 ~dst:1 ~channel:Inbox.Request ~bytes:10 "client";
+  Engine.run_until_idle e;
+  Alcotest.(check int) "delivered" 1 (List.length !received)
+
+let test_network_duplicate_registration () =
+  let e = Engine.create ~seed:1L in
+  let net = Network.create e ~topology:(Topology.lan ()) in
+  let n = Node.create e ~id:0 ~inbox_mode:(Inbox.Shared 10) ~handler:(fun _ (_ : int) -> ()) in
+  Network.register net n;
+  Alcotest.check_raises "dup" (Invalid_argument "Network.register: duplicate node id") (fun () ->
+      Network.register net n)
+
+(* ------------------------------------------------------------------ *)
+(* Faults / Metrics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_roster () =
+  let f = Faults.with_byzantine_ids ~n:5 ~ids:[ 1; 3 ] in
+  Alcotest.(check bool) "1 byz" true (Faults.is_byzantine f 1);
+  Alcotest.(check bool) "0 honest" false (Faults.is_byzantine f 0);
+  Alcotest.(check int) "count" 2 (Faults.byzantine_count f);
+  Alcotest.(check (list int)) "ids" [ 1; 3 ] (Faults.byzantine_ids f)
+
+let test_faults_random_selection () =
+  let f = Faults.with_byzantine (Rng.create 5L) ~n:100 ~count:25 in
+  Alcotest.(check int) "25 byzantine" 25 (Faults.byzantine_count f)
+
+let test_faults_adaptive_corruption_delay () =
+  let e = Engine.create ~seed:1L in
+  let f = Faults.honest 3 in
+  Faults.corrupt_after e f 1 ~delay:5.0;
+  Engine.run e ~until:4.0;
+  Alcotest.(check bool) "not yet corrupted" false (Faults.is_byzantine f 1);
+  Engine.run e ~until:6.0;
+  Alcotest.(check bool) "corrupted after delay" true (Faults.is_byzantine f 1)
+
+let test_metrics_throughput () =
+  let e = Engine.create ~seed:1L in
+  let m = Metrics.create e in
+  Engine.schedule e ~delay:5.0 (fun () -> Metrics.commit m ~count:100);
+  Engine.schedule e ~delay:10.0 (fun () -> Metrics.commit m ~count:100);
+  Engine.run e ~until:20.0;
+  check_float "after warmup" 10.0 (Metrics.throughput m ~warmup:0.0);
+  (* Warmup at 6 s excludes the first batch. *)
+  Alcotest.(check (float 1e-6)) "warmup excludes" (100.0 /. 14.0) (Metrics.throughput m ~warmup:6.0)
+
+let test_metrics_counters_and_gauges () =
+  let e = Engine.create ~seed:1L in
+  let m = Metrics.create e in
+  Metrics.incr m "view_change";
+  Metrics.incr m "view_change";
+  Metrics.add_to m "cost" 1.5;
+  Alcotest.(check int) "counter" 2 (Metrics.counter m "view_change");
+  check_float "gauge" 1.5 (Metrics.gauge m "cost");
+  Alcotest.(check int) "unknown counter" 0 (Metrics.counter m "nope")
+
+let test_metrics_abort_rate () =
+  let e = Engine.create ~seed:1L in
+  let m = Metrics.create e in
+  Metrics.commit m ~count:3;
+  Metrics.abort m ~count:1;
+  check_float "abort rate" 0.25 (Metrics.abort_rate m)
+
+let test_topology_constrained_lan () =
+  let t = Topology.constrained_lan ~latency_ms:100.0 ~bandwidth_mbps:50.0 in
+  let rng = Rng.create 1L in
+  let l = Topology.latency t rng ~src_region:0 ~dst_region:0 in
+  Alcotest.(check bool) "around 100ms" true (l > 0.08 && l < 0.12);
+  (* 4 MB at 50 Mbps ~ 0.67 s *)
+  Alcotest.(check (float 0.02)) "transfer" 0.671
+    (Topology.transfer_time t ~bytes:(4 * 1024 * 1024))
+
+let test_metrics_throughput_series () =
+  let e = Engine.create ~seed:1L in
+  let m = Metrics.create e in
+  Engine.schedule e ~delay:0.5 (fun () -> Metrics.commit m ~count:10);
+  Engine.schedule e ~delay:2.5 (fun () -> Metrics.commit m ~count:30);
+  Engine.run e ~until:5.0;
+  match Metrics.throughput_series m with
+  | [ (t0, r0); (t1, r1); (t2, r2) ] ->
+      Alcotest.(check (float 1e-9)) "bin0 start" 0.0 t0;
+      Alcotest.(check (float 1e-9)) "bin0 rate" 10.0 r0;
+      Alcotest.(check (float 1e-9)) "bin1 start" 1.0 t1;
+      Alcotest.(check (float 1e-9)) "bin1 empty" 0.0 r1;
+      Alcotest.(check (float 1e-9)) "bin2 rate" 30.0 r2;
+      ignore t2
+  | other -> Alcotest.fail (Printf.sprintf "unexpected series length %d" (List.length other))
+
+let test_network_counters () =
+  let e, net, n0, _, _ = two_nodes () in
+  Network.send net ~src:n0 ~dst:1 ~channel:Inbox.Consensus ~bytes:10 "a";
+  Network.send net ~src:n0 ~dst:1 ~channel:Inbox.Consensus ~bytes:10 "b";
+  Engine.run_until_idle e;
+  Alcotest.(check int) "sent" 2 (Network.sent_count net);
+  Alcotest.(check int) "delivered" 2 (Network.delivered_count net);
+  Alcotest.(check bool) "events counted" true (Engine.events_processed e >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_engine_events_fire_in_order =
+  QCheck.Test.make ~name:"events always fire in nondecreasing time order" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.0))
+    (fun delays ->
+      let e = Engine.create ~seed:3L in
+      let ok = ref true in
+      let last = ref 0.0 in
+      List.iter
+        (fun d ->
+          Engine.schedule e ~delay:d (fun () ->
+              if Engine.now e < !last then ok := false;
+              last := Engine.now e))
+        delays;
+      Engine.run_until_idle e;
+      !ok)
+
+let prop_inbox_never_exceeds_capacity =
+  QCheck.Test.make ~name:"shared inbox never exceeds capacity" ~count:100
+    QCheck.(pair (int_range 1 20) (list (int_bound 1)))
+    (fun (cap, pushes) ->
+      let q = Inbox.create (Inbox.Shared cap) in
+      List.for_all
+        (fun c ->
+          let channel = if c = 0 then Inbox.Request else Inbox.Consensus in
+          ignore (Inbox.push q channel ());
+          Inbox.length q <= cap)
+        pushes)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_engine_events_fire_in_order; prop_inbox_never_exceeds_capacity ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "starts at zero" `Quick test_engine_time_starts_at_zero;
+          Alcotest.test_case "event ordering" `Quick test_engine_event_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_engine_fifo_at_same_time;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances_to_event_time;
+          Alcotest.test_case "horizon" `Quick test_engine_run_until_horizon;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "timer cancel" `Quick test_engine_timer_cancel;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_rejected;
+          Alcotest.test_case "past schedule clamps" `Quick test_engine_schedule_at_past_clamps;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "lan single region" `Quick test_topology_lan_single_region;
+          Alcotest.test_case "gcp regions" `Quick test_topology_gcp_regions;
+          Alcotest.test_case "gcp bad count" `Quick test_topology_gcp_bad_count;
+          Alcotest.test_case "latency positive" `Quick test_topology_latency_positive_and_jittered;
+          Alcotest.test_case "wan slower" `Quick test_topology_wan_slower_than_lan;
+          Alcotest.test_case "table 3 values" `Quick test_topology_table3_matches;
+          Alcotest.test_case "transfer time" `Quick test_topology_transfer_time;
+          Alcotest.test_case "constrained lan" `Quick test_topology_constrained_lan;
+        ] );
+      ( "inbox",
+        [
+          Alcotest.test_case "shared FIFO" `Quick test_inbox_shared_fifo;
+          Alcotest.test_case "shared drops when full" `Quick test_inbox_shared_drops_when_full;
+          Alcotest.test_case "split priority" `Quick test_inbox_split_priority;
+          Alcotest.test_case "flood spares consensus" `Quick
+            test_inbox_split_request_flood_spares_consensus;
+          Alcotest.test_case "clear" `Quick test_inbox_clear;
+          Alcotest.test_case "zero capacity" `Quick test_inbox_zero_capacity_rejected;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "in order" `Quick test_node_processes_in_order;
+          Alcotest.test_case "serial CPU" `Quick test_node_serial_cpu;
+          Alcotest.test_case "timer-context charge" `Quick test_node_charge_from_timer_context;
+          Alcotest.test_case "crash drops" `Quick test_node_crash_drops_messages;
+          Alcotest.test_case "recover resumes" `Quick test_node_recover_resumes;
+          Alcotest.test_case "busy fraction" `Quick test_node_busy_fraction;
+          Alcotest.test_case "inbox backpressure" `Quick test_node_inbox_backpressure;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "latency delivery" `Quick test_network_delivers_with_latency;
+          Alcotest.test_case "unknown destination" `Quick test_network_unknown_destination_ignored;
+          Alcotest.test_case "filter drop" `Quick test_network_filter_drop;
+          Alcotest.test_case "filter delay" `Quick test_network_filter_delay;
+          Alcotest.test_case "broadcast excludes self" `Quick test_network_broadcast_excludes_self;
+          Alcotest.test_case "external sender" `Quick test_network_send_external;
+          Alcotest.test_case "duplicate registration" `Quick test_network_duplicate_registration;
+        ] );
+      ( "faults+metrics",
+        [
+          Alcotest.test_case "roster" `Quick test_faults_roster;
+          Alcotest.test_case "random selection" `Quick test_faults_random_selection;
+          Alcotest.test_case "adaptive corruption" `Quick test_faults_adaptive_corruption_delay;
+          Alcotest.test_case "throughput" `Quick test_metrics_throughput;
+          Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_and_gauges;
+          Alcotest.test_case "abort rate" `Quick test_metrics_abort_rate;
+          Alcotest.test_case "throughput series" `Quick test_metrics_throughput_series;
+          Alcotest.test_case "network counters" `Quick test_network_counters;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,90 @@
+(* ahl_lint: project-invariant static analyzer for the AHL reproduction.
+
+   Usage: ahl_lint [--json] [--baseline FILE] [--update-baseline]
+                   [--exclude SUBSTR]... [roots...]
+
+   Exit codes: 0 clean, 1 violations, 2 usage/baseline errors. *)
+
+open Repro_analysis
+
+let default_roots = [ "lib"; "bin"; "bench"; "test"; "examples" ]
+
+let default_excludes = [ "_build"; "analysis_fixtures"; ".git" ]
+
+let () =
+  let json = ref false in
+  let baseline_path = ref "lint.baseline" in
+  let update = ref false in
+  let excludes = ref default_excludes in
+  let roots = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as a JSON array on stdout");
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE tolerated-violation baseline (default: lint.baseline)" );
+      ( "--update-baseline",
+        Arg.Set update,
+        " rewrite the baseline from current findings (R1/R2 are never written)" );
+      ( "--exclude",
+        Arg.String (fun s -> excludes := s :: !excludes),
+        "SUBSTR additionally skip paths containing SUBSTR" );
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun r -> roots := r :: !roots)
+    "ahl_lint [options] [roots...]  (default roots: lib bin bench test examples)";
+  let roots = match List.rev !roots with [] -> default_roots | r -> r in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "ahl_lint: root %s does not exist\n" r;
+        exit 2
+      end)
+    roots;
+  let all = Lint.scan ~roots ~excludes:!excludes () in
+  let active = List.filter (fun f -> not f.Lint_types.suppressed) all in
+  let inline_allowed = List.length all - List.length active in
+  if !update then begin
+    match Lint.write_baseline ~path:!baseline_path active with
+    | Error msg ->
+        Printf.eprintf "ahl_lint: cannot write %s: %s\n" !baseline_path msg;
+        exit 2
+    | Ok (entries, unbaselinable) ->
+        Printf.printf "ahl_lint: wrote %d baseline entries to %s\n" entries !baseline_path;
+        if unbaselinable <> [] then begin
+          List.iter (fun f -> print_endline (Lint_types.to_human f)) unbaselinable;
+          Printf.eprintf
+            "ahl_lint: %d R1/R2 violations cannot be baselined; fix them\n"
+            (List.length unbaselinable);
+          exit 1
+        end
+  end
+  else begin
+    match Lint.load_baseline !baseline_path with
+    | Error msg ->
+        Printf.eprintf "ahl_lint: %s\n" msg;
+        exit 2
+    | Ok baseline ->
+        let final = Lint.apply_baseline ~baseline active in
+        if !json then print_string (Lint_types.to_json final)
+        else begin
+          List.iter (fun f -> print_endline (Lint_types.to_human f)) final;
+          let errors, warnings =
+            List.partition (fun f -> f.Lint_types.severity = Lint_types.Error) final
+          in
+          (* Rejected-baseline findings are synthesized by apply_baseline, so
+             "baselined" counts only the active findings it actually dropped. *)
+          let kept =
+            List.filter
+              (fun f -> List.exists (fun g -> Lint_types.compare_finding f g = 0) active)
+              final
+          in
+          Printf.eprintf
+            "ahl_lint: %d violations (%d errors, %d warnings); %d baselined, %d inline-allowed\n"
+            (List.length final) (List.length errors) (List.length warnings)
+            (List.length active - List.length kept)
+            inline_allowed
+        end;
+        if final <> [] then exit 1
+  end

@@ -1,0 +1,374 @@
+open Lint_types
+
+(* ------------------------------------------------------------------ *)
+(* Small string/path helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let strip_prefix ~prefix s =
+  let np = String.length prefix in
+  if np > 0 && String.length s >= np && String.equal (String.sub s 0 np) prefix then
+    String.sub s np (String.length s - np)
+  else s
+
+let normalize path = strip_prefix ~prefix:"./" path
+
+let has_suffix ~suffix s =
+  let ns = String.length suffix and n = String.length s in
+  n >= ns && String.equal (String.sub s (n - ns) ns) suffix
+
+(* ------------------------------------------------------------------ *)
+(* File IO and parsing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> Ok src
+  | exception Sys_error msg -> Error msg
+
+let parse_error_finding ~logical exn =
+  let line, col, msg =
+    match exn with
+    | Syntaxerr.Error err ->
+        let loc = Syntaxerr.location_of_error err in
+        (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol + 1, "syntax error")
+    | exn -> (1, 1, Printexc.to_string exn)
+  in
+  make ~rule:Parse_error ~file:logical ~line ~col (Printf.sprintf "cannot parse: %s" msg)
+
+let parse_impl ~logical src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf logical;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn -> Error (parse_error_finding ~logical exn)
+
+let parse_intf ~logical src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf logical;
+  match Parse.interface lexbuf with
+  | signature -> Ok signature
+  | exception exn -> Error (parse_error_finding ~logical exn)
+
+(* ------------------------------------------------------------------ *)
+(* Inline suppression: a comment containing "ahl_lint: allow <rule>"   *)
+(* on the flagged line or the line directly above it                   *)
+(* ------------------------------------------------------------------ *)
+
+let mark_suppressed ~src findings =
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  let marker_on l rule =
+    l >= 1 && l <= Array.length lines && contains lines.(l - 1) ("ahl_lint: allow " ^ rule_id rule)
+  in
+  List.map
+    (fun f ->
+      if marker_on f.line f.rule || marker_on (f.line - 1) f.rule then { f with suppressed = true }
+      else f)
+    findings
+
+(* ------------------------------------------------------------------ *)
+(* Per-file entry point (R1–R3)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_source ~logical src =
+  match parse_impl ~logical src with
+  | Error f -> [ f ]
+  | Ok structure -> mark_suppressed ~src (Lint_rules.of_structure ~path:logical structure)
+
+let check_file ?logical_path file =
+  let logical = match logical_path with Some p -> p | None -> normalize file in
+  match read_file file with
+  | Error msg -> [ make ~rule:Parse_error ~file:logical ~line:1 ~col:1 msg ]
+  | Ok src -> check_source ~logical src
+
+(* ------------------------------------------------------------------ *)
+(* R4: interface coverage and unused exports                           *)
+(* ------------------------------------------------------------------ *)
+
+type file_usage = {
+  u_path : string;
+  u_opens : (string, unit) Hashtbl.t;
+  u_bare : (string, unit) Hashtbl.t;
+  u_qualified : (string * string, unit) Hashtbl.t;
+}
+
+let usage_of_structure ~path structure =
+  let u =
+    {
+      u_path = path;
+      u_opens = Hashtbl.create 8;
+      u_bare = Hashtbl.create 64;
+      u_qualified = Hashtbl.create 64;
+    }
+  in
+  let aliases = Hashtbl.create 4 in
+  let resolve m = Option.value (Hashtbl.find_opt aliases m) ~default:m in
+  let record_module_expr (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_ident { txt; _ } -> (
+        match List.rev (Lint_rules.flatten txt) with
+        | last :: _ -> Hashtbl.replace u.u_opens (resolve last) ()
+        | [] -> ())
+    | _ -> ()
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr this (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match Lint_rules.flatten txt with
+        | [ v ] -> Hashtbl.replace u.u_bare v ()
+        | parts -> (
+            match List.rev parts with
+            | v :: m :: _ -> Hashtbl.replace u.u_qualified (resolve m, v) ()
+            | _ -> ()))
+    | Pexp_open (od, _) -> record_module_expr od.popen_expr
+    | _ -> ());
+    super.expr this e
+  in
+  let structure_item this (si : Parsetree.structure_item) =
+    (match si.pstr_desc with
+    | Pstr_open od -> record_module_expr od.popen_expr
+    | Pstr_include inc -> record_module_expr inc.pincl_mod
+    | Pstr_module
+        {
+          pmb_name = { txt = Some name; _ };
+          pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
+          _;
+        } -> (
+        match List.rev (Lint_rules.flatten txt) with
+        | last :: _ -> Hashtbl.replace aliases name last
+        | [] -> ())
+    | _ -> ());
+    super.structure_item this si
+  in
+  let it = { super with expr; structure_item } in
+  it.structure it structure;
+  u
+
+let exports_of_signature (sg : Parsetree.signature) =
+  List.filter_map
+    (fun (item : Parsetree.signature_item) ->
+      match item.psig_desc with
+      | Psig_value vd -> Some (vd.pval_name.txt, vd.pval_loc.loc_start.pos_lnum)
+      | _ -> None)
+    sg
+
+let module_name_of path = String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let value_used ~usages ~def_ml ~modname ~name =
+  List.exists
+    (fun u ->
+      (not (String.equal u.u_path def_ml))
+      && (Hashtbl.mem u.u_qualified (modname, name)
+         || (Hashtbl.mem u.u_opens modname && Hashtbl.mem u.u_bare name)))
+    usages
+
+(* ------------------------------------------------------------------ *)
+(* Directory walking                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let walk ~excludes roots =
+  let excluded path = List.exists (fun e -> contains path e) excludes in
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let rec go path =
+    let path = normalize path in
+    if excluded path || Hashtbl.mem seen path then ()
+    else begin
+      Hashtbl.replace seen path ();
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          let entries = Sys.readdir path in
+          Array.sort String.compare entries;
+          Array.iter (fun entry -> go (Filename.concat path entry)) entries
+        end
+        else if has_suffix ~suffix:".ml" path || has_suffix ~suffix:".mli" path then
+          acc := path :: !acc
+    end
+  in
+  List.iter go roots;
+  List.sort String.compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* Whole-project scan                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let scan ?(base = "") ~roots ~excludes () =
+  let files = walk ~excludes roots in
+  let logical p = strip_prefix ~prefix:base p in
+  let logical_set = Hashtbl.create 256 in
+  List.iter (fun p -> Hashtbl.replace logical_set (logical p) ()) files;
+  let ml_files = List.filter (has_suffix ~suffix:".ml") files in
+  let mli_files = List.filter (has_suffix ~suffix:".mli") files in
+  let findings = ref [] in
+  let usages = ref [] in
+  (* R1–R3 plus usage collection, one parse per implementation. *)
+  List.iter
+    (fun file ->
+      let lg = logical file in
+      match read_file file with
+      | Error msg -> findings := make ~rule:Parse_error ~file:lg ~line:1 ~col:1 msg :: !findings
+      | Ok src -> (
+          match parse_impl ~logical:lg src with
+          | Error f -> findings := f :: !findings
+          | Ok structure ->
+              usages := usage_of_structure ~path:lg structure :: !usages;
+              findings :=
+                mark_suppressed ~src (Lint_rules.of_structure ~path:lg structure) @ !findings))
+    ml_files;
+  (* R4a: every lib implementation carries an interface. *)
+  List.iter
+    (fun file ->
+      let lg = logical file in
+      if Lint_rules.starts_with ~prefix:"lib/" lg && not (Hashtbl.mem logical_set (lg ^ "i"))
+      then
+        findings :=
+          make ~rule:R4 ~file:lg ~line:1 ~col:1
+            (Printf.sprintf "lib module %s has no interface (.mli)" (module_name_of lg))
+          :: !findings)
+    ml_files;
+  (* R4b: no exported value of a lib interface is unused elsewhere. *)
+  let usages = !usages in
+  List.iter
+    (fun file ->
+      let lg = logical file in
+      if Lint_rules.starts_with ~prefix:"lib/" lg then
+        match read_file file with
+        | Error msg -> findings := make ~rule:Parse_error ~file:lg ~line:1 ~col:1 msg :: !findings
+        | Ok src -> (
+            match parse_intf ~logical:lg src with
+            | Error f -> findings := f :: !findings
+            | Ok signature ->
+                let modname = module_name_of lg in
+                let def_ml = Filename.remove_extension lg ^ ".ml" in
+                let unused =
+                  List.filter_map
+                    (fun (name, line) ->
+                      if value_used ~usages ~def_ml ~modname ~name then None
+                      else
+                        Some
+                          (make ~severity:Warning ~rule:R4 ~file:lg ~line ~col:1
+                             (Printf.sprintf
+                                "%s.%s is exported but never used outside %s; drop it from the \
+                                 .mli or use it"
+                                modname name def_ml)))
+                    (exports_of_signature signature)
+                in
+                findings := mark_suppressed ~src unused @ !findings))
+    mli_files;
+  List.sort compare_finding !findings
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: a checked-in ratchet of tolerated violations              *)
+(*                                                                     *)
+(* Format: one entry per line, "<rule> <path> <count>"; '#' comments.  *)
+(* A (rule, path) group passes while its violation count stays at or   *)
+(* below the recorded allowance; any growth reports every finding in   *)
+(* the group.  R1/R2 entries are rejected outright: determinism and    *)
+(* comparison-safety violations must be fixed, never baselined.        *)
+(* ------------------------------------------------------------------ *)
+
+type baseline_entry = { b_rule : string; b_path : string; b_count : int }
+
+type baseline = baseline_entry list
+
+let load_baseline path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    match read_file path with
+    | Error msg -> Error msg
+    | Ok src ->
+        let parse_line ((lineno : int), (acc : (baseline_entry list, string) result)) line =
+          let line = String.trim line in
+          match acc with
+          | Error _ -> (lineno + 1, acc)
+          | Ok entries ->
+              if String.equal line "" || String.length line > 0 && line.[0] = '#' then
+                (lineno + 1, acc)
+              else (
+                match List.filter (fun s -> not (String.equal s "")) (String.split_on_char ' ' line) with
+                | [ rule; bpath; count ] -> (
+                    match (rule_of_id rule, int_of_string_opt count) with
+                    | Some _, Some n when n > 0 ->
+                        (lineno + 1, Ok ({ b_rule = rule; b_path = bpath; b_count = n } :: entries))
+                    | _ ->
+                        ( lineno + 1,
+                          Error (Printf.sprintf "%s:%d: malformed baseline entry %S" path lineno line) ))
+                | _ ->
+                    ( lineno + 1,
+                      Error
+                        (Printf.sprintf
+                           "%s:%d: malformed baseline line %S (want \"<rule> <path> <count>\")" path
+                           lineno line) ))
+        in
+        let _, result =
+          List.fold_left parse_line (1, Ok []) (String.split_on_char '\n' src)
+        in
+        Result.map List.rev result
+
+let pair_compare (a1, b1) (a2, b2) =
+  let c = String.compare a1 a2 in
+  if c <> 0 then c else String.compare b1 b2
+
+let group_counts findings =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let k = (rule_id f.rule, f.file) in
+      Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
+    findings;
+  tbl
+
+let never_baselined rule = String.equal rule "R1" || String.equal rule "R2"
+
+let apply_baseline ~baseline findings =
+  let counts = group_counts findings in
+  let allowance (rule, bpath) =
+    List.fold_left
+      (fun acc e ->
+        if String.equal e.b_rule rule && String.equal e.b_path bpath && not (never_baselined rule)
+        then acc + e.b_count
+        else acc)
+      0 baseline
+  in
+  let kept =
+    List.filter
+      (fun f ->
+        let k = (rule_id f.rule, f.file) in
+        Option.value (Hashtbl.find_opt counts k) ~default:0 > allowance k)
+      findings
+  in
+  let rejections =
+    List.filter_map
+      (fun e ->
+        if never_baselined e.b_rule then
+          Some
+            (make ~rule:(Option.value (rule_of_id e.b_rule) ~default:Parse_error)
+               ~file:e.b_path ~line:0 ~col:0
+               (Printf.sprintf
+                  "baseline entry \"%s %s %d\" rejected: %s violations must be fixed, not baselined"
+                  e.b_rule e.b_path e.b_count e.b_rule))
+        else None)
+      baseline
+  in
+  List.sort compare_finding (kept @ rejections)
+
+let write_baseline ~path findings =
+  let baselinable f = not (never_baselined (rule_id f.rule)) in
+  let good, bad = List.partition baselinable findings in
+  let groups =
+    Repro_util.Det.bindings ~compare:pair_compare (group_counts good)
+  in
+  let body =
+    "# ahl_lint baseline: tolerated pre-existing violations, \"<rule> <path> <count>\".\n\
+     # Shrink this file over time; never grow it.  R1/R2 entries are rejected.\n"
+    ^ String.concat ""
+        (List.map (fun ((rule, bpath), n) -> Printf.sprintf "%s %s %d\n" rule bpath n) groups)
+  in
+  match Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc body) with
+  | () -> Ok (List.length groups, bad)
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,21 @@
+(** Per-file AST checks for rules R1–R3.
+
+    R4 (interface coverage) needs the whole module graph and lives in
+    {!Lint}.  Scoping is by path prefix so the same checks can be exercised
+    against fixture files under any directory by passing a logical path. *)
+
+val of_structure : path:string -> Parsetree.structure -> Lint_types.finding list
+(** Findings for one parsed implementation, sorted by position.  [path] is
+    the logical path used for rule scoping (e.g. ["lib/consensus/pbft.ml"])
+    and recorded in each finding. *)
+
+val in_r2_scope : string -> bool
+(** Whether R2 (comparison safety) applies to this path — exposed so tests
+    and the driver agree on the message/state-path boundary. *)
+
+val starts_with : prefix:string -> string -> bool
+(** Path-prefix test shared with the driver's R4 scoping. *)
+
+val flatten : Longident.t -> string list
+(** Like [Longident.flatten] but total: functor applications keep only the
+    head path instead of raising. *)

@@ -1,0 +1,71 @@
+type rule = R1 | R2 | R3 | R4 | Parse_error
+
+type severity = Error | Warning
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  suppressed : bool;
+}
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | Parse_error -> "parse"
+
+let rule_of_id = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "parse" -> Some Parse_error
+  | _ -> None
+
+let severity_id = function Error -> "error" | Warning -> "warning"
+
+let make ?(severity = Error) ~rule ~file ~line ~col message =
+  { rule; severity; file; line; col; message; suppressed = false }
+
+let compare_finding a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule)
+
+let to_human f =
+  Printf.sprintf "%s:%d:%d: [%s/%s] %s" f.file f.line f.col (rule_id f.rule)
+    (severity_id f.severity) f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json findings =
+  let one f =
+    Printf.sprintf
+      "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+      (rule_id f.rule) (severity_id f.severity) (json_escape f.file) f.line f.col
+      (json_escape f.message)
+  in
+  "[" ^ String.concat "," (List.map one findings) ^ "]"

@@ -1,0 +1,46 @@
+(** Core vocabulary of ahl_lint: rules, severities, findings, rendering.
+
+    The rule set mirrors the project invariants the AHL reproduction depends
+    on (see DESIGN.md):
+    - R1 determinism: no wall-clock / self-seeded randomness / hash-order
+      iteration in library code.
+    - R2 comparison safety: no polymorphic compare or structural [=] in the
+      consensus, ledger, and shard message/state paths.
+    - R3 exception hygiene: no [failwith]/[assert false]/[invalid_arg] in
+      [lib/] outside the checked-in baseline.
+    - R4 interface coverage: every [lib] module has an [.mli] exporting no
+      unused public values. *)
+
+type rule = R1 | R2 | R3 | R4 | Parse_error
+
+type severity = Error | Warning
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  file : string;  (** path as scanned, also used for rule scoping *)
+  line : int;
+  col : int;
+  message : string;
+  suppressed : bool;  (** an inline [ahl_lint: allow <rule>] comment covers it *)
+}
+
+val rule_id : rule -> string
+(** "R1".."R4", or "parse" for unparseable files. *)
+
+val rule_of_id : string -> rule option
+
+val severity_id : severity -> string
+
+val make :
+  ?severity:severity -> rule:rule -> file:string -> line:int -> col:int -> string -> finding
+(** Build an unsuppressed finding; severity defaults to [Error]. *)
+
+val compare_finding : finding -> finding -> int
+(** Order by file, line, column, then rule id. *)
+
+val to_human : finding -> string
+(** [file:line:col: [rule/severity] message] — click-through friendly. *)
+
+val to_json : finding list -> string
+(** Machine-readable JSON array of findings. *)

@@ -94,11 +94,16 @@ let rec try_propose c r =
             let req = Queue.take r.pool in
             if not (Hashtbl.mem r.executed req.req_id) then batch := req :: !batch
           done;
-          if !batch = [] then None
-          else begin
-            let batch = List.rev !batch in
-            Some (digest_of_batch batch, batch)
-          end
+          (match !batch with
+          | [] -> None
+          | _ :: _ ->
+              (* Proposal contents must not depend on pool arrival order:
+                 replicas relay requests along different paths, so sort the
+                 batch by req_id before it becomes a digest. *)
+              let batch =
+                List.sort (fun a b -> Int.compare a.req_id b.req_id) !batch
+              in
+              Some (digest_of_batch batch, batch))
     in
     match value with
     | None -> ()
@@ -179,9 +184,11 @@ and batch_for _c r ~height ~digest =
   match from_lock with
   | Some _ as b -> b
   | None ->
-      Hashtbl.fold
+      Repro_util.Det.fold ~compare:Repro_util.Det.int_pair
         (fun (h, _) (d, batch) acc ->
-          if h = height && d = digest && acc = None then Some batch else acc)
+          match acc with
+          | Some _ -> acc
+          | None -> if h = height && d = digest then Some batch else None)
         r.proposals None
 
 and commit c r ~batch =
@@ -247,7 +254,7 @@ let start c =
     (fun r ->
       r.round_deadline <- now c +. round_timeout;
       let rec watchdog () =
-        let has_work = Hashtbl.length r.pooled > 0 || r.locked <> None in
+        let has_work = Hashtbl.length r.pooled > 0 || Option.is_some r.locked in
         if now c > r.round_deadline && has_work then advance_round c r;
         Engine.schedule c.engine ~delay:(round_timeout /. 4.0) watchdog
       in

@@ -231,8 +231,10 @@ let create ~engine ~keystore ~costs ~config ~faults ~metrics ~enclave_base_id ~s
   let obs =
     let rec first i =
       if i >= config.Config.n then 0
-      else if Faults.behavior faults i = Faults.Honest then i
-      else first (i + 1)
+      else
+        match Faults.behavior faults i with
+        | Faults.Honest -> i
+        | Faults.Crashed | Faults.Byzantine -> first (i + 1)
     in
     first 0
   in
@@ -486,7 +488,7 @@ and start_view_change c r ~target =
     at_observer c r (fun () -> Metrics.incr c.metrics "view_change_started");
     charge_consensus c r c.costs.Cost_model.ecdsa_sign;
     let prepared =
-      Hashtbl.fold
+      Repro_util.Det.fold ~compare:Int.compare
         (fun seq digest acc ->
           match Hashtbl.find_opt r.preprep seq with
           | Some (view, d, batch) when d = digest -> (seq, view, digest, batch) :: acc
@@ -527,9 +529,9 @@ and record_view_change_vote c r ~target ~sender ~prepared =
   then begin
     (* Become the new leader: re-propose surviving prepared certificates. *)
     let reproposals =
-      Hashtbl.fold (fun seq (_, digest, batch) acc -> (seq, digest, batch) :: acc) merged []
-      |> List.filter (fun (seq, _, _) -> seq > r.last_stable)
-      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      Repro_util.Det.bindings ~compare:Int.compare merged
+      |> List.filter_map (fun (seq, (_, digest, batch)) ->
+             if seq > r.last_stable then Some (seq, digest, batch) else None)
     in
     charge_consensus c r c.costs.Cost_model.ecdsa_sign;
     broadcast c r ~channel:consensus_channel (New_view { view = target; sender = r.index; reproposals });
@@ -544,7 +546,9 @@ and adopt_new_view c r ~view ~reproposals =
     r.vc_deadline <- infinity;
     at_observer c r (fun () -> Metrics.incr c.metrics "view_changes");
     (* Drop stale view-change bookkeeping. *)
-    let stale = Hashtbl.fold (fun t _ acc -> if t <= view then t :: acc else acc) r.vc_prepared [] in
+    let stale =
+      List.filter (fun t -> t <= view) (Repro_util.Det.keys ~compare:Int.compare r.vc_prepared)
+    in
     List.iter (Hashtbl.remove r.vc_prepared) stale;
     (* Accept the new leader's re-proposals as view-v pre-prepares. *)
     List.iter
@@ -562,14 +566,14 @@ and adopt_new_view c r ~view ~reproposals =
       Hashtbl.reset r.queued;
       Queue.iter (fun q -> Hashtbl.replace r.queued q.req_id ()) r.pending;
       List.iter (fun (_, _, batch) -> List.iter (fun q -> Hashtbl.replace r.queued q.req_id ()) batch) reproposals;
-      Hashtbl.iter (fun _ q -> add_pending c r q) r.known;
+      Repro_util.Det.iter ~compare:Int.compare (fun _ q -> add_pending c r q) r.known;
       try_propose c r
     end
     else begin
       (* Hand the new leader the requests we still wait on. *)
       let leader = leader_of_view_int c view in
       let budget = ref 128 in
-      Hashtbl.iter
+      Repro_util.Det.iter ~compare:Int.compare
         (fun _ q ->
           if !budget > 0 then begin
             decr budget;
@@ -796,7 +800,7 @@ let watchdog c r () =
          their timers arm too — without it, a request known to one replica
          whose forward was lost can never assemble a view-change quorum. *)
       let budget = ref 64 in
-      Hashtbl.iter
+      Repro_util.Det.iter ~compare:Int.compare
         (fun _ req ->
           if !budget > 0 then begin
             decr budget;

@@ -140,7 +140,7 @@ let run ?(seed = 7L) ?(duration = 600.0) ~n ~topology ~block_mb ~block_time ~l_b
   in
   Array.iter compete states;
   Engine.run engine ~until:duration;
-  let sorted = List.sort compare !adoption_times in
+  let sorted = List.sort Float.compare !adoption_times in
   let mean_interval =
     match sorted with
     | [] | [ _ ] -> 0.0

@@ -38,6 +38,8 @@ let voters t ~view ~seq ~digest =
 
 let forget_below t ~seq =
   let stale =
-    Hashtbl.fold (fun ((_, s, _) as key) _ acc -> if s < seq then key :: acc else acc) t.slots []
+    List.filter
+      (fun (_, s, _) -> s < seq)
+      (Repro_util.Det.keys ~compare:Repro_util.Det.int_triple t.slots)
   in
   List.iter (Hashtbl.remove t.slots) stale

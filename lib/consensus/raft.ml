@@ -64,6 +64,12 @@ let bytes_of_msg = function
 
 let majority c = (c.n / 2) + 1
 
+let is_leader r = match r.role with Leader -> true | Follower | Candidate -> false
+
+let is_follower r = match r.role with Follower -> true | Leader | Candidate -> false
+
+let is_candidate r = match r.role with Candidate -> true | Leader | Follower -> false
+
 let now c = Engine.now c.engine
 
 let charge c r cost =
@@ -85,7 +91,7 @@ let reset_election_deadline c r =
 
 (* Quorum's lockstep: the leader replicates one block at a time. *)
 let rec try_replicate c r =
-  if r.role = Leader && r.in_flight = None && not (Queue.is_empty r.pool) then begin
+  if is_leader r && Option.is_none r.in_flight && not (Queue.is_empty r.pool) then begin
     let batch = ref [] in
     let count = Stdlib.min c.batch_max (Queue.length r.pool) in
     for _ = 1 to count do
@@ -157,7 +163,7 @@ let handle c ~member m =
         charge c r 15e-6;
         if (not (Hashtbl.mem r.executed req.req_id)) && not (Hashtbl.mem r.pooled req.req_id)
         then
-          if r.role = Leader then begin
+          if is_leader r then begin
             Hashtbl.replace r.pooled req.req_id ();
             Queue.add req r.pool;
             try_replicate c r
@@ -179,7 +185,7 @@ let handle c ~member m =
         end
     | Ack { term; index; sender = _ } ->
         charge c r mac_cost;
-        if r.role = Leader && term = r.term then begin
+        if is_leader r && term = r.term then begin
           match r.in_flight with
           | Some (i, _) when i = index ->
               r.acks <- r.acks + 1;
@@ -203,7 +209,7 @@ let handle c ~member m =
         charge c r mac_cost;
         if term >= r.term then begin
           step_down c r ~term;
-          if r.role = Follower then begin
+          if is_follower r then begin
             r.last_heartbeat <- now c;
             reset_election_deadline c r;
             (* Forward any pooled requests to the leader. *)
@@ -218,14 +224,14 @@ let handle c ~member m =
     | Request_vote { term; candidate; last_index } ->
         charge c r mac_cost;
         step_down c r ~term;
-        if term = r.term && r.voted_for = None && last_index >= r.last_index then begin
+        if term = r.term && Option.is_none r.voted_for && last_index >= r.last_index then begin
           r.voted_for <- Some candidate;
           reset_election_deadline c r;
           send c r ~dst:candidate (Vote { term; sender = r.index })
         end
     | Vote { term; sender = _ } ->
         charge c r mac_cost;
-        if r.role = Candidate && term = r.term then begin
+        if is_candidate r && term = r.term then begin
           r.votes <- r.votes + 1;
           if r.votes >= majority c then become_leader c r
         end
@@ -294,7 +300,7 @@ let leader_id c =
   let best = ref None in
   Array.iter
     (fun r ->
-      if r.role = Leader && not r.crashed then
+      if is_leader r && not r.crashed then
         match !best with
         | Some (t, _) when t >= r.term -> ()
         | _ -> best := Some (r.term, r.index))

@@ -211,7 +211,7 @@ let on_client_vote t txid shard ok =
       in
       Hashtbl.replace votes shard ok;
       let all_in = Hashtbl.length votes = List.length rec_.participant_shards in
-      let any_nok = Hashtbl.fold (fun _ ok acc -> acc || not ok) votes false in
+      let any_nok = Det.fold ~compare:Int.compare (fun _ ok acc -> acc || not ok) votes false in
       if any_nok || all_in then begin
         Hashtbl.remove t.client_votes txid;
         dispatch_decision t txid (not any_nok)
@@ -245,7 +245,7 @@ let emit_vote t ctx (req : Types.request) ~txid ~ok =
 
 (* Wait-die retry: lock releases wake parked prepares in txid order. *)
 let retry_parked t ctx =
-  let waiting = Hashtbl.fold (fun txid v acc -> (txid, v) :: acc) ctx.parked [] in
+  let waiting = Det.bindings ~compare:Int.compare ctx.parked in
   List.iter
     (fun (txid, (ops, req)) ->
       match Executor.try_prepare ctx.state ~txid ops with
@@ -256,7 +256,7 @@ let retry_parked t ctx =
           Hashtbl.remove ctx.parked txid;
           emit_vote t ctx req ~txid ~ok:false
       | Error (Executor.Lock_conflict _) -> ())
-    (List.sort compare waiting)
+    waiting
 
 let execute_on_shard t ctx (req : Types.request) =
   match Coordination.lookup t.registry req.Types.op_tag with

@@ -29,7 +29,7 @@ let net_deltas ops =
 
 let validate state ops =
   let deltas = net_deltas ops in
-  Hashtbl.fold
+  Repro_util.Det.fold ~compare:String.compare
     (fun account delta acc ->
       match acc with
       | Some _ -> acc
@@ -38,7 +38,7 @@ let validate state ops =
 
 let try_prepare state ~txid ops =
   let locks = Locks.create state in
-  let keys = List.sort_uniq compare (List.map Tx.key_of_op ops) in
+  let keys = List.sort_uniq String.compare (List.map Tx.key_of_op ops) in
   if not (Locks.acquire_all locks ~txid keys) then begin
     (* Report the first conflicting key and its holder. *)
     let conflict =
@@ -77,19 +77,19 @@ let apply state ops =
 let locked_by_us state ~txid ops =
   let locks = Locks.create state in
   List.for_all
-    (fun key -> Locks.holder locks key = Some txid)
-    (List.sort_uniq compare (List.map Tx.key_of_op ops))
+    (fun key -> match Locks.holder locks key with Some h -> h = txid | None -> false)
+    (List.sort_uniq String.compare (List.map Tx.key_of_op ops))
 
 let commit state ~txid ops =
   if locked_by_us state ~txid ops then begin
     apply state ops;
     let locks = Locks.create state in
-    Locks.release_all locks ~txid (List.sort_uniq compare (List.map Tx.key_of_op ops))
+    Locks.release_all locks ~txid (List.sort_uniq String.compare (List.map Tx.key_of_op ops))
   end
 
 let abort state ~txid ops =
   let locks = Locks.create state in
-  Locks.release_all locks ~txid (List.sort_uniq compare (List.map Tx.key_of_op ops))
+  Locks.release_all locks ~txid (List.sort_uniq String.compare (List.map Tx.key_of_op ops))
 
 let execute_single state ~txid ops =
   match prepare state ~txid ops with

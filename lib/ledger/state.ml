@@ -20,8 +20,7 @@ let mem t key = Hashtbl.mem t.table key
 
 let size t = Hashtbl.length t.table
 
-let keys t =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+let keys t = Repro_util.Det.keys ~compare:String.compare t.table
 
 let snapshot t =
   List.map (fun k -> (k, Hashtbl.find t.table k)) (keys t)

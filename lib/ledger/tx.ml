@@ -19,7 +19,7 @@ let key_of_op = function
   | Put { key; _ } | Get { key } -> key
   | Debit { account; _ } | Credit { account; _ } -> account
 
-let keys t = List.sort_uniq compare (List.map key_of_op t.ops)
+let keys t = List.sort_uniq String.compare (List.map key_of_op t.ops)
 
 let shard_of_key ~shards key =
   if shards <= 0 then invalid_arg "Tx.shard_of_key: shards must be positive";
@@ -34,7 +34,7 @@ let shard_of_key ~shards key =
   v mod shards
 
 let shards_touched ~shards t =
-  List.sort_uniq compare (List.map (fun op -> shard_of_key ~shards (key_of_op op)) t.ops)
+  List.sort_uniq Int.compare (List.map (fun op -> shard_of_key ~shards (key_of_op op)) t.ops)
 
 let is_cross_shard ~shards t = List.length (shards_touched ~shards t) > 1
 

@@ -28,7 +28,7 @@ let coin t id = Hashtbl.find_opt t.coins id
 let is_unspent t id = Hashtbl.mem t.coins id && not (Hashtbl.mem t.spent id)
 
 let apply t tx =
-  let distinct = List.sort_uniq compare tx.inputs in
+  let distinct = List.sort_uniq Int.compare tx.inputs in
   if List.length distinct <> List.length tx.inputs then Error "duplicate input"
   else begin
     let resolve id =
@@ -54,14 +54,13 @@ let apply t tx =
   end
 
 let unspent_of t owner =
-  Hashtbl.fold
-    (fun id c acc -> if c.owner = owner && not (Hashtbl.mem t.spent id) then c :: acc else acc)
-    t.coins []
-  |> List.sort (fun a b -> compare a.id b.id)
+  Repro_util.Det.bindings ~compare:Int.compare t.coins
+  |> List.filter_map (fun (id, c) ->
+         if String.equal c.owner owner && not (Hashtbl.mem t.spent id) then Some c else None)
 
 let balance t owner = List.fold_left (fun acc c -> acc + c.amount) 0 (unspent_of t owner)
 
 let total_unspent t =
-  Hashtbl.fold
+  Repro_util.Det.fold ~compare:Int.compare
     (fun id c acc -> if Hashtbl.mem t.spent id then acc else acc + c.amount)
     t.coins 0

@@ -59,11 +59,17 @@ let verify keystore p =
 
 let truncate_below t ~slot =
   let keep = Hashtbl.create (Hashtbl.length t.entries) in
-  Hashtbl.iter (fun (l, s) d -> if s >= slot then Hashtbl.replace keep (l, s) d) t.entries;
+  Repro_util.Det.iter ~compare:Repro_util.Det.int_pair
+    (fun (l, s) d -> if s >= slot then Hashtbl.replace keep (l, s) d)
+    t.entries;
   t.entries <- keep
 
 let seal_state t =
-  let snapshot = Hashtbl.fold (fun (l, s) d acc -> (l, s, d) :: acc) t.entries [] in
+  let snapshot =
+    List.map
+      (fun ((l, s), d) -> (l, s, d))
+      (Repro_util.Det.bindings ~compare:Repro_util.Det.int_pair t.entries)
+  in
   Sealing.seal t.enclave snapshot
 
 let restart t ~resume_with =
@@ -82,7 +88,10 @@ let restart t ~resume_with =
 
 let is_recovering t = t.recovering
 
-let highest_attested t = Hashtbl.fold (fun (_, s) _ acc -> Stdlib.max acc s) t.entries (-1)
+let highest_attested t =
+  Repro_util.Det.fold ~compare:Repro_util.Det.int_pair
+    (fun (_, s) _ acc -> Stdlib.max acc s)
+    t.entries (-1)
 
 let record_peer_checkpoint t ~peer ~ckp =
   if t.recovering && peer <> Enclave.id t.enclave then
@@ -90,13 +99,13 @@ let record_peer_checkpoint t ~peer ~ckp =
 
 let estimate_hm t ~f =
   if f < 0 then invalid_arg "A2m.estimate_hm: f must be non-negative";
-  let responses = Hashtbl.fold (fun _ ckp acc -> ckp :: acc) t.peer_checkpoints [] in
+  let responses = List.map snd (Repro_util.Det.bindings ~compare:Int.compare t.peer_checkpoints) in
   if List.length responses < f + 1 then None
   else begin
     (* ckpM = (f+1)-th smallest response: at least f other replicas report
        values <= ckpM, so by quorum intersection no stable checkpoint the
        pre-crash enclave saw can exceed it. *)
-    let sorted = List.sort compare responses in
+    let sorted = List.sort Int.compare responses in
     let ckp_m = List.nth sorted f in
     let hm = ckp_m + t.watermark_window in
     t.hm <- Some hm;

@@ -108,12 +108,12 @@ let run ?(seed = 5L) ~n ~topology ~delta ~l_bits ?(byzantine_withhold = 0) () =
   (* Run until a round succeeds. *)
   let rec drive horizon =
     Engine.run engine ~until:horizon;
-    if !finished = None then drive (horizon +. (10.0 *. delta))
+    if Option.is_none !finished then drive (horizon +. (10.0 *. delta))
   in
   drive (2.0 *. delta);
   let rounds, certificates, lock_time = Option.get !finished in
   (* Agreement check: all honest nodes locked the same value. *)
-  let values = Array.to_list locked |> List.filter_map Fun.id |> List.sort_uniq compare in
+  let values = Array.to_list locked |> List.filter_map Fun.id |> List.sort_uniq Int64.compare in
   (match values with
   | [ _ ] -> ()
   | _ -> failwith "Randomness.run: honest nodes disagree on rnd");

@@ -35,8 +35,10 @@ let finish t r outcome =
 let step t ~txid event =
   match (Hashtbl.find_opt t.txs txid, event) with
   | None, Begin { participants } ->
-      let distinct = List.sort_uniq compare participants in
-      if distinct = [] then invalid_arg "Reference.step: participants must be non-empty";
+      let distinct = List.sort_uniq Int.compare participants in
+      (match distinct with
+      | [] -> invalid_arg "Reference.step: participants must be non-empty"
+      | _ :: _ -> ());
       let table = Hashtbl.create 4 in
       List.iter (fun s -> Hashtbl.replace table s ()) distinct;
       Hashtbl.replace t.txs txid
@@ -68,7 +70,7 @@ let step t ~txid event =
 
 let stats t =
   let in_flight =
-    Hashtbl.fold
+    Repro_util.Det.fold ~compare:Int.compare
       (fun _ r acc -> match r.state with Preparing _ | Started -> acc + 1 | _ -> acc)
       t.txs 0
   in

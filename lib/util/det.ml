@@ -1,0 +1,31 @@
+(* Deterministic views over hash tables.
+
+   [Hashtbl.iter]/[Hashtbl.fold] visit buckets in an order that depends on
+   the hash function, table sizing history, and resize schedule — none of
+   which the simulation seed controls.  Every iteration in library code must
+   go through this module (enforced by ahl_lint rule R1) so that the visit
+   order is a pure function of the key set. *)
+
+let bindings ~compare tbl =
+  (* The one sanctioned raw fold: the sort below erases whatever order the
+     buckets produced.  ahl_lint: allow R1 *)
+  let raw = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) raw
+
+let keys ~compare tbl = List.map fst (bindings ~compare tbl)
+
+let iter ~compare f tbl = List.iter (fun (k, v) -> f k v) (bindings ~compare tbl)
+
+let fold ~compare f tbl init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (bindings ~compare tbl)
+
+let int_pair (a1, b1) (a2, b2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c else Int.compare b1 b2
+
+let int_triple (a1, b1, c1) (a2, b2, c2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare b1 b2 in
+    if c <> 0 then c else Int.compare c1 c2

@@ -77,12 +77,13 @@ module Series = struct
   let bins s =
     if Hashtbl.length s.table = 0 then []
     else begin
+      let keys = Det.keys ~compare:Int.compare s.table in
       let lo = ref max_int and hi = ref min_int in
-      Hashtbl.iter
-        (fun k _ ->
+      List.iter
+        (fun k ->
           if k < !lo then lo := k;
           if k > !hi then hi := k)
-        s.table;
+        keys;
       List.init
         (!hi - !lo + 1)
         (fun i ->

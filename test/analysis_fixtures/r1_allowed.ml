@@ -1,0 +1,4 @@
+(* R1 fixture: the violation fires but the inline marker suppresses it. *)
+
+(* ahl_lint: allow R1 *)
+let sum tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

@@ -1,0 +1,9 @@
+(* R1 fixture: deterministic equivalents; must stay quiet under a lib/ path. *)
+
+let sum tbl = Repro_util.Det.fold ~compare:Int.compare (fun _ v acc -> acc + v) tbl 0
+
+let keys tbl = Repro_util.Det.keys ~compare:Int.compare tbl
+
+let rand rng = Repro_util.Rng.float rng 1.0
+
+let size tbl = Hashtbl.length tbl

@@ -1,0 +1,11 @@
+(* R1 fixture: every binding below must fire when linted under a lib/ path. *)
+
+let seed () = Random.self_init ()
+
+let t0 () = Unix.gettimeofday ()
+
+let wall () = Sys.time ()
+
+let sum tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let dump tbl = Hashtbl.iter (fun _ _ -> ()) tbl

@@ -1,0 +1,11 @@
+(* R2 fixture: typed comparisons; must stay quiet even under lib/consensus. *)
+
+let dedup xs = List.sort_uniq Int.compare xs
+
+let has x xs = List.exists (Int.equal x) xs
+
+let is_nil x = Option.is_none x
+
+let same a b = String.equal a b
+
+let scalar_eq (a : int) b = a = b

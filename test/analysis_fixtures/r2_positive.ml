@@ -1,0 +1,16 @@
+(* R2 fixture: every binding below must fire when linted under
+   lib/consensus, lib/ledger, or lib/shard — and stay quiet elsewhere. *)
+
+let dedup xs = List.sort_uniq compare xs
+
+let has x xs = List.mem x xs
+
+let lookup k xs = List.assoc k xs
+
+let is_nil x = x = None
+
+let nonempty x = x <> []
+
+let phys a b = a == b
+
+let cmp a b = Stdlib.compare a b

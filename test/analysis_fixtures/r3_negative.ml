@@ -1,0 +1,11 @@
+(* R3 fixture: typed errors and honest asserts; must stay quiet. *)
+
+let safe () = Error "boom"
+
+let check x = if x then Ok () else Error "bad"
+
+let total = function Some v -> v | None -> 0
+
+let guarded x =
+  assert (x >= 0);
+  x

@@ -1,0 +1,7 @@
+(* R3 fixture: untyped failure paths; each binding fires under lib/. *)
+
+let boom () = failwith "boom"
+
+let bad () = invalid_arg "bad"
+
+let impossible () = assert false

@@ -1,0 +1,178 @@
+(* Fixture-driven tests for ahl_lint: each rule fires on its positive
+   fixture, stays quiet on its negative one, and the suppression/baseline
+   machinery behaves as documented.  Fixtures live under
+   analysis_fixtures/ and are linted with a [logical_path] that places
+   them in the scope under test. *)
+
+open Repro_analysis
+
+let fixture name = Filename.concat "analysis_fixtures" name
+
+let active fs = List.filter (fun f -> not f.Lint_types.suppressed) fs
+
+let count rule fs =
+  List.length (List.filter (fun f -> f.Lint_types.rule = rule) (active fs))
+
+let check_fixture ?(logical = "lib/fixture") name =
+  Lint.check_file ~logical_path:(Filename.concat logical name) (fixture name)
+
+(* --- R1: determinism ------------------------------------------------ *)
+
+let test_r1_positive () =
+  let fs = check_fixture "r1_positive.ml" in
+  Alcotest.(check int) "five R1 findings" 5 (count Lint_types.R1 fs);
+  Alcotest.(check int) "nothing suppressed" 5 (List.length (active fs))
+
+let test_r1_negative () =
+  let fs = check_fixture "r1_negative.ml" in
+  Alcotest.(check int) "no findings" 0 (List.length (active fs))
+
+let test_r1_inline_allow () =
+  let fs = check_fixture "r1_allowed.ml" in
+  Alcotest.(check int) "finding still produced" 1 (List.length fs);
+  Alcotest.(check bool) "marked suppressed" true
+    (List.for_all (fun f -> f.Lint_types.suppressed) fs);
+  Alcotest.(check int) "no active findings" 0 (List.length (active fs))
+
+(* --- R2: comparison safety ------------------------------------------ *)
+
+let test_r2_positive_in_scope () =
+  let fs = check_fixture ~logical:"lib/consensus" "r2_positive.ml" in
+  Alcotest.(check int) "seven R2 findings" 7 (count Lint_types.R2 fs)
+
+let test_r2_out_of_scope () =
+  let fs = check_fixture ~logical:"lib/sim" "r2_positive.ml" in
+  Alcotest.(check int) "quiet outside scope" 0 (List.length (active fs))
+
+let test_r2_negative () =
+  let fs = check_fixture ~logical:"lib/ledger" "r2_negative.ml" in
+  Alcotest.(check int) "typed comparisons pass" 0 (List.length (active fs))
+
+let test_r2_scope_predicate () =
+  Alcotest.(check bool) "consensus in scope" true
+    (Lint_rules.in_r2_scope "lib/consensus/pbft.ml");
+  Alcotest.(check bool) "ledger in scope" true (Lint_rules.in_r2_scope "lib/ledger/state.ml");
+  Alcotest.(check bool) "shard in scope" true (Lint_rules.in_r2_scope "lib/shard/reference.ml");
+  Alcotest.(check bool) "sim out of scope" false (Lint_rules.in_r2_scope "lib/sim/engine.ml");
+  Alcotest.(check bool) "tests out of scope" false
+    (Lint_rules.in_r2_scope "test/test_consensus.ml")
+
+(* --- R3: exception hygiene ------------------------------------------ *)
+
+let test_r3_positive () =
+  let fs = check_fixture ~logical:"lib/core" "r3_positive.ml" in
+  Alcotest.(check int) "three R3 findings" 3 (count Lint_types.R3 fs);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "R3 is a warning" "warning"
+        (Lint_types.severity_id f.Lint_types.severity))
+    (active fs)
+
+let test_r3_negative () =
+  let fs = check_fixture ~logical:"lib/core" "r3_negative.ml" in
+  Alcotest.(check int) "typed errors and guarded asserts pass" 0 (List.length (active fs))
+
+(* --- R4: interface coverage (whole-tree scan) ----------------------- *)
+
+let test_r4_scan () =
+  let fs =
+    active
+      (Lint.scan
+         ~base:(fixture "r4tree/" )
+         ~roots:[ fixture "r4tree" ]
+         ~excludes:[] ())
+  in
+  Alcotest.(check int) "exactly two R4 findings" 2 (List.length fs);
+  let missing_mli =
+    List.exists
+      (fun f -> f.Lint_types.rule = Lint_types.R4 && String.equal f.Lint_types.file "lib/nomli.ml")
+      fs
+  in
+  Alcotest.(check bool) "nomli.ml flagged for missing interface" true missing_mli;
+  let unused_export =
+    List.exists
+      (fun f ->
+        f.Lint_types.rule = Lint_types.R4
+        && String.equal f.Lint_types.file "lib/widget.mli"
+        && f.Lint_types.line = 3)
+      fs
+  in
+  Alcotest.(check bool) "Widget.unused flagged at its .mli line" true unused_export;
+  let used_flagged =
+    List.exists (fun f -> f.Lint_types.line = 1 && String.equal f.Lint_types.file "lib/widget.mli") fs
+  in
+  Alcotest.(check bool) "Widget.used not flagged" false used_flagged
+
+(* --- Baseline ratchet ----------------------------------------------- *)
+
+let with_baseline contents k =
+  let path = Filename.temp_file "ahl_lint_test" ".baseline" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      match Lint.load_baseline path with
+      | Error msg -> Alcotest.failf "baseline did not load: %s" msg
+      | Ok b -> k b)
+
+let mk_r3 ~line =
+  Lint_types.make ~severity:Lint_types.Warning ~rule:Lint_types.R3 ~file:"lib/core/x.ml" ~line
+    ~col:1 "failwith"
+
+let test_baseline_within_allowance () =
+  with_baseline "# comment\nR3 lib/core/x.ml 2\n" (fun b ->
+      let remaining = Lint.apply_baseline ~baseline:b [ mk_r3 ~line:3; mk_r3 ~line:9 ] in
+      Alcotest.(check int) "covered group dropped" 0 (List.length remaining))
+
+let test_baseline_exceeded () =
+  with_baseline "R3 lib/core/x.ml 1\n" (fun b ->
+      let remaining = Lint.apply_baseline ~baseline:b [ mk_r3 ~line:3; mk_r3 ~line:9 ] in
+      Alcotest.(check int) "growth reports the whole group" 2 (List.length remaining))
+
+let test_baseline_rejects_r1_r2 () =
+  with_baseline "R1 lib/sim/engine.ml 1\nR2 lib/consensus/pbft.ml 3\n" (fun b ->
+      let remaining = Lint.apply_baseline ~baseline:b [] in
+      Alcotest.(check int) "both entries rejected" 2 (List.length remaining);
+      List.iter
+        (fun f ->
+          Alcotest.(check string) "rejection is an error" "error"
+            (Lint_types.severity_id f.Lint_types.severity))
+        remaining)
+
+let test_baseline_missing_file_is_empty () =
+  match Lint.load_baseline "analysis_fixtures/no_such_baseline" with
+  | Error msg -> Alcotest.failf "missing baseline should be empty, got: %s" msg
+  | Ok b ->
+      Alcotest.(check int) "no findings dropped or added" 1
+        (List.length (Lint.apply_baseline ~baseline:b [ mk_r3 ~line:3 ]))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "r1-determinism",
+        [
+          Alcotest.test_case "positive fixture fires" `Quick test_r1_positive;
+          Alcotest.test_case "negative fixture quiet" `Quick test_r1_negative;
+          Alcotest.test_case "inline allow suppresses" `Quick test_r1_inline_allow;
+        ] );
+      ( "r2-comparison",
+        [
+          Alcotest.test_case "positive fixture fires in scope" `Quick test_r2_positive_in_scope;
+          Alcotest.test_case "quiet outside scope" `Quick test_r2_out_of_scope;
+          Alcotest.test_case "negative fixture quiet" `Quick test_r2_negative;
+          Alcotest.test_case "scope predicate" `Quick test_r2_scope_predicate;
+        ] );
+      ( "r3-exceptions",
+        [
+          Alcotest.test_case "positive fixture fires" `Quick test_r3_positive;
+          Alcotest.test_case "negative fixture quiet" `Quick test_r3_negative;
+        ] );
+      ("r4-interfaces", [ Alcotest.test_case "tree scan" `Quick test_r4_scan ]);
+      ( "baseline",
+        [
+          Alcotest.test_case "within allowance" `Quick test_baseline_within_allowance;
+          Alcotest.test_case "exceeded reports group" `Quick test_baseline_exceeded;
+          Alcotest.test_case "R1/R2 never baselined" `Quick test_baseline_rejects_r1_r2;
+          Alcotest.test_case "missing file is empty" `Quick test_baseline_missing_file_is_empty;
+        ] );
+    ]

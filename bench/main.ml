@@ -6,7 +6,15 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig8 fig13   # selected experiments
      dune exec bench/main.exe -- micro        # only the Bechamel suite
-     BENCH_QUICK=1 dune exec bench/main.exe   # reduced sweeps *)
+     dune exec bench/main.exe -- -j 4 fig8    # 4 worker domains
+     BENCH_QUICK=1 dune exec bench/main.exe   # reduced sweeps
+     BENCH_JOBS=4 dune exec bench/main.exe    # worker domains via env
+
+   Figure datapoints fan across a deterministic domain pool
+   (Repro_util.Pool): output is bit-identical for any worker count.
+   Machine-readable BENCH_<id>.json artifacts (axis points, series,
+   wall time, jobs) land in $BENCH_JSON_DIR (default bench-artifacts/);
+   CSVs are additionally written when $BENCH_CSV_DIR is set. *)
 
 open Repro_util
 open Repro_crypto
@@ -61,21 +69,31 @@ let run_micro () =
   print_endline "==== micro: Bechamel benchmarks of real operations ====";
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
+  (* Collect and sort by test name: Hashtbl iteration order is
+     hash-dependent, and bench output should be diffable run to run. *)
+  let lines =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        let analyzed =
+          Analyze.all
+            (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+            Toolkit.Instance.monotonic_clock results
+        in
+        Hashtbl.fold
+          (fun key ols acc ->
+            let rendered =
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.sprintf "%-28s %12.1f ns/op" key est
+              | Some _ | None -> Printf.sprintf "%-28s (no estimate)" key
+            in
+            (key, rendered) :: acc)
+          analyzed [])
+      (micro_tests ())
+  in
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analyzed =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
-          Toolkit.Instance.monotonic_clock results
-      in
-      Hashtbl.iter
-        (fun key ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/op\n" key est
-          | Some _ | None -> Printf.printf "%-28s (no estimate)\n" key)
-        analyzed)
-    (micro_tests ());
+    (fun (_, l) -> print_endline l)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) lines);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -84,20 +102,44 @@ let run_micro () =
 
 let csv_dir = Sys.getenv_opt "BENCH_CSV_DIR"
 
+let json_dir =
+  match Sys.getenv_opt "BENCH_JSON_DIR" with Some d -> d | None -> "bench-artifacts"
+
 let run_experiment id =
   match Experiment.by_id id with
   | None -> Printf.printf "unknown experiment id: %s\n" id
   | Some f ->
       let t0 = Unix.gettimeofday () in
       let fig = f ~quick () in
+      let wall = Unix.gettimeofday () -. t0 in
       Results.print fig;
       Option.iter (fun dir -> Results.save_csv ~dir fig) csv_dir;
-      Printf.printf "(%s completed in %.1f s wall time)\n\n%!" id (Unix.gettimeofday () -. t0)
+      Results.save_json ~dir:json_dir ~wall_time_s:wall ~jobs:(Experiment.jobs_in_use ()) fig;
+      Printf.printf "(%s completed in %.1f s wall time)\n\n%!" id wall
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
-  match args with
+  (* Pull out -j/--jobs N; the rest are experiment ids. *)
+  let rec parse ids = function
+    | [] -> List.rev ids
+    | ("-j" | "--jobs") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 ->
+            Experiment.set_jobs j;
+            parse ids rest
+        | Some _ | None ->
+            prerr_endline "bench: -j/--jobs expects a positive integer";
+            exit 2)
+    | [ ("-j" | "--jobs") ] ->
+        prerr_endline "bench: -j/--jobs expects a positive integer";
+        exit 2
+    | id :: rest -> parse (id :: ids) rest
+  in
+  let ids = parse [] args in
+  Printf.printf "(bench: %d worker domain%s)\n%!" (Experiment.jobs_in_use ())
+    (if Experiment.jobs_in_use () = 1 then "" else "s");
+  match ids with
   | [] ->
       run_micro ();
       List.iter run_experiment Experiment.all_ids

@@ -65,6 +65,10 @@ let r2_banned_idents =
     ("Stdlib", "compare", "polymorphic compare; use the key type's compare (Int/String/Float/...)");
     ("Poly", "compare", "polymorphic compare; use the key type's compare (Int/String/Float/...)");
     ("Pervasives", "compare", "polymorphic compare; use the key type's compare");
+    ("Stdlib", "min", "polymorphic min; use the operand type's min (Int.min/Float.min/...)");
+    ("Stdlib", "max", "polymorphic max; use the operand type's max (Int.max/Float.max/...)");
+    ("Pervasives", "min", "polymorphic min; use the operand type's min (Int.min/Float.min/...)");
+    ("Pervasives", "max", "polymorphic max; use the operand type's max (Int.max/Float.max/...)");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -114,6 +118,10 @@ let check_ident ~path ~report lid loc =
     | [ "compare" ] ->
         report ~rule:R2 ~severity:Error loc
           "bare polymorphic compare; use the key type's compare (Int/String/Float/...)"
+    | [ (("min" | "max") as op) ] ->
+        report ~rule:R2 ~severity:Error loc
+          (Printf.sprintf
+             "bare polymorphic %s; use the operand type's %s (Int.%s/Float.%s/...)" op op op op)
     | _ -> ());
     List.iter
       (fun (m, v, hint) ->

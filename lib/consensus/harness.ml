@@ -79,7 +79,7 @@ let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(cpu_s
   in
   (match workload with
   | Open_loop { rate; clients } ->
-      let clients = Stdlib.max 1 clients in
+      let clients = Int.max 1 clients in
       let per_client = rate /. float_of_int clients in
       for client = 0 to clients - 1 do
         let rng = Rng.split_named client_rng (string_of_int client) in

@@ -292,7 +292,7 @@ let rec try_propose c r =
     in
     if window_open && batch_ready then begin
       let batch = ref [] in
-      let count = Stdlib.min cfg.Config.batch_max (Queue.length r.pending) in
+      let count = Int.min cfg.Config.batch_max (Queue.length r.pending) in
       for _ = 1 to count do
         batch := Queue.take r.pending :: !batch
       done;
@@ -483,7 +483,7 @@ and start_view_change c r ~target =
   if target > current_goal then begin
     r.active <- false;
     r.vc_target <- target;
-    let backoff = Stdlib.min 6 (Stdlib.max 0 (target - r.view - 1)) in
+    let backoff = Int.min 6 (Int.max 0 (target - r.view - 1)) in
     r.vc_deadline <- now c +. (c.cfg.Config.progress_timeout *. Float.pow 2.0 (float_of_int backoff));
     at_observer c r (fun () -> Metrics.incr c.metrics "view_change_started");
     charge_consensus c r c.costs.Cost_model.ecdsa_sign;
@@ -541,7 +541,7 @@ and record_view_change_vote c r ~target ~sender ~prepared =
 and adopt_new_view c r ~view ~reproposals =
   if view > r.view || ((not r.active) && view >= r.vc_target) || (not r.active && view = r.view)
   then begin
-    r.view <- Stdlib.max view r.view;
+    r.view <- Int.max view r.view;
     r.active <- true;
     r.vc_deadline <- infinity;
     at_observer c r (fun () -> Metrics.incr c.metrics "view_changes");
@@ -560,8 +560,8 @@ and adopt_new_view c r ~view ~reproposals =
         end)
       reproposals;
     if leader_of_view_int c view = r.index then begin
-      let max_repro = List.fold_left (fun acc (s, _, _) -> Stdlib.max acc s) 0 reproposals in
-      r.next_seq <- 1 + List.fold_left Stdlib.max 0 [ r.last_stable; r.last_exec; max_repro; r.next_seq - 1 ];
+      let max_repro = List.fold_left (fun acc (s, _, _) -> Int.max acc s) 0 reproposals in
+      r.next_seq <- 1 + List.fold_left Int.max 0 [ r.last_stable; r.last_exec; max_repro; r.next_seq - 1 ];
       (* Requeue everything I know about that is not in flight. *)
       Hashtbl.reset r.queued;
       Queue.iter (fun q -> Hashtbl.replace r.queued q.req_id ()) r.pending;

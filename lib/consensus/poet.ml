@@ -24,18 +24,18 @@ type node_state = {
 
 let plus_l_bits ~n =
   let l = int_of_float (Float.round (log (float_of_int n) /. log 2.0 /. 2.0)) in
-  Stdlib.max 1 l
+  Int.max 1 l
 
 (* Enclave wait-slots are (height, attempt) pairs so an unlucky node can
    re-enter the race without being able to redraw a prior slot. *)
-let slot ~height ~attempt = (height * 64) + Stdlib.min 63 attempt
+let slot ~height ~attempt = (height * 64) + Int.min 63 attempt
 
 let run ?(seed = 7L) ?(duration = 600.0) ~n ~topology ~block_mb ~block_time ~l_bits ~tx_bytes () =
   let engine = Engine.create ~seed in
   let keystore = Keys.create_keystore (Engine.rng engine) in
   let costs = Cost_model.default in
   let block_bytes = int_of_float (block_mb *. 1024.0 *. 1024.0) in
-  let txs_per_block = Stdlib.max 1 (block_bytes / tx_bytes) in
+  let txs_per_block = Int.max 1 (block_bytes / tx_bytes) in
   (* Sawtooth v0.8's difficulty lags the true population (its z-test
      population estimate under-adjusts at scale): the per-node wait mean
      scales as (effective population)^alpha with alpha < 1, so achieved
@@ -67,7 +67,7 @@ let run ?(seed = 7L) ?(duration = 600.0) ~n ~topology ~block_mb ~block_time ~l_b
      paying one link transfer plus propagation; the receiver's downlink
      also serializes concurrent block deliveries, which is what melts the
      fabric down when stale blocks multiply. *)
-  let gossip_depth = int_of_float (Float.ceil (log (float_of_int (Stdlib.max 2 n)) /. log 8.0)) in
+  let gossip_depth = int_of_float (Float.ceil (log (float_of_int (Int.max 2 n)) /. log 8.0)) in
   let downlink_free = Array.make n 0.0 in
   let propagation src dst =
     let src_region = Topology.region_of_node topology src in
@@ -82,7 +82,7 @@ let run ?(seed = 7L) ?(duration = 600.0) ~n ~topology ~block_mb ~block_time ~l_b
     done;
     !path
   in
-  let relay_fanout = Stdlib.min 8 (Stdlib.max 1 (n - 1)) in
+  let relay_fanout = Int.min 8 (Int.max 1 (n - 1)) in
   let deliver_at dst base_arrival =
     (* The destination's NIC both receives the block body and relays it to
        its gossip fan-out, one transfer each, on the same constrained link

@@ -93,7 +93,7 @@ let reset_election_deadline c r =
 let rec try_replicate c r =
   if is_leader r && Option.is_none r.in_flight && not (Queue.is_empty r.pool) then begin
     let batch = ref [] in
-    let count = Stdlib.min c.batch_max (Queue.length r.pool) in
+    let count = Int.min c.batch_max (Queue.length r.pool) in
     for _ = 1 to count do
       batch := Queue.take r.pool :: !batch
     done;
@@ -213,7 +213,7 @@ let handle c ~member m =
             r.last_heartbeat <- now c;
             reset_election_deadline c r;
             (* Forward any pooled requests to the leader. *)
-            let count = Stdlib.min 64 (Queue.length r.pool) in
+            let count = Int.min 64 (Queue.length r.pool) in
             for _ = 1 to count do
               let req = Queue.take r.pool in
               Hashtbl.remove r.pooled req.req_id;

@@ -5,6 +5,48 @@ open Repro_consensus
 open Repro_shard
 
 (* ------------------------------------------------------------------ *)
+(* Parallel datapoint runner                                            *)
+(*                                                                      *)
+(* Every datapoint below is an independent seeded simulation, so the    *)
+(* sweeps fan across a fixed-size domain pool.  Determinism: tasks      *)
+(* share no mutable state (each creates its own Engine/Rng), shared     *)
+(* configurations are memoized through keyed once-cells whose values    *)
+(* are pure functions of the key, and results are joined in submission  *)
+(* order — so the rendered tables are bit-for-bit identical for any     *)
+(* worker count.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_override = ref None
+
+let jobs_in_use () =
+  match !jobs_override with Some j -> j | None -> Pool.default_jobs ()
+
+let the_pool : Pool.t option ref = ref None
+
+let set_jobs j =
+  (match !the_pool with Some p -> Pool.shutdown p | None -> ());
+  the_pool := None;
+  jobs_override := Some (if j < 1 then 1 else j)
+
+let pool () =
+  match !the_pool with
+  | Some p -> p
+  | None ->
+      let p = Pool.create ~jobs:(jobs_in_use ()) in
+      the_pool := Some p;
+      p
+
+(* Submit every cell of a row-structured sweep before joining any, then
+   join in submission order.  [rows] pairs each x-axis point with the
+   thunks producing its column values. *)
+let par_cells rows =
+  let p = pool () in
+  let submitted =
+    List.map (fun (x, thunks) -> (x, List.map (fun t -> Pool.submit p t) thunks)) rows
+  in
+  List.map (fun (x, futures) -> (x, List.map Pool.await futures)) submitted
+
+(* ------------------------------------------------------------------ *)
 (* Shared runners (memoized so Figures 8/15/16/17 share one sweep)      *)
 (* ------------------------------------------------------------------ *)
 
@@ -27,22 +69,18 @@ let tune_of site (c : Config.t) =
   | Cluster -> c
   | Gcp4 | Gcp8 -> { c with Config.relay_timeout = 2.5; relay_tail_prob = 0.005 }
 
-let pbft_cache : (string * int * int * int * bool, Harness.result) Hashtbl.t = Hashtbl.create 64
+(* Keyed once-cell: when parallel datapoints request the same
+   configuration, exactly one computes it and the rest share the cell. *)
+let pbft_cache : (string * int * int * int * bool, Harness.result) Memo.t = Memo.create ()
 
 let run_pbft ?(quick = false) ?(byzantine = 0) ~site ~variant ~n () =
   let key = (variant.Config.name, n, byzantine, (match site with Cluster -> 0 | Gcp4 -> 4 | Gcp8 -> 8), quick) in
-  match Hashtbl.find_opt pbft_cache key with
-  | Some r -> r
-  | None ->
-      let r =
-        Harness.run ~duration:(duration ~quick) ~warmup ~byzantine
-          ~cpu_scale:(cpu_scale_of site) ~tune:(tune_of site) ~variant ~n
-          ~topology:(topology_of site)
-          ~workload:(Harness.Open_loop { rate = 2200.0; clients = 10 })
-          ()
-      in
-      Hashtbl.replace pbft_cache key r;
-      r
+  Memo.get pbft_cache key (fun () ->
+      Harness.run ~duration:(duration ~quick) ~warmup ~byzantine
+        ~cpu_scale:(cpu_scale_of site) ~tune:(tune_of site) ~variant ~n
+        ~topology:(topology_of site)
+        ~workload:(Harness.Open_loop { rate = 2200.0; clients = 10 })
+        ())
 
 let n_axis ~quick = if quick then [ 7; 19; 43; 79 ] else [ 7; 19; 31; 43; 55; 67; 79 ]
 
@@ -231,32 +269,42 @@ let fig2 ?(quick = false) () =
   let dur = duration ~quick in
   let ns = if quick then [ 7; 19; 43 ] else [ 7; 19; 31; 43; 55; 67 ] in
   let vs_n =
-    List.map
-      (fun n ->
-        let hl = (run_pbft ~quick ~site:Cluster ~variant:Config.hl ~n ()).Harness.throughput in
-        let tm = run_lockstep ~flavour:Lockstep.Tendermint ~n ~clients:10 ~rate:2200.0 ~duration:dur in
-        let ibft = run_lockstep ~flavour:Lockstep.Ibft ~n ~clients:10 ~rate:2200.0 ~duration:dur in
-        let raft = run_raft ~n ~clients:10 ~rate:2200.0 ~duration:dur in
-        (float_of_int n, [ hl; tm; raft; ibft ]))
-      ns
+    par_cells
+      (List.map
+         (fun n ->
+           ( float_of_int n,
+             [
+               (fun () ->
+                 (run_pbft ~quick ~site:Cluster ~variant:Config.hl ~n ()).Harness.throughput);
+               (fun () ->
+                 run_lockstep ~flavour:Lockstep.Tendermint ~n ~clients:10 ~rate:2200.0
+                   ~duration:dur);
+               (fun () -> run_raft ~n ~clients:10 ~rate:2200.0 ~duration:dur);
+               (fun () ->
+                 run_lockstep ~flavour:Lockstep.Ibft ~n ~clients:10 ~rate:2200.0 ~duration:dur);
+             ] ))
+         ns)
   in
   let clients_axis = if quick then [ 1; 8; 64 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
   let vs_clients =
-    List.map
-      (fun clients ->
-        let n = 7 in
-        let rate = 2200.0 in
-        let hl =
-          (Harness.run ~duration:dur ~warmup ~variant:Config.hl ~n ~topology:(Topology.lan ())
-             ~workload:(Harness.Closed_loop { clients; outstanding = 8; think = 0.0 })
-             ())
-            .Harness.throughput
-        in
-        let tm = run_lockstep ~flavour:Lockstep.Tendermint ~n ~clients ~rate ~duration:dur in
-        let ibft = run_lockstep ~flavour:Lockstep.Ibft ~n ~clients ~rate ~duration:dur in
-        let raft = run_raft ~n ~clients ~rate ~duration:dur in
-        (float_of_int clients, [ hl; tm; raft; ibft ]))
-      clients_axis
+    par_cells
+      (List.map
+         (fun clients ->
+           let n = 7 in
+           let rate = 2200.0 in
+           ( float_of_int clients,
+             [
+               (fun () ->
+                 (Harness.run ~duration:dur ~warmup ~variant:Config.hl ~n
+                    ~topology:(Topology.lan ())
+                    ~workload:(Harness.Closed_loop { clients; outstanding = 8; think = 0.0 })
+                    ())
+                   .Harness.throughput);
+               (fun () -> run_lockstep ~flavour:Lockstep.Tendermint ~n ~clients ~rate ~duration:dur);
+               (fun () -> run_raft ~n ~clients ~rate ~duration:dur);
+               (fun () -> run_lockstep ~flavour:Lockstep.Ibft ~n ~clients ~rate ~duration:dur);
+             ] ))
+         clients_axis)
   in
   let columns = [ "HL(PBFT)"; "Tendermint"; "Quorum(Raft)"; "Quorum(IBFT)" ] in
   Results.figure ~id:"fig2" ~caption:"Comparison of BFT protocols"
@@ -273,19 +321,20 @@ let fig2 ?(quick = false) () =
 let variant_columns = [ "HL"; "AHL"; "AHL+"; "AHLR" ]
 
 let sweep_variants ~quick ~site ~byzantine ns =
-  List.map
-    (fun x ->
-      let per_variant variant =
-        let n, byz =
-          if byzantine then
-            (* x is f: HL runs 3f+1, the attested variants 2f+1. *)
-            (Config.n_for_f variant ~f:x, x)
-          else (x, 0)
-        in
-        run_pbft ~quick ~byzantine:byz ~site ~variant ~n ()
-      in
-      (float_of_int x, List.map per_variant Config.all_variants))
-    ns
+  par_cells
+    (List.map
+       (fun x ->
+         let per_variant variant () =
+           let n, byz =
+             if byzantine then
+               (* x is f: HL runs 3f+1, the attested variants 2f+1. *)
+               (Config.n_for_f variant ~f:x, x)
+             else (x, 0)
+           in
+           run_pbft ~quick ~byzantine:byz ~site ~variant ~n ()
+         in
+         (float_of_int x, List.map per_variant Config.all_variants))
+       ns)
 
 let fig8 ?(quick = false) () =
   let no_fail = sweep_variants ~quick ~site:Cluster ~byzantine:false (n_axis ~quick) in
@@ -316,30 +365,35 @@ let ablation_variants =
 let ablation_columns = [ "HL"; "AHL"; "AHL+op1"; "AHL+op1,2"; "AHL+op1,2,3" ]
 
 let fig10 ?(quick = false) () =
-  let row_of ~byzantine x =
-    let per variant =
-      let n, byz = if byzantine then (Config.n_for_f variant ~f:x, x) else (x, 0) in
-      (run_pbft ~quick ~byzantine:byz ~site:Cluster ~variant ~n ()).Harness.throughput
-    in
-    (float_of_int x, List.map per ablation_variants)
+  let rows_of ~byzantine xs =
+    par_cells
+      (List.map
+         (fun x ->
+           let per variant () =
+             let n, byz = if byzantine then (Config.n_for_f variant ~f:x, x) else (x, 0) in
+             (run_pbft ~quick ~byzantine:byz ~site:Cluster ~variant ~n ()).Harness.throughput
+           in
+           (float_of_int x, List.map per ablation_variants))
+         xs)
   in
   Results.figure ~id:"fig10" ~caption:"Effect of each optimization on throughput"
     [
       Results.panel ~title:"Throughput w/o failures" ~x_label:"N" ~columns:ablation_columns
-        ~rows:(List.map (row_of ~byzantine:false) [ 7; 19 ]);
+        ~rows:(rows_of ~byzantine:false [ 7; 19 ]);
       Results.panel ~title:"Throughput w/ failures" ~x_label:"f" ~columns:ablation_columns
-        ~rows:(List.map (row_of ~byzantine:true) [ 5; 20 ]);
+        ~rows:(rows_of ~byzantine:true [ 5; 20 ]);
     ]
 
 let fig15 ?(quick = false) () =
   let lat site ns =
-    List.map
-      (fun n ->
-        ( float_of_int n,
-          List.map
-            (fun variant -> (run_pbft ~quick ~site ~variant ~n ()).Harness.latency_mean)
-            Config.all_variants ))
-      ns
+    par_cells
+      (List.map
+         (fun n ->
+           ( float_of_int n,
+             List.map
+               (fun variant () -> (run_pbft ~quick ~site ~variant ~n ()).Harness.latency_mean)
+               Config.all_variants ))
+         ns)
   in
   Results.figure ~id:"fig15" ~caption:"Consensus latency (s)"
     [
@@ -351,15 +405,17 @@ let fig15 ?(quick = false) () =
 
 let fig16 ?(quick = false) () =
   let vc ~byzantine xs =
-    List.map
-      (fun x ->
-        ( float_of_int x,
-          List.map
-            (fun variant ->
-              let n, byz = if byzantine then (Config.n_for_f variant ~f:x, x) else (x, 0) in
-              float_of_int (run_pbft ~quick ~byzantine:byz ~site:Cluster ~variant ~n ()).Harness.view_changes)
-            Config.all_variants ))
-      xs
+    par_cells
+      (List.map
+         (fun x ->
+           ( float_of_int x,
+             List.map
+               (fun variant () ->
+                 let n, byz = if byzantine then (Config.n_for_f variant ~f:x, x) else (x, 0) in
+                 float_of_int
+                   (run_pbft ~quick ~byzantine:byz ~site:Cluster ~variant ~n ()).Harness.view_changes)
+               Config.all_variants ))
+         xs)
   in
   Results.figure ~id:"fig16" ~caption:"Number of view changes"
     [
@@ -371,11 +427,14 @@ let fig16 ?(quick = false) () =
 
 let fig17 ?(quick = false) () =
   let cost pick ns =
-    List.map
-      (fun n ->
-        ( float_of_int n,
-          List.map (fun variant -> pick (run_pbft ~quick ~site:Cluster ~variant ~n ())) Config.all_variants ))
-      ns
+    par_cells
+      (List.map
+         (fun n ->
+           ( float_of_int n,
+             List.map
+               (fun variant () -> pick (run_pbft ~quick ~site:Cluster ~variant ~n ()))
+               Config.all_variants ))
+         ns)
   in
   Results.figure ~id:"fig17" ~caption:"Per-block cost breakdown (observer CPU seconds)"
     [
@@ -409,15 +468,19 @@ let fig11 ?(quick = false) () =
   in
   let ns = if quick then [ 32; 128; 512 ] else [ 32; 64; 128; 256; 512 ] in
   let formation site =
-    List.map
-      (fun n ->
-        let topology = topology_of site in
-        let delta = Randomness.measured_delta ~topology ~n in
-        let l_bits = Randomness.paper_l_bits ~n in
-        let ours = Randomness.run ~n ~topology ~delta ~l_bits () in
-        let randhound = Randomness.randhound_runtime ~n ~group:16 ~topology in
-        (float_of_int n, [ randhound; ours.Randomness.elapsed ]))
-      ns
+    par_cells
+      (List.map
+         (fun n ->
+           let topology = topology_of site in
+           ( float_of_int n,
+             [
+               (fun () -> Randomness.randhound_runtime ~n ~group:16 ~topology);
+               (fun () ->
+                 let delta = Randomness.measured_delta ~topology ~n in
+                 let l_bits = Randomness.paper_l_bits ~n in
+                 (Randomness.run ~n ~topology ~delta ~l_bits ()).Randomness.elapsed);
+             ] ))
+         ns)
   in
   Results.figure ~id:"fig11" ~caption:"Evaluation of shard formation"
     [
@@ -445,14 +508,22 @@ let fig12 ?(quick = false) () =
   (* One run per (size, strategy); the first size's runs also provide the
      throughput-over-time panel. *)
   let runs =
+    let p = pool () in
+    let submitted =
+      List.map
+        (fun n ->
+          ( n,
+            List.map
+              (fun (name, reshard) ->
+                ( name,
+                  Pool.submit p (fun () ->
+                      run_shards ~quick ~shards:2 ~committee_size:n ?reshard ~dur:60.0 ()) ))
+              (strategies n) ))
+        sizes
+    in
     List.map
-      (fun n ->
-        ( n,
-          List.map
-            (fun (name, reshard) ->
-              (name, run_shards ~quick ~shards:2 ~committee_size:n ?reshard ~dur:60.0 ()))
-            (strategies n) ))
-      sizes
+      (fun (n, rs) -> (n, List.map (fun (name, fut) -> (name, Pool.await fut)) rs))
+      submitted
   in
   let avg =
     List.map (fun (n, rs) -> (float_of_int n, List.map (fun (_, r) -> r.tps) rs)) runs
@@ -491,32 +562,34 @@ let fig12 ?(quick = false) () =
 let fig13 ?(quick = false) () =
   let ns = if quick then [ 12; 36 ] else [ 8; 12; 18; 24; 36 ] in
   let tps_rows =
-    List.map
-      (fun total ->
-        let run ~variant ~csize ~mode =
-          let shards = Stdlib.max 1 (total / csize) in
-          (run_shards ~quick ~variant ~mode ~shards ~committee_size:csize ()).tps
-        in
-        ( float_of_int total,
-          [
-            run ~variant:Config.ahl_plus ~csize:3 ~mode:System.With_reference;
-            run ~variant:Config.hl ~csize:4 ~mode:System.With_reference;
-            run ~variant:Config.ahl_plus ~csize:3 ~mode:System.Client_driven;
-            run ~variant:Config.hl ~csize:4 ~mode:System.Client_driven;
-          ] ))
-      ns
+    par_cells
+      (List.map
+         (fun total ->
+           let run ~variant ~csize ~mode () =
+             let shards = Stdlib.max 1 (total / csize) in
+             (run_shards ~quick ~variant ~mode ~shards ~committee_size:csize ()).tps
+           in
+           ( float_of_int total,
+             [
+               run ~variant:Config.ahl_plus ~csize:3 ~mode:System.With_reference;
+               run ~variant:Config.hl ~csize:4 ~mode:System.With_reference;
+               run ~variant:Config.ahl_plus ~csize:3 ~mode:System.Client_driven;
+               run ~variant:Config.hl ~csize:4 ~mode:System.Client_driven;
+             ] ))
+         ns)
   in
   let thetas = if quick then [ 0.0; 0.99; 1.99 ] else [ 0.0; 0.49; 0.99; 1.49; 1.99 ] in
   let abort_rows =
-    List.map
-      (fun theta ->
-        ( theta,
-          List.map
-            (fun total ->
-              let shards = total / 3 in
-              (run_shards ~quick ~theta ~shards ~committee_size:3 ()).s_abort_rate)
-            (if quick then [ 18; 36 ] else [ 8; 18; 36 ]) ))
-      thetas
+    par_cells
+      (List.map
+         (fun theta ->
+           ( theta,
+             List.map
+               (fun total () ->
+                 let shards = total / 3 in
+                 (run_shards ~quick ~theta ~shards ~committee_size:3 ()).s_abort_rate)
+               (if quick then [ 18; 36 ] else [ 8; 18; 36 ]) ))
+         thetas)
   in
   Results.figure ~id:"fig13"
     ~caption:"Sharding on the local cluster, with and without the reference committee"
@@ -541,10 +614,15 @@ let fig14 ?(quick = false) () =
     in
     (r.tps, float_of_int shards)
   in
-  let rows = List.map (fun total ->
-      let t125, k125 = run_at ~csize:27 total in
-      let t25, k25 = run_at ~csize:79 total in
-      (float_of_int total, [ t125; t25 ], [ k125; k25 ])) points
+  let rows =
+    List.map
+      (fun (x, cells) -> (x, List.map fst cells, List.map snd cells))
+      (par_cells
+         (List.map
+            (fun total ->
+              ( float_of_int total,
+                [ (fun () -> run_at ~csize:27 total); (fun () -> run_at ~csize:79 total) ] ))
+            points))
   in
   Results.figure ~id:"fig14" ~caption:"Sharding performance on GCP (SmallBank, no reference committee)"
     [
@@ -557,21 +635,22 @@ let fig14 ?(quick = false) () =
 let fig18 ?(quick = false) () =
   let ns = if quick then [ 12; 36 ] else [ 8; 12; 18; 24; 36 ] in
   let rows =
-    List.map
-      (fun total ->
-        let run ~variant ~csize ~workload =
-          let shards = Stdlib.max 1 (total / csize) in
-          (run_shards ~quick ~variant ~workload ~shards ~committee_size:csize ()).tps
-        in
-        ( float_of_int total,
-          [
-            run ~variant:Config.ahl_plus ~csize:3 ~workload:Workload.Smallbank;
-            run ~variant:Config.hl ~csize:4 ~workload:Workload.Smallbank;
-            run ~variant:Config.ahl_plus ~csize:3
-              ~workload:(Workload.Kvstore { updates_per_tx = 3 });
-            run ~variant:Config.hl ~csize:4 ~workload:(Workload.Kvstore { updates_per_tx = 3 });
-          ] ))
-      ns
+    par_cells
+      (List.map
+         (fun total ->
+           let run ~variant ~csize ~workload () =
+             let shards = Stdlib.max 1 (total / csize) in
+             (run_shards ~quick ~variant ~workload ~shards ~committee_size:csize ()).tps
+           in
+           ( float_of_int total,
+             [
+               run ~variant:Config.ahl_plus ~csize:3 ~workload:Workload.Smallbank;
+               run ~variant:Config.hl ~csize:4 ~workload:Workload.Smallbank;
+               run ~variant:Config.ahl_plus ~csize:3
+                 ~workload:(Workload.Kvstore { updates_per_tx = 3 });
+               run ~variant:Config.hl ~csize:4 ~workload:(Workload.Kvstore { updates_per_tx = 3 });
+             ] ))
+         ns)
   in
   Results.figure ~id:"fig18" ~caption:"Sharding with KVStore vs SmallBank"
     [
@@ -590,18 +669,19 @@ let fig19 ?(quick = false) () =
      caps the aggregate, so throughput climbs with the client count until
      either the cap or the protocol's capacity binds. *)
   let panel rate =
-    List.map
-      (fun clients ->
-        let offered = Float.min rate (32.0 *. float_of_int clients) in
-        let per variant =
-          (Harness.run ~duration:(duration ~quick) ~warmup ~cpu_scale:3.5 ~tune:(tune_of Gcp8)
-             ~variant ~n:19 ~topology:(Topology.gcp 8)
-             ~workload:(Harness.Open_loop { rate = offered; clients })
-             ())
-            .Harness.throughput
-        in
-        (float_of_int clients, List.map per [ Config.hl; Config.ahl_plus; Config.ahlr ]))
-      clients_axis
+    par_cells
+      (List.map
+         (fun clients ->
+           let offered = Float.min rate (32.0 *. float_of_int clients) in
+           let per variant () =
+             (Harness.run ~duration:(duration ~quick) ~warmup ~cpu_scale:3.5 ~tune:(tune_of Gcp8)
+                ~variant ~n:19 ~topology:(Topology.gcp 8)
+                ~workload:(Harness.Open_loop { rate = offered; clients })
+                ())
+               .Harness.throughput
+           in
+           (float_of_int clients, List.map per [ Config.hl; Config.ahl_plus; Config.ahlr ]))
+         clients_axis)
   in
   Results.figure ~id:"fig19" ~caption:"Throughput vs workload on GCP (N=19)"
     [
@@ -619,17 +699,18 @@ let fig20 ?(quick = false) () =
     { Cost_model.default with Cost_model.tx_execute = 3.0 *. Cost_model.default.Cost_model.tx_execute }
   in
   let panel costs =
-    List.map
-      (fun clients ->
-        let per variant =
-          (Harness.run ~duration:(duration ~quick) ~warmup ~costs ~variant ~n:19
-             ~topology:(Topology.lan ())
-             ~workload:(Harness.Closed_loop { clients; outstanding = 8; think = 0.0 })
-             ())
-            .Harness.throughput
-        in
-        (float_of_int clients, List.map per Config.all_variants))
-      clients_axis
+    par_cells
+      (List.map
+         (fun clients ->
+           let per variant () =
+             (Harness.run ~duration:(duration ~quick) ~warmup ~costs ~variant ~n:19
+                ~topology:(Topology.lan ())
+                ~workload:(Harness.Closed_loop { clients; outstanding = 8; think = 0.0 })
+                ())
+               .Harness.throughput
+           in
+           (float_of_int clients, List.map per Config.all_variants))
+         clients_axis)
   in
   Results.figure ~id:"fig20" ~caption:"Throughput vs workload on the local cluster (N=19)"
     [
@@ -645,34 +726,26 @@ let fig20 ?(quick = false) () =
 
 let poet_sites = [ ("cluster", Topology.constrained_lan ~latency_ms:100.0 ~bandwidth_mbps:50.0) ]
 
-let poet_cache : (int * float * int * bool, Poet.result) Hashtbl.t = Hashtbl.create 32
+let poet_cache : (int * float * int * bool, Poet.result) Memo.t = Memo.create ~size:32 ()
 
 let poet_rows ~quick pick topology =
   let ns = if quick then [ 8; 128 ] else [ 2; 8; 32; 128 ] in
   let sizes = if quick then [ 2.0; 8.0 ] else [ 2.0; 4.0; 8.0 ] in
   let dur = if quick then 1200.0 else 1800.0 in
-  List.map
-    (fun n ->
-      let per block_mb l_bits =
-        let key = (n, block_mb, l_bits, quick) in
-        let r =
-          match Hashtbl.find_opt poet_cache key with
-          | Some r -> r
-          | None ->
-              let r =
-                Poet.run ~n ~topology ~block_mb ~block_time:18.0 ~l_bits ~tx_bytes:500
-                  ~duration:dur ()
-              in
-              Hashtbl.replace poet_cache key r;
-              r
-        in
-        pick r
-      in
-      ( float_of_int n,
-        List.concat_map
-          (fun mb -> [ per mb 0; per mb (Poet.plus_l_bits ~n) ])
-          sizes ))
-    ns
+  let rows =
+    par_cells
+      (List.map
+         (fun n ->
+           let per block_mb l_bits () =
+             Memo.get poet_cache (n, block_mb, l_bits, quick) (fun () ->
+                 Poet.run ~n ~topology ~block_mb ~block_time:18.0 ~l_bits ~tx_bytes:500
+                   ~duration:dur ())
+           in
+           ( float_of_int n,
+             List.concat_map (fun mb -> [ per mb 0; per mb (Poet.plus_l_bits ~n) ]) sizes ))
+         ns)
+  in
+  List.map (fun (x, cells) -> (x, List.map pick cells)) rows
 
 let poet_columns ~quick =
   let sizes = if quick then [ 2; 8 ] else [ 2; 4; 8 ] in
@@ -754,19 +827,29 @@ let appendix_b () =
     done;
     float_of_int !hits /. float_of_int trials
   in
-  let rows =
+  let cases =
     List.concat_map
       (fun args ->
         List.filter_map
           (fun touches ->
             let analytic = Sizing.cross_shard_probability ~shards ~args ~touches in
-            if analytic < 1e-6 then None
-            else
-              Some
-                ( float_of_int ((args * 10) + touches),
-                  [ float_of_int args; float_of_int touches; analytic; mc ~args ~touches ] ))
+            if analytic < 1e-6 then None else Some (args, touches, analytic))
           [ 1; 2; 3; 4 ])
       [ 1; 2; 3; 4 ]
+  in
+  let rows =
+    let p = pool () in
+    let submitted =
+      List.map
+        (fun (args, touches, analytic) ->
+          (args, touches, analytic, Pool.submit p (fun () -> mc ~args ~touches)))
+        cases
+    in
+    List.map
+      (fun (args, touches, analytic, fut) ->
+        ( float_of_int ((args * 10) + touches),
+          [ float_of_int args; float_of_int touches; analytic; Pool.await fut ] ))
+      submitted
   in
   Results.figure ~id:"appendix_b"
     ~caption:"Probability a d-argument transaction touches x of 10 shards (Eq. 3 vs Monte Carlo)"
@@ -781,15 +864,20 @@ let appendix_b () =
 
 let ablation_cc ?(quick = false) () =
   let thetas = if quick then [ 0.0; 0.99; 1.99 ] else [ 0.0; 0.49; 0.99; 1.49; 1.99 ] in
-  let rows metric =
-    List.map
-      (fun theta ->
-        let per concurrency =
-          metric (run_shards ~quick ~theta ~concurrency ~shards:6 ~committee_size:3 ())
-        in
-        (theta, [ per System.Two_phase_locking; per System.Wait_die ]))
-      thetas
+  (* One run per (theta, concurrency); both panels read the same results
+     (the sequential version re-ran every simulation per panel). *)
+  let cells =
+    par_cells
+      (List.map
+         (fun theta ->
+           ( theta,
+             List.map
+               (fun concurrency () ->
+                 run_shards ~quick ~theta ~concurrency ~shards:6 ~committee_size:3 ())
+               [ System.Two_phase_locking; System.Wait_die ] ))
+         thetas)
   in
+  let rows metric = List.map (fun (theta, rs) -> (theta, List.map metric rs)) cells in
   Results.figure ~id:"ablation_cc"
     ~caption:
       "Extension (Section 6.4): 2PL vs wait-die lock waiting under contention (6 shards, SmallBank)"
@@ -803,6 +891,10 @@ let ablation_cc ?(quick = false) () =
 (* ------------------------------------------------------------------ *)
 (* Index                                                               *)
 (* ------------------------------------------------------------------ *)
+
+let reset_caches () =
+  Memo.clear pbft_cache;
+  Memo.clear poet_cache
 
 let all_ids =
   [

@@ -6,6 +6,21 @@
     the defaults regenerate the full x-axes at shorter virtual durations
     than the paper's wall-clock runs (shapes are stable well before). *)
 
+val set_jobs : int -> unit
+(** Fix the worker-domain count for subsequent figures (replacing any
+    live pool).  Without a call, the count comes from [BENCH_JOBS] or
+    [Domain.recommended_domain_count].  The rendered figures are
+    bit-identical for every worker count; only wall time changes.
+    Do not call while a figure is running. *)
+
+val jobs_in_use : unit -> int
+(** The worker count the next figure will run with. *)
+
+val reset_caches : unit -> unit
+(** Drop the memoized PBFT/PoET sweeps so the next figure recomputes
+    them (used by the determinism replay test).  Do not call while a
+    figure is running. *)
+
 val table1 : unit -> Results.figure
 (** Methodology comparison with other sharded blockchains. *)
 

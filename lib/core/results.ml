@@ -59,3 +59,62 @@ let save_csv ~dir f =
       output_string oc contents;
       close_out oc)
     (to_csv f)
+
+(* ---- machine-readable artifacts ----------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num x =
+  if Float.is_nan x then "null"
+  else if x = Float.infinity then "1e999"
+  else if x = Float.neg_infinity then "-1e999"
+  else Printf.sprintf "%g" x
+
+let to_json ?wall_time_s ?jobs f =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "{\"id\":\"%s\",\"caption\":\"%s\"" (json_escape f.id) (json_escape f.caption));
+  Option.iter (fun t -> Buffer.add_string buf (Printf.sprintf ",\"wall_time_s\":%.3f" t)) wall_time_s;
+  Option.iter (fun j -> Buffer.add_string buf (Printf.sprintf ",\"jobs\":%d" j)) jobs;
+  Buffer.add_string buf ",\"panels\":[";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char buf ',';
+      if p.columns = [] && p.rows = [] then
+        (* Preformatted text figure: the body lives in the title. *)
+        Buffer.add_string buf (Printf.sprintf "{\"text\":\"%s\"}" (json_escape p.title))
+      else begin
+        Buffer.add_string buf
+          (Printf.sprintf "{\"title\":\"%s\",\"x_label\":\"%s\",\"columns\":[%s],\"rows\":["
+             (json_escape p.title) (json_escape p.x_label)
+             (String.concat "," (List.map (fun c -> "\"" ^ json_escape c ^ "\"") p.columns)));
+        List.iteri
+          (fun j (x, ys) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "{\"x\":%s,\"values\":[%s]}" (json_num x)
+                 (String.concat "," (List.map json_num ys))))
+          p.rows;
+        Buffer.add_string buf "]}"
+      end)
+    f.panels;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let save_json ~dir ?wall_time_s ?jobs f =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir (Printf.sprintf "BENCH_%s.json" f.id)) in
+  output_string oc (to_json ?wall_time_s ?jobs f);
+  close_out oc

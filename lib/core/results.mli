@@ -27,3 +27,11 @@ val to_csv : figure -> (string * string) list
 
 val save_csv : dir:string -> figure -> unit
 (** Write the CSVs under [dir] (created if missing). *)
+
+val to_json : ?wall_time_s:float -> ?jobs:int -> figure -> string
+(** The whole figure as one JSON object — id, caption, panels with axis
+    points and series values, plus optional wall-time and worker-count
+    metadata — so successive bench runs can be diffed by tooling. *)
+
+val save_json : dir:string -> ?wall_time_s:float -> ?jobs:int -> figure -> unit
+(** Write {!to_json} to [dir]/BENCH_<id>.json (dir created if missing). *)

@@ -43,7 +43,11 @@ let ( ^^ ) = Int32.logxor
 let ( &&& ) = Int32.logand
 let ( +% ) = Int32.add
 
-let compress st block offset =
+(* The message schedule is loaded by input-specific loaders so whole
+   blocks are consumed in place — directly from the caller's string or
+   from the partial-block buffer — without an intermediate copy. *)
+
+let load_block_bytes st block offset =
   let w = st.w in
   for i = 0 to 15 do
     let b j = Int32.of_int (Char.code (Bytes.get block (offset + (4 * i) + j))) in
@@ -51,7 +55,21 @@ let compress st block offset =
       Int32.logor
         (Int32.shift_left (b 0) 24)
         (Int32.logor (Int32.shift_left (b 1) 16) (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
-  done;
+  done
+
+let load_block_string st s offset =
+  let w = st.w in
+  for i = 0 to 15 do
+    let b j = Int32.of_int (Char.code (String.get s (offset + (4 * i) + j))) in
+    w.(i) <-
+      Int32.logor
+        (Int32.shift_left (b 0) 24)
+        (Int32.logor (Int32.shift_left (b 1) 16) (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done
+
+(* Rounds over the already-loaded schedule w.(0..15). *)
+let compress_rounds st =
+  let w = st.w in
   for i = 16 to 63 do
     let s0 = (w.(i - 15) >>> 7) ^^ (w.(i - 15) >>> 18) ^^ Int32.shift_right_logical w.(i - 15) 3 in
     let s1 = (w.(i - 2) >>> 17) ^^ (w.(i - 2) >>> 19) ^^ Int32.shift_right_logical w.(i - 2) 10 in
@@ -91,20 +109,20 @@ let feed st s =
   (* Fill a partial block first. *)
   if st.buf_len > 0 then begin
     let need = 64 - st.buf_len in
-    let take = Stdlib.min need len in
+    let take = if need < len then need else len in
     Bytes.blit_string s 0 st.buf st.buf_len take;
     st.buf_len <- st.buf_len + take;
     pos := take;
     if st.buf_len = 64 then begin
-      compress st st.buf 0;
+      load_block_bytes st st.buf 0;
+      compress_rounds st;
       st.buf_len <- 0
     end
   end;
-  (* Whole blocks directly from the input. *)
-  let tmp = Bytes.create 64 in
+  (* Whole blocks in place from the input — no staging copy. *)
   while len - !pos >= 64 do
-    Bytes.blit_string s !pos tmp 0 64;
-    compress st tmp 0;
+    load_block_string st s !pos;
+    compress_rounds st;
     pos := !pos + 64
   done;
   (* Stash the tail. *)
@@ -113,25 +131,45 @@ let feed st s =
     st.buf_len <- st.buf_len + (len - !pos)
   end
 
+(* A 64-byte block fed without growing the buffer: HMAC's key pads are
+   exactly one block, so they compress directly. *)
+let feed_block st block =
+  st.total <- Int64.add st.total 64L;
+  load_block_bytes st block 0;
+  compress_rounds st
+
 let finish st =
   let bit_len = Int64.mul st.total 8L in
-  (* Append 0x80, zero padding, and the 64-bit big-endian length. *)
-  let pad_len =
-    let rem = (st.buf_len + 1 + 8) mod 64 in
-    if rem = 0 then 0 else 64 - rem
-  in
-  let tail = Bytes.make (1 + pad_len + 8) '\x00' in
-  Bytes.set tail 0 '\x80';
+  (* Pad in place inside the block buffer: append 0x80, zeros, and the
+     64-bit big-endian length — no intermediate tail string. *)
+  let b = st.buf in
+  let len = st.buf_len in
+  Bytes.set b len '\x80';
+  if len >= 56 then begin
+    (* No room for the length in this block: close it out and pad a
+       second, all-zero block. *)
+    Bytes.fill b (len + 1) (64 - len - 1) '\x00';
+    load_block_bytes st b 0;
+    compress_rounds st;
+    Bytes.fill b 0 56 '\x00'
+  end
+  else Bytes.fill b (len + 1) (56 - len - 1) '\x00';
   for i = 0 to 7 do
-    Bytes.set tail
-      (1 + pad_len + i)
+    Bytes.set b (56 + i)
       (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len (8 * (7 - i))) 0xFFL)))
   done;
-  feed st (Bytes.to_string tail);
-  assert (st.buf_len = 0);
-  String.init 32 (fun i ->
-      let word = st.h.(i / 4) in
-      Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word (8 * (3 - (i mod 4)))) 0xFFl)))
+  load_block_bytes st b 0;
+  compress_rounds st;
+  st.buf_len <- 0;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let word = st.h.(i) in
+    Bytes.set out (4 * i) (Char.chr (Int32.to_int (Int32.shift_right_logical word 24) land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical word 16) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical word 8) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr (Int32.to_int word land 0xFF))
+  done;
+  Bytes.unsafe_to_string out
 
 let digest_string s =
   let st = init () in
@@ -145,9 +183,13 @@ let digest_concat parts =
 
 let to_hex d =
   let hex = "0123456789abcdef" in
-  String.init 64 (fun i ->
-      let byte = Char.code d.[i / 2] in
-      if i mod 2 = 0 then hex.[byte lsr 4] else hex.[byte land 0xF])
+  let out = Bytes.create 64 in
+  for i = 0 to 31 do
+    let byte = Char.code d.[i] in
+    Bytes.set out (2 * i) hex.[byte lsr 4];
+    Bytes.set out ((2 * i) + 1) hex.[byte land 0xF]
+  done;
+  Bytes.unsafe_to_string out
 
 let of_raw_exn s =
   if String.length s <> 32 then invalid_arg "Sha256.of_raw_exn: expected 32 bytes";
@@ -162,10 +204,19 @@ let compare = String.compare
 let hmac ~key msg =
   let block = 64 in
   let key = if String.length key > block then (digest_string key : digest :> string) else key in
-  let pad c =
-    String.init block (fun i ->
-        let k = if i < String.length key then Char.code key.[i] else 0 in
-        Char.chr (k lxor c))
-  in
-  let inner = digest_concat [ pad 0x36; msg ] in
-  digest_concat [ pad 0x5c; (inner :> string) ]
+  (* Both pads in one pass over the key; each is exactly one compression
+     block, fed in place. *)
+  let ipad = Bytes.make block '\x36' and opad = Bytes.make block '\x5c' in
+  for i = 0 to String.length key - 1 do
+    let k = Char.code key.[i] in
+    Bytes.set ipad i (Char.chr (k lxor 0x36));
+    Bytes.set opad i (Char.chr (k lxor 0x5c))
+  done;
+  let st = init () in
+  feed_block st ipad;
+  feed st msg;
+  let inner = finish st in
+  let st = init () in
+  feed_block st opad;
+  feed st (inner :> string);
+  finish st

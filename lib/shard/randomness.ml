@@ -14,8 +14,8 @@ type outcome = {
 }
 
 let paper_l_bits ~n =
-  let logn = log (float_of_int (Stdlib.max 2 n)) /. log 2.0 in
-  Stdlib.max 1 (int_of_float (Float.round (logn -. (log logn /. log 2.0))))
+  let logn = log (float_of_int (Int.max 2 n)) /. log 2.0 in
+  Int.max 1 (int_of_float (Float.round (logn -. (log logn /. log 2.0))))
 
 let measured_delta ~topology ~n =
   (* Maximum propagation of a 1 KB message across the deployment, tripled
@@ -32,7 +32,7 @@ let measured_delta ~topology ~n =
       done
     done
   done;
-  let hops = Float.ceil (log (float_of_int (Stdlib.max 2 n)) /. log 8.0) in
+  let hops = Float.ceil (log (float_of_int (Int.max 2 n)) /. log 8.0) in
   let base = (!worst +. Topology.transfer_time topology ~bytes:1024) *. hops in
   (* Conservative floor growing with gossip fan-out, scaled further on
      multi-region deployments (the paper measured 2-4.5 s on the cluster

@@ -26,15 +26,15 @@ let min_committee_size ~total ~fraction ~rule ~security_bits =
 
 let max_shards ~total ~fraction ~rule ~security_bits =
   let n = min_committee_size ~total ~fraction ~rule ~security_bits in
-  (Stdlib.max 1 (total / n), n)
+  (Int.max 1 (total / n), n)
 
 let swap_batch_size ~n =
-  Stdlib.max 1 (int_of_float (Float.round (log (float_of_int (Stdlib.max 2 n)) /. log 2.0)))
+  Int.max 1 (int_of_float (Float.round (log (float_of_int (Int.max 2 n)) /. log 2.0)))
 
 let pr_epoch_transition_faulty ~total ~byzantine ~n ~k ~batch rule =
   (* Expected number of intermediate committees during one transition. *)
   let intermediates =
-    float_of_int n *. float_of_int (k - 1) /. float_of_int k /. float_of_int (Stdlib.max 1 batch)
+    float_of_int n *. float_of_int (k - 1) /. float_of_int k /. float_of_int (Int.max 1 batch)
   in
   let per = pr_faulty_committee ~total ~byzantine ~n rule in
   Float.min 1.0 (intermediates *. per)
@@ -51,7 +51,7 @@ let stirling2 d =
   table.(d)
 
 let cross_shard_probability ~shards ~args ~touches =
-  if touches < 1 || touches > Stdlib.min args shards then 0.0
+  if touches < 1 || touches > Int.min args shards then 0.0
   else begin
     let s = stirling2 args in
     (* P(X = x) = C(k, x) · x! · S(d, x) / k^d *)

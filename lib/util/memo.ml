@@ -1,0 +1,65 @@
+type 'v cell_state =
+  | Running
+  | Ready of 'v
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'v cell = {
+  cm : Mutex.t;
+  cc : Condition.t;
+  mutable state : 'v cell_state;
+}
+
+type ('k, 'v) t = {
+  m : Mutex.t;
+  table : ('k, 'v cell) Hashtbl.t;
+}
+
+let create ?(size = 64) () = { m = Mutex.create (); table = Hashtbl.create size }
+
+let wait_cell cell =
+  Mutex.lock cell.cm;
+  let rec go () =
+    match cell.state with
+    | Running ->
+        Condition.wait cell.cc cell.cm;
+        go ()
+    | Ready v ->
+        Mutex.unlock cell.cm;
+        v
+    | Raised (e, bt) ->
+        Mutex.unlock cell.cm;
+        Printexc.raise_with_backtrace e bt
+  in
+  go ()
+
+let settle cell state =
+  Mutex.lock cell.cm;
+  cell.state <- state;
+  Condition.broadcast cell.cc;
+  Mutex.unlock cell.cm
+
+let get t key compute =
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.table key with
+  | Some cell ->
+      Mutex.unlock t.m;
+      wait_cell cell
+  | None ->
+      (* Claim the key before computing so concurrent callers block on the
+         cell instead of duplicating the work. *)
+      let cell = { cm = Mutex.create (); cc = Condition.create (); state = Running } in
+      Hashtbl.replace t.table key cell;
+      Mutex.unlock t.m;
+      (match compute () with
+      | v ->
+          settle cell (Ready v);
+          v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          settle cell (Raised (e, bt));
+          Printexc.raise_with_backtrace e bt)
+
+let clear t =
+  Mutex.lock t.m;
+  Hashtbl.reset t.table;
+  Mutex.unlock t.m

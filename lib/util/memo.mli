@@ -1,0 +1,20 @@
+(** Mutex-guarded keyed once-cells.
+
+    [get t key compute] runs [compute] at most once per key, even under
+    concurrent callers from different domains: the first caller claims the
+    key and computes while later callers block until the cell settles, then
+    share the value (or the computation's exception).  This is how shared
+    experiment sweeps (Figures 8/15/16/17) stay computed-exactly-once when
+    datapoints run in parallel.
+
+    [compute] must be a pure function of [key] for results to be
+    deterministic — which caller wins the race is scheduling-dependent. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+
+val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val clear : ('k, 'v) t -> unit
+(** Forget every cell.  Only call while no [get] is in flight. *)

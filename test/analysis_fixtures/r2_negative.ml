@@ -9,3 +9,7 @@ let is_nil x = Option.is_none x
 let same a b = String.equal a b
 
 let scalar_eq (a : int) b = a = b
+
+let lo a b = Int.min a b
+
+let hi a b = Float.max a b

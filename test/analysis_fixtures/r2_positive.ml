@@ -14,3 +14,7 @@ let nonempty x = x <> []
 let phys a b = a == b
 
 let cmp a b = Stdlib.compare a b
+
+let lo a b = min a b
+
+let hi a b = Stdlib.max a b

@@ -38,7 +38,7 @@ let test_r1_inline_allow () =
 
 let test_r2_positive_in_scope () =
   let fs = check_fixture ~logical:"lib/consensus" "r2_positive.ml" in
-  Alcotest.(check int) "seven R2 findings" 7 (count Lint_types.R2 fs)
+  Alcotest.(check int) "nine R2 findings" 9 (count Lint_types.R2 fs)
 
 let test_r2_out_of_scope () =
   let fs = check_fixture ~logical:"lib/sim" "r2_positive.ml" in

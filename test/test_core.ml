@@ -372,6 +372,25 @@ let () =
                   Alcotest.(check string) "filename" "figX-panel-a.csv" name;
                   Alcotest.(check string) "contents" "N,s1,s2\n1,2,3\n2,4,5\n" body
               | _ -> Alcotest.fail "expected one csv");
+          Alcotest.test_case "json export" `Quick (fun () ->
+              let fig =
+                Results.figure ~id:"figX" ~caption:"a \"quoted\" caption"
+                  [
+                    Results.panel ~title:"Panel A" ~x_label:"N" ~columns:[ "s1" ]
+                      ~rows:[ (1.0, [ 2.5 ]); (2.0, [ Float.nan ]) ];
+                  ]
+              in
+              let json = Results.to_json ~wall_time_s:1.25 ~jobs:4 fig in
+              Alcotest.(check string) "object with metadata and escaped caption"
+                ("{\"id\":\"figX\",\"caption\":\"a \\\"quoted\\\" caption\","
+                ^ "\"wall_time_s\":1.250,\"jobs\":4,\"panels\":["
+                ^ "{\"title\":\"Panel A\",\"x_label\":\"N\",\"columns\":[\"s1\"],"
+                ^ "\"rows\":[{\"x\":1,\"values\":[2.5]},{\"x\":2,\"values\":[null]}]}]}\n")
+                json;
+              let text = Results.text_figure ~id:"t1" ~caption:"c" "line1\nline2" in
+              Alcotest.(check string) "text panel escapes newlines"
+                "{\"id\":\"t1\",\"caption\":\"c\",\"panels\":[{\"text\":\"line1\\nline2\"}]}\n"
+                (Results.to_json text));
         ] );
       ( "formation",
         [

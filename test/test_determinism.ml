@@ -40,6 +40,22 @@ let test_run_produces_work () =
   let r = small_run ~seed:7L in
   Alcotest.(check bool) "committed transactions" true (r.Harness.committed > 0)
 
+(* The parallel runner's contract: a figure rendered with 4 worker domains
+   is bit-for-bit the figure rendered sequentially.  Caches are dropped
+   between runs so both actually recompute every datapoint. *)
+let test_parallel_join_bit_identical () =
+  let open Repro_core in
+  let render jobs =
+    Experiment.set_jobs jobs;
+    Experiment.reset_caches ();
+    Results.render (Experiment.fig10 ~quick:true ())
+  in
+  let sequential = render 1 in
+  let parallel = render 4 in
+  Experiment.set_jobs 1 (* join the 4 worker domains *);
+  Alcotest.(check string) "jobs=4 output equals jobs=1 output" sequential parallel;
+  Alcotest.(check bool) "figure is non-trivial" true (String.length sequential > 200)
+
 let () =
   Alcotest.run "determinism"
     [
@@ -47,5 +63,10 @@ let () =
         [
           Alcotest.test_case "same seed, identical metrics" `Quick test_same_seed_same_metrics;
           Alcotest.test_case "scenario is non-trivial" `Quick test_run_produces_work;
+        ] );
+      ( "parallel-runner",
+        [
+          Alcotest.test_case "worker count does not change output" `Slow
+            test_parallel_join_bit_identical;
         ] );
     ]

@@ -183,6 +183,71 @@ let test_heap_random_against_sort () =
     sorted
 
 (* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_ordered () =
+  Alcotest.(check bool) "default_jobs positive" true (Pool.default_jobs () >= 1);
+  let p = Pool.create ~jobs:4 in
+  Alcotest.(check int) "jobs accessor" 4 (Pool.jobs p);
+  let xs = List.init 100 Fun.id in
+  let ys = Pool.map p (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "results in submission order" (List.map (fun x -> x * x) xs) ys;
+  Pool.shutdown p
+
+let test_pool_exception_propagates () =
+  let p = Pool.create ~jobs:2 in
+  let fut = Pool.submit p (fun () -> failwith "boom") in
+  Alcotest.check_raises "worker exception re-raised" (Failure "boom") (fun () ->
+      ignore (Pool.await fut : unit));
+  Alcotest.check_raises "await is idempotent" (Failure "boom") (fun () ->
+      ignore (Pool.await fut : unit));
+  Alcotest.(check int) "pool usable after a failed task" 7
+    (Pool.await (Pool.submit p (fun () -> 7)));
+  Pool.shutdown p
+
+let test_pool_sequential_inline () =
+  (* jobs = 1 spawns no domain: the task runs at submission, so its side
+     effect is visible before await. *)
+  let p = Pool.create ~jobs:0 (* clamped to 1 *) in
+  Alcotest.(check int) "jobs clamped to 1" 1 (Pool.jobs p);
+  let trace = ref [] in
+  let futs =
+    List.map (fun i -> Pool.submit p (fun () -> trace := i :: !trace; i)) [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "ran inline at submit, in order" [ 3; 2; 1 ] !trace;
+  Alcotest.(check (list int)) "await returns values" [ 1; 2; 3 ] (List.map Pool.await futs);
+  Pool.shutdown p
+
+(* ------------------------------------------------------------------ *)
+(* Memo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_exactly_once () =
+  let m : (int, int) Memo.t = Memo.create () in
+  let calls = Atomic.make 0 in
+  let compute key () =
+    Atomic.incr calls;
+    key * 10
+  in
+  let p = Pool.create ~jobs:4 in
+  let futs = List.init 16 (fun _ -> Pool.submit p (fun () -> Memo.get m 42 (compute 42))) in
+  List.iter (fun f -> Alcotest.(check int) "shared value" 420 (Pool.await f)) futs;
+  Pool.shutdown p;
+  Alcotest.(check int) "computed exactly once under contention" 1 (Atomic.get calls);
+  Alcotest.(check int) "second key computes" 70 (Memo.get m 7 (compute 7));
+  Alcotest.(check int) "two computations total" 2 (Atomic.get calls)
+
+let test_memo_clear_recomputes () =
+  let m : (string, int) Memo.t = Memo.create () in
+  let calls = Atomic.make 0 in
+  let compute () = Atomic.incr calls; Atomic.get calls in
+  Alcotest.(check int) "first" 1 (Memo.get m "k" compute);
+  Alcotest.(check int) "cached" 1 (Memo.get m "k" compute);
+  Memo.clear m;
+  Alcotest.(check int) "recomputed after clear" 2 (Memo.get m "k" compute)
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -403,6 +468,25 @@ let prop_heap_pop_sorted =
       in
       drain neg_infinity)
 
+let prop_heap_ties_fifo =
+  (* Small key range forces many ties; values are insertion indices, so a
+     drain must match a stable sort by key — exercising the seq tie-break. *)
+  QCheck.Test.make ~name:"heap breaks key ties in FIFO order" ~count:200
+    QCheck.(list (int_bound 7))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h (float_of_int k) i) keys;
+      let expected =
+        List.map snd
+          (List.stable_sort
+             (fun (a, _) (b, _) -> Int.compare a b)
+             (List.mapi (fun i k -> (k, i)) keys))
+      in
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = expected)
+
 let prop_permutation_bijective =
   QCheck.Test.make ~name:"permutation is bijective" ~count:100
     QCheck.(pair small_int (int_bound 1000))
@@ -451,6 +535,7 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_heap_pop_sorted;
+      prop_heap_ties_fifo;
       prop_permutation_bijective;
       prop_stats_mean_bounded;
       prop_zipf_sample_in_range;
@@ -486,6 +571,17 @@ let () =
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
           Alcotest.test_case "random vs sort" `Quick test_heap_random_against_sort;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves submission order" `Quick test_pool_map_ordered;
+          Alcotest.test_case "worker exceptions propagate" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "jobs=1 runs inline" `Quick test_pool_sequential_inline;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "exactly once under contention" `Quick test_memo_exactly_once;
+          Alcotest.test_case "clear recomputes" `Quick test_memo_clear_recomputes;
         ] );
       ( "stats",
         [

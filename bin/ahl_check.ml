@@ -1,0 +1,83 @@
+(* ahl_check: deterministic adversarial schedule explorer for the AHL
+   reproduction.
+
+   Usage: ahl_check [--variant NAME] [--n N] [--f F] [--trials T]
+                    [--seed S] [--budget B] [--json]
+
+   Variants: hl2f1 hl ahl ahl+ ahlr, or `diff` (the default) for the
+   headline differential — HL's unattested quorums at N=2f+1 must yield
+   a safety violation within the trial budget while AHL/AHL+/AHLR stay
+   safe under identical schedules.
+
+   Exit codes: 0 property holds / no safety violation, 1 otherwise,
+   2 usage errors.  Every reported witness is replayable from
+   (engine_seed, schedule) alone. *)
+
+open Repro_check
+open Repro_consensus
+
+let () =
+  let variant = ref "diff" in
+  let n = ref 0 in
+  let f = ref 1 in
+  let trials = ref 5 in
+  let seed = ref 11 in
+  let budget = ref 32 in
+  let json = ref false in
+  let spec =
+    [
+      ( "--variant",
+        Arg.Set_string variant,
+        "NAME hl2f1|hl|ahl|ahl+|ahlr, or diff for the differential (default: diff)" );
+      ("--n", Arg.Set_int n, "N committee size (default: derived from the variant and F)");
+      ("--f", Arg.Set_int f, "F byzantine replicas (default: 1)");
+      ("--trials", Arg.Set_int trials, "T seeded schedules to explore (default: 5)");
+      ("--seed", Arg.Set_int seed, "S base seed; trial i uses engine seed S+i (default: 11)");
+      ("--budget", Arg.Set_int budget, "B max shrink replays per violation (default: 32)");
+      ("--json", Arg.Set json, " emit a machine-readable summary on stdout");
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun a ->
+      Printf.eprintf "ahl_check: unexpected argument %s\n" a;
+      exit 2)
+    "ahl_check [options]  (adversarial schedule explorer; see DESIGN.md)";
+  if !f < 1 then begin
+    Printf.eprintf "ahl_check: --f must be >= 1\n";
+    exit 2
+  end;
+  if !trials < 1 || !budget < 0 then begin
+    Printf.eprintf "ahl_check: --trials must be >= 1 and --budget >= 0\n";
+    exit 2
+  end;
+  let seed = Int64.of_int !seed in
+  (* The explorer itself is clock-free; wall time is measured here, at the
+     edge, for the JSON summary only.  ahl_lint: allow R1 *)
+  let started = Unix.gettimeofday () in
+  let finish reports ok =
+    if !json then begin
+      let wall_time = Unix.gettimeofday () -. started in (* ahl_lint: allow R1 *)
+      print_endline (Explore.json_summary ~wall_time reports)
+    end;
+    exit (if ok then 0 else 1)
+  in
+  match !variant with
+  | "diff" | "differential" ->
+      let d = Explore.differential ~f:!f ~trials:!trials ~seed ~budget:!budget in
+      if not !json then begin
+        Format.printf "broken:@.%a@." Explore.pp_report d.Explore.broken;
+        List.iter (fun r -> Format.printf "safe:@.%a@." Explore.pp_report r) d.Explore.safe;
+        Format.printf "differential %s@."
+          (if d.Explore.holds then "holds" else "DOES NOT HOLD")
+      end;
+      finish (d.Explore.broken :: d.Explore.safe) d.Explore.holds
+  | name -> (
+      match Explore.variant_of_name name with
+      | None ->
+          Printf.eprintf "ahl_check: unknown variant %s\n" name;
+          exit 2
+      | Some variant ->
+          let n = if !n > 0 then !n else Config.n_for_f variant ~f:!f in
+          let r = Explore.run ~variant ~n ~f:!f ~trials:!trials ~seed ~budget:!budget in
+          if not !json then Format.printf "%a" Explore.pp_report r;
+          finish [ r ] (r.Explore.safety_violations = 0))

@@ -23,6 +23,15 @@ let in_r2_scope path =
 
 let in_r3_scope path = starts_with ~prefix:"lib/" path
 
+(* Bare quorum arithmetic: consensus and shard paths, minus the three
+   modules whose whole job is to compute those sizes. *)
+let r5_allowlist =
+  [ "lib/consensus/config.ml"; "lib/consensus/quorum.ml"; "lib/shard/sizing.ml" ]
+
+let in_r5_scope path =
+  (starts_with ~prefix:"lib/consensus/" path || starts_with ~prefix:"lib/shard/" path)
+  && not (List.exists (String.equal path) r5_allowlist)
+
 (* ------------------------------------------------------------------ *)
 (* Longident helpers                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -86,6 +95,21 @@ let is_structural (e : Parsetree.expression) =
   match e.pexp_desc with
   | Pexp_construct ({ txt = Longident.Lident ("true" | "false"); _ }, None) -> false
   | Pexp_construct _ | Pexp_tuple _ | Pexp_record _ | Pexp_variant _ | Pexp_array _ -> true
+  | _ -> false
+
+(* R5 shape: [p + 1] or [1 + p] where [p] is a product with a literal 2
+   or 3 factor — the textbook [2*f+1] / [3*f+1] quorum formulas. *)
+let is_const_int n (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, None)) -> (
+      match int_of_string_opt s with Some v -> v = n | None -> false)
+  | _ -> false
+
+let is_quorum_product (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident "*"; _ }; _ }, [ (_, a); (_, b) ]) ->
+      is_const_int 2 a || is_const_int 3 a || is_const_int 2 b || is_const_int 3 b
   | _ -> false
 
 let check_ident ~path ~report lid loc =
@@ -161,6 +185,13 @@ let check_expr ~path ~report (e : Parsetree.expression) =
     when in_r2_scope path ->
       report ~rule:R2 ~severity:Error e.pexp_loc
         (Printf.sprintf "physical equality (%s) in a state path; use = on scalars or an explicit equal" op)
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Longident.Lident "+"; _ }; _ }, [ (_, a); (_, b) ])
+    when in_r5_scope path
+         && ((is_const_int 1 a && is_quorum_product b)
+            || (is_const_int 1 b && is_quorum_product a)) ->
+      report ~rule:R5 ~severity:Error e.pexp_loc
+        "bare quorum arithmetic (2*f+1 / 3*f+1); use Config.quorum_size or Config.n_for_f"
   | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
     when in_r3_scope path ->
       report ~rule:R3 ~severity:Warning e.pexp_loc

@@ -1,4 +1,4 @@
-(** Per-file AST checks for rules R1–R3.
+(** Per-file AST checks for rules R1–R3 and R5.
 
     R4 (interface coverage) needs the whole module graph and lives in
     {!Lint}.  Scoping is by path prefix so the same checks can be exercised
@@ -12,6 +12,11 @@ val of_structure : path:string -> Parsetree.structure -> Lint_types.finding list
 val in_r2_scope : string -> bool
 (** Whether R2 (comparison safety) applies to this path — exposed so tests
     and the driver agree on the message/state-path boundary. *)
+
+val in_r5_scope : string -> bool
+(** Whether R5 (quorum hygiene) applies to this path: the consensus and
+    shard trees, minus the size-computing allowlist
+    ([Config]/[Quorum]/[Sizing]). *)
 
 val starts_with : prefix:string -> string -> bool
 (** Path-prefix test shared with the driver's R4 scoping. *)

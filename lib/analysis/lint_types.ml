@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | Parse_error
 
 type severity = Error | Warning
 
@@ -17,6 +17,7 @@ let rule_id = function
   | R2 -> "R2"
   | R3 -> "R3"
   | R4 -> "R4"
+  | R5 -> "R5"
   | Parse_error -> "parse"
 
 let rule_of_id = function
@@ -24,6 +25,7 @@ let rule_of_id = function
   | "R2" -> Some R2
   | "R3" -> Some R3
   | "R4" -> Some R4
+  | "R5" -> Some R5
   | "parse" -> Some Parse_error
   | _ -> None
 

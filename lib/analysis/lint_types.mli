@@ -9,9 +9,12 @@
     - R3 exception hygiene: no [failwith]/[assert false]/[invalid_arg] in
       [lib/] outside the checked-in baseline.
     - R4 interface coverage: every [lib] module has an [.mli] exporting no
-      unused public values. *)
+      unused public values.
+    - R5 quorum hygiene: no bare [2*f+1] / [3*f+1] arithmetic in the
+      consensus and shard paths; quorum and committee sizes must come from
+      [Config.quorum_size] / [Config.n_for_f] (or the sizing allowlist). *)
 
-type rule = R1 | R2 | R3 | R4 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | Parse_error
 
 type severity = Error | Warning
 
@@ -26,7 +29,7 @@ type finding = {
 }
 
 val rule_id : rule -> string
-(** "R1".."R4", or "parse" for unparseable files. *)
+(** "R1".."R5", or "parse" for unparseable files. *)
 
 val rule_of_id : string -> rule option
 

@@ -1,0 +1,153 @@
+open Repro_util
+open Repro_consensus
+
+(* HL's quorum rule applied at AHL's committee size: 2f+1 replicas with
+   f+1 quorums but no attested logs.  This is the configuration the paper
+   argues is unsound — the differential target. *)
+let hl_small = { Config.hl with Config.name = "HL@2f+1"; Config.quorum_rule = `Half }
+
+let variant_of_name = function
+  | "hl2f1" | "hl@2f+1" -> Some hl_small
+  | "hl" -> Some Config.hl
+  | "ahl" -> Some Config.ahl
+  | "ahl+" | "ahlplus" -> Some Config.ahl_plus
+  | "ahlr" -> Some Config.ahlr
+  | _ -> None
+
+type trial = {
+  index : int;
+  engine_seed : int64;
+  schedule : Schedule.t;
+  violations : Oracle.violation list;
+  shrunk : Schedule.t option;
+  shrink_reruns : int;
+}
+
+type report = {
+  variant_name : string;
+  n : int;
+  f : int;
+  trials : trial list;
+  safety_violations : int;  (** trials with at least one safety violation *)
+  liveness_violations : int;
+}
+
+let replay ~variant ~n ~engine_seed schedule =
+  Oracle.check (Testbed.run ~engine_seed ~variant ~n schedule)
+
+let schedule_for ~seed ~n ~f index =
+  Schedule.generate (Rng.split_named (Rng.create seed) (string_of_int index)) ~n ~f
+
+let engine_seed_for ~seed index = Int64.add seed (Int64.of_int index)
+
+let run ~variant ~n ~f ~trials ~seed ~budget =
+  let run_trial index =
+    let schedule = schedule_for ~seed ~n ~f index in
+    let engine_seed = engine_seed_for ~seed index in
+    let violations = replay ~variant ~n ~engine_seed schedule in
+    let shrunk, shrink_reruns =
+      match List.filter Oracle.is_safety violations with
+      | [] -> (None, 0)
+      | first :: _ ->
+          let replay_one s =
+            match List.filter Oracle.is_safety (replay ~variant ~n ~engine_seed s) with
+            | [] -> None
+            | v :: _ -> Some v
+          in
+          let s, reruns = Shrink.minimize ~replay:replay_one ~budget schedule first in
+          (Some s, reruns)
+    in
+    { index; engine_seed; schedule; violations; shrunk; shrink_reruns }
+  in
+  let all = List.init trials run_trial in
+  let count p = List.length (List.filter p all) in
+  {
+    variant_name = variant.Config.name;
+    n;
+    f;
+    trials = all;
+    safety_violations = count (fun t -> List.exists Oracle.is_safety t.violations);
+    liveness_violations =
+      count (fun t -> List.exists (fun v -> not (Oracle.is_safety v)) t.violations);
+  }
+
+type differential = {
+  broken : report;
+  safe : report list;
+  holds : bool;
+      (** the paper's claim as a property: the unattested small-quorum
+          configuration yields a safety violation within the budget, and
+          none of the attested variants does on the identical schedules *)
+}
+
+let differential ~f ~trials ~seed ~budget =
+  let n = Config.n_for_f Config.ahl ~f in
+  let broken = run ~variant:hl_small ~n ~f ~trials ~seed ~budget in
+  let safe =
+    List.map
+      (fun variant -> run ~variant ~n ~f ~trials ~seed ~budget)
+      [ Config.ahl; Config.ahl_plus; Config.ahlr ]
+  in
+  let holds =
+    broken.safety_violations > 0 && List.for_all (fun r -> r.safety_violations = 0) safe
+  in
+  { broken; safe; holds }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_trial fmt t =
+  match t.violations with
+  | [] -> Format.fprintf fmt "trial %d: ok@." t.index
+  | vs ->
+      Format.fprintf fmt "trial %d: %d violation(s)@." t.index (List.length vs);
+      List.iter (fun v -> Format.fprintf fmt "  %s@." (Oracle.to_string v)) vs;
+      (match t.shrunk with
+      | None -> ()
+      | Some s ->
+          Format.fprintf fmt "  witness (engine_seed=%Ld, %d replays):@.    %s@." t.engine_seed
+            t.shrink_reruns (Schedule.to_string s))
+
+let pp_report fmt r =
+  Format.fprintf fmt "%s n=%d f=%d: %d/%d trials with safety violations, %d liveness@."
+    r.variant_name r.n r.f r.safety_violations (List.length r.trials) r.liveness_violations;
+  List.iter (pp_trial fmt) r.trials
+
+(* Machine-readable summary; [wall_time] is measured by the caller so this
+   module stays free of wall-clock reads. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let json_of_report r =
+  let trial_json t =
+    let witness =
+      match t.shrunk with
+      | None -> "null"
+      | Some s -> Printf.sprintf "\"%s\"" (json_escape (Schedule.to_string s))
+    in
+    Printf.sprintf
+      "{\"trial\":%d,\"engine_seed\":%Ld,\"violations\":[%s],\"shrunk_witness\":%s,\"shrunk_size\":%s,\"shrink_reruns\":%d}"
+      t.index t.engine_seed
+      (String.concat ","
+         (List.map (fun v -> Printf.sprintf "\"%s\"" (json_escape (Oracle.to_string v))) t.violations))
+      witness
+      (match t.shrunk with None -> "null" | Some s -> string_of_int (Schedule.size s))
+      t.shrink_reruns
+  in
+  Printf.sprintf
+    "{\"variant\":\"%s\",\"n\":%d,\"f\":%d,\"trials\":%d,\"safety_violations\":%d,\"liveness_violations\":%d,\"results\":[%s]}"
+    (json_escape r.variant_name) r.n r.f (List.length r.trials) r.safety_violations
+    r.liveness_violations
+    (String.concat "," (List.map trial_json r.trials))
+
+let json_summary ~wall_time reports =
+  Printf.sprintf "{\"wall_time_s\":%.3f,\"reports\":[%s]}" wall_time
+    (String.concat "," (List.map json_of_report reports))

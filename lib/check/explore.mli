@@ -1,0 +1,76 @@
+(** The schedule explorer: seeded trials, oracles, shrinking, and the
+    headline differential property.
+
+    Trial [i] of a run with base seed [s] uses engine seed [s + i] and the
+    schedule generated from [split_named (create s) (string_of_int i)] —
+    so a witness is fully described by [(engine_seed, schedule)] and
+    nothing else. *)
+
+val hl_small : Repro_consensus.Config.variant
+(** HL's unattested quorums at AHL's committee size ([N = 2f+1], quorums
+    of [f+1]) — the configuration the paper's Section 3 argues is unsound,
+    and the one the explorer must break. *)
+
+val variant_of_name : string -> Repro_consensus.Config.variant option
+(** CLI names: [hl2f1], [hl], [ahl], [ahl+], [ahlr]. *)
+
+type trial = {
+  index : int;
+  engine_seed : int64;
+  schedule : Schedule.t;
+  violations : Oracle.violation list;
+  shrunk : Schedule.t option;  (** minimized witness, on safety violations *)
+  shrink_reruns : int;
+}
+
+type report = {
+  variant_name : string;
+  n : int;
+  f : int;
+  trials : trial list;
+  safety_violations : int;  (** trials with at least one safety violation *)
+  liveness_violations : int;
+}
+
+val replay :
+  variant:Repro_consensus.Config.variant ->
+  n:int ->
+  engine_seed:int64 ->
+  Schedule.t ->
+  Oracle.violation list
+(** Deterministically re-run one witness and re-check the oracles. *)
+
+val schedule_for : seed:int64 -> n:int -> f:int -> int -> Schedule.t
+(** The schedule trial [i] uses (exposed for replay tests). *)
+
+val engine_seed_for : seed:int64 -> int -> int64
+
+val run :
+  variant:Repro_consensus.Config.variant ->
+  n:int ->
+  f:int ->
+  trials:int ->
+  seed:int64 ->
+  budget:int ->
+  report
+(** Explore [trials] seeded schedules; safety violations are shrunk with
+    at most [budget] replays each. *)
+
+type differential = {
+  broken : report;
+  safe : report list;
+  holds : bool;
+      (** the paper's claim as a property: {!hl_small} yields a safety
+          violation within the trial budget, and AHL/AHL+/AHLR never do
+          on the identical schedules *)
+}
+
+val differential : f:int -> trials:int -> seed:int64 -> budget:int -> differential
+
+val pp_report : Format.formatter -> report -> unit
+
+val json_of_report : report -> string
+
+val json_summary : wall_time:float -> report list -> string
+(** One machine-readable line: violations, shrunk witness sizes, and the
+    caller-measured wall time. *)

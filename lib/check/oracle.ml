@@ -1,0 +1,129 @@
+type violation =
+  | Agreement of {
+      seq : int;
+      member_a : int;
+      view_a : int;
+      digest_a : int;
+      member_b : int;
+      view_b : int;
+      digest_b : int;
+    }
+  | Order of { member : int; missing_seq : int; max_seq : int }
+  | Validity of { member : int; seq : int; req_id : int }
+  | Liveness of { missing : int; first_missing : int }
+
+let is_safety = function
+  | Agreement _ | Order _ | Validity _ -> true
+  | Liveness _ -> false
+
+let same_kind a b =
+  match (a, b) with
+  | Agreement _, Agreement _ | Order _, Order _ | Validity _, Validity _ | Liveness _, Liveness _
+    ->
+      true
+  | (Agreement _ | Order _ | Validity _ | Liveness _), _ -> false
+
+let to_string = function
+  | Agreement { seq; member_a; view_a; digest_a; member_b; view_b; digest_b } ->
+      Printf.sprintf
+        "agreement: seq %d committed as digest %d at member %d (view %d) but digest %d at member %d (view %d)"
+        seq digest_a member_a view_a digest_b member_b view_b
+  | Order { member; missing_seq; max_seq } ->
+      Printf.sprintf "order: member %d executed up to seq %d with a gap at seq %d" member max_seq
+        missing_seq
+  | Validity { member; seq; req_id } ->
+      Printf.sprintf "validity: member %d committed unsubmitted request %d at seq %d" member
+        req_id seq
+  | Liveness { missing; first_missing } ->
+      Printf.sprintf "liveness: %d submitted requests never executed at the observer (first: %d)"
+        missing first_missing
+
+let check (o : Testbed.outcome) =
+  let honest_commits =
+    List.filter (fun c -> List.exists (Int.equal c.Trace.member) o.Testbed.honest)
+      o.Testbed.commits
+  in
+  (* Agreement: any two honest commits of the same sequence number must
+     carry the same digest — even across views, since an executed block is
+     final.  This is exactly what breaks at N = 2f+1 without attestation. *)
+  let agreement =
+    let by_seq : (int, Trace.commit) Hashtbl.t = Hashtbl.create 64 in
+    List.filter_map
+      (fun (c : Trace.commit) ->
+        match Hashtbl.find_opt by_seq c.Trace.seq with
+        | None ->
+            Hashtbl.replace by_seq c.Trace.seq c;
+            None
+        | Some first when first.Trace.digest = c.Trace.digest -> None
+        | Some first ->
+            Some
+              (Agreement
+                 {
+                   seq = c.Trace.seq;
+                   member_a = first.Trace.member;
+                   view_a = first.Trace.view;
+                   digest_a = first.Trace.digest;
+                   member_b = c.Trace.member;
+                   view_b = c.Trace.view;
+                   digest_b = c.Trace.digest;
+                 }))
+      honest_commits
+  in
+  (* Total-order prefix: every honest ledger must be the contiguous range
+     1..max — a gap means a replica skipped a block (with agreement above,
+     gap-freedom makes every honest ledger a prefix of the longest one). *)
+  let order =
+    List.filter_map
+      (fun member ->
+        let seqs =
+          List.filter_map
+            (fun (c : Trace.commit) ->
+              if c.Trace.member = member then Some c.Trace.seq else None)
+            honest_commits
+        in
+        match seqs with
+        | [] -> None
+        | _ ->
+            let max_seq = List.fold_left Int.max 0 seqs in
+            let rec first_gap s =
+              if s > max_seq then None
+              else if List.exists (Int.equal s) seqs then first_gap (s + 1)
+              else Some (Order { member; missing_seq = s; max_seq })
+            in
+            first_gap 1)
+      o.Testbed.honest
+  in
+  (* Validity: honest replicas only commit requests that were submitted. *)
+  let validity =
+    List.concat_map
+      (fun (c : Trace.commit) ->
+        List.filter_map
+          (fun req_id ->
+            if List.exists (Int.equal req_id) o.Testbed.submitted then None
+            else Some (Validity { member = c.Trace.member; seq = c.Trace.seq; req_id }))
+          c.Trace.ids)
+      honest_commits
+  in
+  let safety = agreement @ order @ validity in
+  match safety with
+  | _ :: _ -> safety
+  | [] ->
+      begin
+    (* Bounded liveness, only meaningful on safe runs: under synchrony
+       after the last perturbation heals, every submitted request must
+       have executed at the observer by the horizon. *)
+    let executed_at_observer =
+      List.concat_map
+        (fun (c : Trace.commit) ->
+          if c.Trace.member = o.Testbed.observer then c.Trace.ids else [])
+        o.Testbed.commits
+    in
+    let missing =
+      List.filter
+        (fun id -> not (List.exists (Int.equal id) executed_at_observer))
+        o.Testbed.submitted
+    in
+        match missing with
+        | [] -> []
+        | first :: _ -> [ Liveness { missing = List.length missing; first_missing = first } ]
+      end

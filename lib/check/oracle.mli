@@ -1,0 +1,35 @@
+(** Invariant oracles over committed traces.
+
+    Evaluated on a {!Testbed.outcome}; honest replicas only.  The safety
+    oracles are checked first and liveness is reported only when the run
+    was safe — an unsafe run's "progress" is meaningless. *)
+
+type violation =
+  | Agreement of {
+      seq : int;
+      member_a : int;
+      view_a : int;
+      digest_a : int;
+      member_b : int;
+      view_b : int;
+      digest_b : int;
+    }
+      (** two honest replicas committed different digests at the same
+          sequence number *)
+  | Order of { member : int; missing_seq : int; max_seq : int }
+      (** an honest ledger has a gap: it is not a prefix of the longest
+          honest ledger *)
+  | Validity of { member : int; seq : int; req_id : int }
+      (** an honest replica committed a request no client submitted *)
+  | Liveness of { missing : int; first_missing : int }
+      (** submitted requests that never executed at the observer within
+          the post-heal grace window *)
+
+val is_safety : violation -> bool
+
+val same_kind : violation -> violation -> bool
+(** Constructor equality — the shrinker's "still the same bug" test. *)
+
+val check : Testbed.outcome -> violation list
+
+val to_string : violation -> string

@@ -1,0 +1,154 @@
+open Repro_util
+
+type event_kind =
+  | Drop of float
+  | Jitter of float
+  | Duplicate of float
+  | Partition of int list
+  | Silence of { from_ : int; toward : int }
+
+type event = { start : float; stop : float; kind : event_kind }
+
+exception Invalid_witness of string
+
+type t = {
+  byz : int list;
+  split_brain : bool;
+  stale_replay : bool;
+  silent_toward : int list;
+  requests : int;
+  events : event list;
+}
+
+let heal_time t = List.fold_left (fun acc ev -> Float.max acc ev.stop) 0.0 t.events
+
+let active ev ~at = at >= ev.start && at < ev.stop
+
+let size t =
+  List.length t.events + List.length t.byz + List.length t.silent_toward
+  + (if t.stale_replay then 1 else 0)
+  + (t.requests / 2)
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_event rng ~n =
+  let start = Rng.float rng 5.0 in
+  let stop = start +. 1.0 +. Rng.float rng 9.0 in
+  let kind =
+    match Rng.int rng 5 with
+    | 0 -> Drop (0.05 +. Rng.float rng 0.25)
+    | 1 -> Jitter (0.01 +. Rng.float rng 0.4)
+    | 2 -> Duplicate (0.05 +. Rng.float rng 0.4)
+    | 3 ->
+        (* Isolate a strict minority so the rest of the committee can keep
+           (or resume) making progress once the window closes. *)
+        let k = 1 + Rng.int rng (Int.max 1 ((n - 1) / 2)) in
+        let perm = Rng.permutation rng n in
+        Partition (List.sort Int.compare (List.init k (fun i -> perm.(i))))
+    | _ ->
+        let from_ = Rng.int rng n in
+        let toward = (from_ + 1 + Rng.int rng (n - 1)) mod n in
+        Silence { from_; toward }
+  in
+  { start; stop; kind }
+
+let generate rng ~n ~f =
+  let byz = List.init f (fun i -> i) in
+  let split_brain = f >= 1 in
+  let stale_replay = f >= 1 && Rng.bool rng in
+  let silent_toward =
+    (* Occasionally the byzantine clique ghosts one high-indexed honest
+       member entirely (selective silence, Section 3.3 flavour). *)
+    if f >= 1 && n - f > 2 && Rng.int rng 4 = 0 then [ n - 1 ] else []
+  in
+  let requests = 2 * Rng.int_in rng 4 11 in
+  let events = List.init (Rng.int rng 4) (fun _ -> gen_event rng ~n) in
+  { byz; split_brain; stale_replay; silent_toward; requests; events }
+
+(* ------------------------------------------------------------------ *)
+(* Witness serialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* %.17g round-trips every float bit-exactly through float_of_string, so a
+   printed witness replays the identical schedule. *)
+let fl = Printf.sprintf "%.17g"
+
+let ints_field = function
+  | [] -> "-"
+  | ids -> String.concat "," (List.map string_of_int ids)
+
+let ints_of_field = function
+  | "-" -> []
+  | s -> List.map int_of_string (String.split_on_char ',' s)
+
+let string_of_event ev =
+  let window = Printf.sprintf "%s:%s" (fl ev.start) (fl ev.stop) in
+  match ev.kind with
+  | Drop p -> Printf.sprintf "drop:%s:%s" (fl p) window
+  | Jitter d -> Printf.sprintf "jit:%s:%s" (fl d) window
+  | Duplicate p -> Printf.sprintf "dup:%s:%s" (fl p) window
+  | Partition group ->
+      Printf.sprintf "part:%s:%s" (String.concat "+" (List.map string_of_int group)) window
+  | Silence { from_; toward } -> Printf.sprintf "sil:%d>%d:%s" from_ toward window
+
+let event_of_string s =
+  match String.split_on_char ':' s with
+  | [ "drop"; p; start; stop ] ->
+      { start = float_of_string start; stop = float_of_string stop; kind = Drop (float_of_string p) }
+  | [ "jit"; d; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Jitter (float_of_string d);
+      }
+  | [ "dup"; p; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Duplicate (float_of_string p);
+      }
+  | [ "part"; group; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Partition (List.map int_of_string (String.split_on_char '+' group));
+      }
+  | [ "sil"; cut; start; stop ] -> (
+      match String.split_on_char '>' cut with
+      | [ from_; toward ] ->
+          {
+            start = float_of_string start;
+            stop = float_of_string stop;
+            kind = Silence { from_ = int_of_string from_; toward = int_of_string toward };
+          }
+      | _ -> raise (Invalid_witness s))
+  | _ -> raise (Invalid_witness s)
+
+let to_string t =
+  String.concat " "
+    (("v1" :: Printf.sprintf "byz=%s" (ints_field t.byz)
+     :: Printf.sprintf "sb=%d" (if t.split_brain then 1 else 0)
+     :: Printf.sprintf "stale=%d" (if t.stale_replay then 1 else 0)
+     :: Printf.sprintf "quiet=%s" (ints_field t.silent_toward)
+     :: Printf.sprintf "req=%d" t.requests
+     :: List.map string_of_event t.events))
+
+let of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | "v1" :: byz :: sb :: stale :: quiet :: req :: events ->
+      let field prefix v =
+        match String.split_on_char '=' v with
+        | [ p; rest ] when String.equal p prefix -> rest
+        | _ -> raise (Invalid_witness s)
+      in
+      {
+        byz = ints_of_field (field "byz" byz);
+        split_brain = String.equal (field "sb" sb) "1";
+        stale_replay = String.equal (field "stale" stale) "1";
+        silent_toward = ints_of_field (field "quiet" quiet);
+        requests = int_of_string (field "req" req);
+        events = List.map event_of_string events;
+      }
+  | _ -> raise (Invalid_witness s)

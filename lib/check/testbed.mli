@@ -1,0 +1,27 @@
+(** Deterministic single-run executor for adversarial schedules.
+
+    Builds the same engine/network/committee stack as
+    {!Repro_consensus.Harness}, but drives it from a {!Schedule.t}: the
+    byzantine strategy is scripted from the schedule, a network filter
+    applies its timed perturbation events, and a fixed request stream is
+    submitted round-robin to honest intake replicas.  The committed trace
+    of every replica is captured for the {!Oracle}s.  Two calls with the
+    same [(engine_seed, schedule, variant, n)] produce identical
+    outcomes. *)
+
+val grace : float
+(** Seconds of synchrony granted after the last perturbation event before
+    the liveness oracle may complain (also the run horizon). *)
+
+type outcome = {
+  commits : Trace.commit list;  (** chronological, across all replicas *)
+  submitted : int list;  (** request ids handed to the committee *)
+  honest : int list;
+  observer : int;
+  heal_time : float;
+  horizon : float;
+  view_changes : int;
+}
+
+val run :
+  engine_seed:int64 -> variant:Repro_consensus.Config.variant -> n:int -> Schedule.t -> outcome

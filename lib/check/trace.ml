@@ -1,0 +1,19 @@
+open Repro_consensus
+
+type commit = {
+  member : int;
+  view : int;
+  seq : int;
+  digest : int;
+  ids : int list;
+  at : float;
+}
+
+let commit_of_batch ~member ~view ~seq ~digest ~at batch =
+  { member; view; seq; digest; ids = List.map (fun q -> q.Types.req_id) batch; at }
+
+let pp_commit fmt c =
+  Format.fprintf fmt "member=%d view=%d seq=%d digest=%d ids=[%s] at=%.3f" c.member c.view c.seq
+    c.digest
+    (String.concat ";" (List.map string_of_int c.ids))
+    c.at

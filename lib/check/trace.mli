@@ -1,0 +1,22 @@
+(** Committed-trace records: one entry per block execution per replica,
+    captured through {!Repro_consensus.Pbft.set_commit_hook}. *)
+
+type commit = {
+  member : int;
+  view : int;  (** view of the pre-prepare the block committed under *)
+  seq : int;
+  digest : int;
+  ids : int list;  (** request ids of the full decided batch *)
+  at : float;  (** virtual time of execution *)
+}
+
+val commit_of_batch :
+  member:int ->
+  view:int ->
+  seq:int ->
+  digest:int ->
+  at:float ->
+  Repro_consensus.Types.request list ->
+  commit
+
+val pp_commit : Format.formatter -> commit -> unit

@@ -23,9 +23,9 @@ type result = {
   messages_sent : int;
 }
 
-let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(cpu_scale = 1.0)
-    ?(costs = Cost_model.default) ?(tune = fun (c : Config.t) -> c) ~variant ~n ~topology
-    ~workload () =
+let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crashes = [])
+    ?(cpu_scale = 1.0) ?(costs = Cost_model.default) ?(tune = fun (c : Config.t) -> c) ~variant
+    ~n ~topology ~workload () =
   let engine = Engine.create ~seed in
   let cfg = tune (Config.default variant ~n) in
   let keystore = Keys.create_keystore (Engine.rng engine) in
@@ -33,6 +33,21 @@ let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(cpu_s
   let faults =
     if byzantine = 0 then Faults.honest n
     else Faults.with_byzantine (Rng.split_named (Engine.rng engine) "faults") ~n ~count:byzantine
+  in
+  (* With scheduled crashes the default observer (lowest honest member)
+     may be about to die; record metrics at the first member that stays
+     honest and alive instead. *)
+  let observer =
+    match crashes with
+    | [] -> None
+    | _ ->
+        let crashed i = List.exists (fun (m, _) -> Int.equal m i) crashes in
+        let rec first i =
+          if i >= n then None
+          else if (not (Faults.is_byzantine faults i)) && not (crashed i) then Some i
+          else first (i + 1)
+        in
+        first 0
   in
   let network : Pbft.msg Network.t = Network.create engine ~topology in
   (* Committee and nodes know each other through these mutable cells. *)
@@ -60,7 +75,12 @@ let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(cpu_s
         | Some cm when member = Pbft.observer cm -> List.iter (fun q -> !on_commit q.req_id) batch
         | Some _ | None -> ())
   in
+  (match observer with Some o -> Pbft.set_observer c o | None -> ());
   committee := Some c;
+  Pbft.set_alive c (fun m -> not (Node.is_crashed nodes.(m)));
+  List.iter
+    (fun (m, at) -> Engine.schedule engine ~delay:at (fun () -> Node.crash nodes.(m)))
+    crashes;
   Pbft.start c;
   (* ---------------- clients ---------------- *)
   let next_req_id = ref 0 in

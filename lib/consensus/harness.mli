@@ -35,6 +35,7 @@ val run :
   ?duration:float ->
   ?warmup:float ->
   ?byzantine:int ->
+  ?crashes:(int * float) list ->
   ?cpu_scale:float ->
   ?costs:Repro_crypto.Cost_model.t ->
   ?tune:(Config.t -> Config.t) ->
@@ -45,9 +46,12 @@ val run :
   unit ->
   result
 (** Defaults: seed 1, 20 s runs with 5 s warmup, no Byzantine nodes.
-    [cpu_scale] multiplies every CPU charge — 1.0 models the paper's
-    3.5 GHz Xeon cluster servers, 3.5 the 2-vCPU GCP instances.  [tune]
-    post-processes the default {!Config.t} (batch sizes, timeouts) for
-    ablations. *)
+    [crashes] is a list of [(member, time)] crash-fault injections: the
+    node stops at [time] seconds and stays down (its watchdog timers are
+    muted through {!Pbft.set_alive}); the metrics observer is moved to the
+    first member that stays honest and alive.  [cpu_scale] multiplies every
+    CPU charge — 1.0 models the paper's 3.5 GHz Xeon cluster servers, 3.5
+    the 2-vCPU GCP instances.  [tune] post-processes the default
+    {!Config.t} (batch sizes, timeouts) for ablations. *)
 
 val pp_result : Format.formatter -> result -> unit

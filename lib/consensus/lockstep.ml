@@ -56,7 +56,7 @@ let bytes_of_msg = function
   | Proposal { batch; _ } -> 160 + batch_bytes batch
   | Prevote _ | Precommit _ -> 160
 
-let quorum c = (2 * c.f) + 1
+let quorum c = Quorum.supermajority ~f:c.f
 
 let proposer_of c ~height ~round = (height + round) mod c.n
 

@@ -58,7 +58,7 @@ type replica = {
   prepares : Quorum.t;
   commits : Quorum.t;
   prepared : (int, int) Hashtbl.t; (* seq -> digest *)
-  committed : (int, request list) Hashtbl.t;
+  committed : (int, int * int * request list) Hashtbl.t; (* seq -> view, digest, batch *)
   checkpoints : Quorum.t;
   vc_votes : Quorum.t; (* keyed: view=target, seq=0, digest=0 *)
   vc_prepared : (int, (int, int * int * request list) Hashtbl.t) Hashtbl.t;
@@ -67,6 +67,19 @@ type replica = {
   relay_done : (int * int * int * int, unit) Hashtbl.t;
   mutable earliest_known : float;
   mutable batch_timer_armed : bool;
+}
+
+type byz_strategy = {
+  vote_noise : bool;  (** spam garbage prepare votes on every pre-prepare *)
+  naive_equivocation : bool;
+      (** per-half conflicting digests on overheard pre-prepares (fabricated
+          batches, so honest replicas can never commit them) *)
+  split_brain : bool;
+      (** as view-0 leader, propose two real conflicting batches and drive
+          each committee half to commit its own — the Figure 8/16 attack *)
+  silent_toward : int list;  (** peers this replica never talks to *)
+  stale_view_replay : bool;
+      (** stash overheard prepares and replay them after a new view *)
 }
 
 type committee = {
@@ -80,12 +93,28 @@ type committee = {
   charge_cb : member:int -> float -> unit;
   execute_cb : member:int -> seq:int -> request list -> unit;
   mutable replicas : replica array;
-  observer : int;
+  mutable observer : int;
   rng : Repro_util.Rng.t;
   mutable alive : int -> bool;
       (* embedding hook: timers of nodes that are offline (crashed or
          transitioning between shards) must not fire *)
+  mutable byz : byz_strategy;
+  equiv_plans : (int * int, int * request list * int * request list) Hashtbl.t;
+      (* (view, seq) -> digest_a, batch_a, digest_b, batch_b: the colluding
+         replicas' shared script for a split-brain sequence number *)
+  mutable stale_log : msg list;
+  mutable commit_hook :
+    member:int -> view:int -> seq:int -> digest:int -> batch:request list -> unit;
 }
+
+let default_byz_strategy =
+  {
+    vote_noise = true;
+    naive_equivocation = true;
+    split_brain = false;
+    silent_toward = [];
+    stale_view_replay = false;
+  }
 
 let request_channel = Inbox.Request
 
@@ -253,6 +282,10 @@ let create ~engine ~keystore ~costs ~config ~faults ~metrics ~enclave_base_id ~s
       observer = obs;
       rng = Repro_util.Rng.split_named (Engine.rng engine) "pbft";
       alive = (fun _ -> true);
+      byz = default_byz_strategy;
+      equiv_plans = Hashtbl.create 16;
+      stale_log = [];
+      commit_hook = (fun ~member:_ ~view:_ ~seq:_ ~digest:_ ~batch:_ -> ());
     }
   in
   c.replicas <- Array.init config.Config.n (make_replica c ~enclave_base_id);
@@ -410,8 +443,8 @@ and mark_prepared c r ~view ~seq ~digest =
 and mark_committed c r ~seq ~digest =
   if not (Hashtbl.mem r.committed seq) then begin
     match Hashtbl.find_opt r.preprep seq with
-    | Some (_, d, batch) when d = digest ->
-        Hashtbl.replace r.committed seq batch;
+    | Some (v, d, batch) when d = digest ->
+        Hashtbl.replace r.committed seq (v, digest, batch);
         try_execute c r
     | Some _ | None -> ()
   end
@@ -423,7 +456,7 @@ and mark_committed c r ~seq ~digest =
 and try_execute c r =
   match Hashtbl.find_opt r.committed (r.last_exec + 1) with
   | None -> ()
-  | Some batch ->
+  | Some (view, digest, batch) ->
       let seq = r.last_exec + 1 in
       let fresh = List.filter (fun q -> not (Hashtbl.mem r.executed q.req_id)) batch in
       charge_exec c r (float_of_int (List.length fresh) *. c.costs.Cost_model.tx_execute);
@@ -433,6 +466,7 @@ and try_execute c r =
           Hashtbl.remove r.known q.req_id;
           Hashtbl.remove r.queued q.req_id)
         batch;
+      c.commit_hook ~member:r.index ~view ~seq ~digest ~batch;
       c.execute_cb ~member:r.index ~seq fresh;
       at_observer c r (fun () ->
           Metrics.incr c.metrics "blocks";
@@ -620,40 +654,122 @@ and respond_to_preprepare c r ~view ~seq ~digest =
 (* Byzantine behaviours (the Figure 8/16 attack)                       *)
 (* ------------------------------------------------------------------ *)
 
-(* A Byzantine replica mounts the paper's conflicting-message attack: on
-   every pre-prepare it spams peers with garbage votes carrying wrong
-   sequence numbers (burning honest verification CPU), and without A2M it
-   also equivocates, telling half the committee a different digest. *)
+(* A Byzantine replica follows the committee's {!byz_strategy}.  The
+   default mounts the paper's conflicting-message attack: on every
+   pre-prepare it spams peers with garbage votes carrying wrong sequence
+   numbers (burning honest verification CPU), and without A2M it also
+   equivocates, telling half the committee a different digest — but those
+   digests name fabricated batches, so they cost CPU without ever
+   committing.  The scripted [split_brain] strategy is the real
+   Figure 8/16 attack: the byzantine view-0 leader proposes two genuinely
+   conflicting batches of real requests and drives each half of the
+   committee to commit its own. *)
+and byz_silent c dst = List.exists (fun id -> Int.equal id dst) c.byz.silent_toward
+
+and byz_send c r ~dst m = if not (byz_silent c dst) then send c r ~dst ~channel:consensus_channel m
+
+(* Side A of the split is the low-indexed half of the committee; with
+   byzantine ids 0..f-1, the first honest replica (the observer) always
+   lands on side A, which is also the side whose A2M append goes first and
+   therefore survives attestation. *)
+and byz_split_side_a c dst = 2 * dst < n_of c
+
+and byz_try_split_propose c r =
+  if leader_of_view_int c r.view = r.index then
+    while Queue.length r.pending >= 2 do
+      let a = Queue.take r.pending in
+      let b = Queue.take r.pending in
+      let seq = r.next_seq in
+      r.next_seq <- seq + 1;
+      let batch_a = [ a; b ] and batch_b = [ b; a ] in
+      let digest_a = digest_of_batch batch_a and digest_b = digest_of_batch batch_b in
+      Hashtbl.replace c.equiv_plans (r.view, seq) (digest_a, batch_a, digest_b, batch_b);
+      (* Under A2M the first append per (log, slot) wins: side A's digest
+         is attested, side B's is refused, and only one side's messages go
+         out — exactly why the attack dies against AHL. *)
+      let pp_a = authenticate c r ~phase_idx:0 ~view:r.view ~slot:seq ~digest:digest_a in
+      let pp_b = authenticate c r ~phase_idx:0 ~view:r.view ~slot:seq ~digest:digest_b in
+      let cm_a = authenticate c r ~phase_idx:2 ~view:r.view ~slot:seq ~digest:digest_a in
+      let cm_b = authenticate c r ~phase_idx:2 ~view:r.view ~slot:seq ~digest:digest_b in
+      for dst = 0 to n_of c - 1 do
+        if dst <> r.index then begin
+          let pp_ok, cm_ok, digest, batch =
+            if byz_split_side_a c dst then (pp_a, cm_a, digest_a, batch_a)
+            else (pp_b, cm_b, digest_b, batch_b)
+          in
+          if pp_ok then byz_send c r ~dst (Pre_prepare { view = r.view; seq; batch; digest });
+          if cm_ok then byz_send c r ~dst (Commit { view = r.view; seq; digest; sender = r.index })
+        end
+      done
+    done
+
+(* A non-leader accomplice looks the plan up and votes both sides —
+   each vote still gated by its own attested log. *)
+and byz_collude_on_preprepare c r ~view ~seq =
+  match Hashtbl.find_opt c.equiv_plans (view, seq) with
+  | None -> ()
+  | Some (digest_a, _, digest_b, _) ->
+      let p_a = authenticate c r ~phase_idx:1 ~view ~slot:seq ~digest:digest_a in
+      let p_b = authenticate c r ~phase_idx:1 ~view ~slot:seq ~digest:digest_b in
+      let c_a = authenticate c r ~phase_idx:2 ~view ~slot:seq ~digest:digest_a in
+      let c_b = authenticate c r ~phase_idx:2 ~view ~slot:seq ~digest:digest_b in
+      for dst = 0 to n_of c - 1 do
+        if dst <> r.index then begin
+          let p_ok, c_ok, digest =
+            if byz_split_side_a c dst then (p_a, c_a, digest_a) else (p_b, c_b, digest_b)
+          in
+          if p_ok then byz_send c r ~dst (Prepare { view; seq; digest; sender = r.index });
+          if c_ok then byz_send c r ~dst (Commit { view; seq; digest; sender = r.index })
+        end
+      done
+
+and byz_naive_equivocate c r ~view ~seq ~digest =
+  if not c.cfg.Config.variant.Config.attested then
+    (* Equivocation: conflicting digests to the two halves. *)
+    for dst = 0 to n_of c - 1 do
+      if dst <> r.index then
+        let d = if dst < n_of c / 2 then digest else digest + 1 in
+        send c r ~dst ~channel:consensus_channel (Prepare { view; seq; digest = d; sender = r.index })
+    done
+  else
+    match r.a2m with
+    | Some a2m ->
+        (* Try to equivocate through the trusted log; the second append
+           is refused, so only the honest vote goes out. *)
+        let log = a2m_log ~phase_idx:1 ~view in
+        (match A2m.append a2m ~log ~slot:seq ~digest_tag:digest with
+        | Some _ ->
+            broadcast c r ~channel:consensus_channel (Prepare { view; seq; digest; sender = r.index })
+        | None -> ());
+        (match A2m.append a2m ~log ~slot:seq ~digest_tag:(digest + 1) with
+        | Some _ -> assert false (* the A2M must refuse the conflict *)
+        | None -> ())
+    | None -> ()
+
 and byz_handle c r m =
+  (match m with
+  | Prepare _ when c.byz.stale_view_replay && List.length c.stale_log < 16 ->
+      c.stale_log <- m :: c.stale_log
+  | _ -> ());
   match m with
   | Pre_prepare { view; seq; digest; _ } ->
       verify_in c r;
-      let garbage = Prepare { view; seq = seq + 100_000; digest = digest + 7; sender = r.index } in
-      broadcast c r ~channel:consensus_channel garbage;
-      if not c.cfg.Config.variant.Config.attested then begin
-        (* Equivocation: conflicting digests to the two halves. *)
-        for dst = 0 to n_of c - 1 do
-          if dst <> r.index then
-            let d = if dst < n_of c / 2 then digest else digest + 1 in
-            send c r ~dst ~channel:consensus_channel (Prepare { view; seq; digest = d; sender = r.index })
-        done
+      if c.byz.split_brain then byz_collude_on_preprepare c r ~view ~seq;
+      if c.byz.vote_noise then begin
+        let garbage = Prepare { view; seq = seq + 100_000; digest = digest + 7; sender = r.index } in
+        broadcast c r ~channel:consensus_channel garbage
+      end;
+      if c.byz.naive_equivocation then byz_naive_equivocate c r ~view ~seq ~digest
+  | Request { req; _ } | Forward req ->
+      parse_in c r c.cfg.Config.request_parse_cost;
+      if c.byz.split_brain then begin
+        add_pending c r req;
+        byz_try_split_propose c r
       end
-      else begin
-        match r.a2m with
-        | Some a2m ->
-            (* Try to equivocate through the trusted log; the second append
-               is refused, so only the honest vote goes out. *)
-            let log = a2m_log ~phase_idx:1 ~view in
-            (match A2m.append a2m ~log ~slot:seq ~digest_tag:digest with
-            | Some _ ->
-                broadcast c r ~channel:consensus_channel (Prepare { view; seq; digest; sender = r.index })
-            | None -> ());
-            (match A2m.append a2m ~log ~slot:seq ~digest_tag:(digest + 1) with
-            | Some _ -> assert false (* the A2M must refuse the conflict *)
-            | None -> ())
-        | None -> ()
-      end
-  | Request _ | Forward _ -> parse_in c r c.cfg.Config.request_parse_cost
+  | New_view _ ->
+      parse_in c r c.cfg.Config.msg_parse_cost;
+      if c.byz.stale_view_replay then
+        List.iter (fun stale -> broadcast c r ~channel:consensus_channel stale) c.stale_log
   | _ -> parse_in c r c.cfg.Config.msg_parse_cost
 
 (* ------------------------------------------------------------------ *)
@@ -845,3 +961,9 @@ let known_backlog c ~member = Hashtbl.length c.replicas.(member).known
 let last_stable c ~member = c.replicas.(member).last_stable
 
 let set_alive c f = c.alive <- f
+
+let set_byz_strategy c s = c.byz <- s
+
+let set_observer c o = c.observer <- o
+
+let set_commit_hook c f = c.commit_hook <- f

@@ -61,6 +61,34 @@ type msg =
 
 type committee
 
+type byz_strategy = {
+  vote_noise : bool;  (** spam garbage prepare votes on every pre-prepare *)
+  naive_equivocation : bool;
+      (** per-half conflicting digests on overheard pre-prepares (fabricated
+          batches — burns honest CPU but can never commit) *)
+  split_brain : bool;
+      (** as view-0 leader, propose two real conflicting batches and drive
+          each committee half to commit its own (the Figure 8/16 attack);
+          non-leader byzantine replicas collude by voting both sides *)
+  silent_toward : int list;  (** peers the byzantine replicas never message *)
+  stale_view_replay : bool;
+      (** stash overheard prepares and replay them after a new view *)
+}
+
+val default_byz_strategy : byz_strategy
+(** [vote_noise] and [naive_equivocation] on, everything else off — the
+    behaviour used by the throughput experiments. *)
+
+val set_byz_strategy : committee -> byz_strategy -> unit
+(** Script the committee's byzantine members (shared by all of them). *)
+
+val set_commit_hook :
+  committee -> (member:int -> view:int -> seq:int -> digest:int -> batch:request list -> unit) -> unit
+(** Observe every block execution at every replica: the hook fires with the
+    full decided batch (including requests already executed through an
+    earlier block) just before the [execute] upcall.  This is the committed
+    trace the safety oracles consume. *)
+
 val create :
   engine:Repro_sim.Engine.t ->
   keystore:Repro_crypto.Keys.keystore ->
@@ -78,6 +106,11 @@ val create :
     disjoint from other committees).  [faults] is indexed by member.
     [execute] is called on every replica with the not-yet-executed requests
     of each decided batch, in sequence order. *)
+
+val set_observer : committee -> int -> unit
+(** Override the metrics observer (default: lowest-indexed honest member).
+    Must be in [0..n-1]; pass a member that stays honest and alive, or
+    committee metrics go dark.  Call before {!start}. *)
 
 val set_alive : committee -> (int -> bool) -> unit
 (** Install the embedding's liveness predicate: members for which it

@@ -43,3 +43,8 @@ let forget_below t ~seq =
       (Repro_util.Det.keys ~compare:Repro_util.Det.int_triple t.slots)
   in
   List.iter (Hashtbl.remove t.slots) stale
+
+(* The classic 2f+1 supermajority threshold.  Protocol code must call
+   this rather than spelling the arithmetic out (ahl_lint R5); the size
+   formulas themselves live only here and in Config/Sizing. *)
+let supermajority ~f = (2 * f) + 1

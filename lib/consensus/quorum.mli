@@ -19,3 +19,7 @@ val voters : t -> view:int -> seq:int -> digest:int -> int list
 
 val forget_below : t -> seq:int -> unit
 (** Garbage-collect slots below a stable checkpoint. *)
+
+val supermajority : f:int -> int
+(** The classic [2f+1] supermajority threshold — the one place protocol
+    code may get it from (see ahl_lint rule R5). *)

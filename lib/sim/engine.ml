@@ -21,7 +21,7 @@ let schedule_at t ~time f =
   Heap.push t.queue time f
 
 let schedule t ~delay f =
-  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  if delay < 0.0 then Sim_error.invalid "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) f
 
 let timer t ~delay f =

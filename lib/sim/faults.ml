@@ -7,7 +7,7 @@ type t = { roster : behavior array }
 let honest n = { roster = Array.make n Honest }
 
 let with_byzantine rng ~n ~count =
-  if count > n then invalid_arg "Faults.with_byzantine: count exceeds n";
+  if count > n then Sim_error.invalid "Faults.with_byzantine: count exceeds n";
   let t = honest n in
   let ids = Rng.permutation rng n in
   for i = 0 to count - 1 do
@@ -19,7 +19,7 @@ let with_byzantine_ids ~n ~ids =
   let t = honest n in
   List.iter
     (fun id ->
-      if id < 0 || id >= n then invalid_arg "Faults.with_byzantine_ids: id out of range";
+      if id < 0 || id >= n then Sim_error.invalid "Faults.with_byzantine_ids: id out of range";
       t.roster.(id) <- Byzantine)
     ids;
   t

@@ -15,9 +15,9 @@ type 'msg t = {
 
 let create mode =
   (match mode with
-  | Shared cap when cap <= 0 -> invalid_arg "Inbox.create: capacity must be positive"
+  | Shared cap when cap <= 0 -> Sim_error.invalid "Inbox.create: capacity must be positive"
   | Split { request_cap; consensus_cap } when request_cap <= 0 || consensus_cap <= 0 ->
-      invalid_arg "Inbox.create: capacity must be positive"
+      Sim_error.invalid "Inbox.create: capacity must be positive"
   | _ -> ());
   {
     mode;

@@ -1,6 +1,10 @@
 open Repro_util
 
-type verdict = Deliver | Drop | Delay of float
+type verdict =
+  | Deliver
+  | Drop
+  | Delay of float
+  | Duplicate of { copies : int; spacing : float }
 
 type 'msg t = {
   engine : Engine.t;
@@ -29,9 +33,9 @@ let create engine ~topology =
 
 let register_in_region t node ~region =
   let id = Node.id node in
-  if Hashtbl.mem t.nodes id then invalid_arg "Network.register: duplicate node id";
+  if Hashtbl.mem t.nodes id then Sim_error.invalid "Network.register: duplicate node id";
   if region < 0 || region >= Topology.regions t.topology then
-    invalid_arg "Network.register: region out of range";
+    Sim_error.invalid "Network.register: region out of range";
   Hashtbl.replace t.nodes id (node, region)
 
 let register t node =
@@ -51,21 +55,30 @@ let transmit t ~src_id ~src_region ~departure ~dst ~channel ~bytes msg =
       in
       match decide () with
       | Drop -> t.net_dropped <- t.net_dropped + 1
-      | (Deliver | Delay _) as v ->
-          let extra = match v with Delay d -> d | Deliver | Drop -> 0.0 in
+      | (Deliver | Delay _ | Duplicate _) as v ->
+          let extra, copies, spacing =
+            match v with
+            | Delay d -> (d, 1, 0.0)
+            | Duplicate { copies; spacing } -> (0.0, Int.max 1 copies, Float.max 0.0 spacing)
+            | Deliver | Drop -> (0.0, 1, 0.0)
+          in
           let propagation = Topology.latency t.topology t.rng ~src_region ~dst_region in
           let serialization = Topology.transfer_time t.topology ~bytes in
           let arrival = departure +. serialization +. propagation +. extra in
-          Engine.schedule_at t.engine ~time:arrival (fun () ->
-              if Node.deliver dst_node channel msg then t.delivered <- t.delivered + 1
-              else t.inbox_dropped <- t.inbox_dropped + 1))
+          for i = 0 to copies - 1 do
+            Engine.schedule_at t.engine
+              ~time:(arrival +. (spacing *. float_of_int i))
+              (fun () ->
+                if Node.deliver dst_node channel msg then t.delivered <- t.delivered + 1
+                else t.inbox_dropped <- t.inbox_dropped + 1)
+          done)
 
 let send t ~src ~dst ~channel ~bytes msg =
   let src_id = Node.id src in
   let src_region =
     match Hashtbl.find_opt t.nodes src_id with
     | Some (_, r) -> r
-    | None -> invalid_arg "Network.send: source not registered"
+    | None -> Sim_error.invalid "Network.send: source not registered"
   in
   let departure = Engine.now t.engine +. Node.charged src in
   transmit t ~src_id ~src_region ~departure ~dst ~channel ~bytes msg

@@ -8,7 +8,14 @@
 
 type 'msg t
 
-type verdict = Deliver | Drop | Delay of float
+type verdict =
+  | Deliver
+  | Drop
+  | Delay of float
+  | Duplicate of { copies : int; spacing : float }
+      (** deliver [copies] identical copies, the first on time and each
+          subsequent one [spacing] seconds after the previous (adversarial
+          message duplication) *)
 
 val create : Engine.t -> topology:Topology.t -> 'msg t
 

@@ -28,7 +28,7 @@ let id t = t.node_id
 let engine t = t.engine
 
 let charge t cost =
-  if cost < 0.0 then invalid_arg "Node.charge: negative cost";
+  if cost < 0.0 then Sim_error.invalid "Node.charge: negative cost";
   let start = Float.max (Engine.now t.engine) t.busy_until in
   t.busy_until <- start +. cost;
   t.busy_accum <- t.busy_accum +. cost

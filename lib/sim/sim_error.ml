@@ -1,0 +1,3 @@
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun msg -> raise (Invalid msg)) fmt

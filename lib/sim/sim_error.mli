@@ -1,0 +1,12 @@
+(** Typed error surface for the simulator.
+
+    Misuse of a sim primitive (negative delay, bad region, duplicate
+    registration, ...) raises {!Invalid} with a human-readable message,
+    replacing the untyped [Invalid_argument] the modules used to throw.
+    Callers that want to survive a misconfigured scenario can match on one
+    constructor instead of string-matching stdlib exceptions. *)
+
+exception Invalid of string
+
+val invalid : ('a, unit, string, 'b) format4 -> 'a
+(** [invalid fmt ...] raises {!Invalid} with the formatted message. *)

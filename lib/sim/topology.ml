@@ -49,7 +49,7 @@ let constrained_lan ~latency_ms ~bandwidth_mbps =
   }
 
 let gcp n =
-  if n < 1 || n > 8 then invalid_arg "Topology.gcp: regions must be in 1..8";
+  if n < 1 || n > 8 then Sim_error.invalid "Topology.gcp: regions must be in 1..8";
   let latency_s =
     Array.init n (fun i ->
         Array.init n (fun j ->
@@ -71,7 +71,7 @@ let region_of_node t node = node mod t.nregions
 
 let latency t rng ~src_region ~dst_region =
   if src_region < 0 || src_region >= t.nregions || dst_region < 0 || dst_region >= t.nregions
-  then invalid_arg "Topology.latency: region out of range";
+  then Sim_error.invalid "Topology.latency: region out of range";
   let base = t.latency_s.(src_region).(dst_region) in
   let base = Float.max base intra_region_s in
   (* Symmetric relative jitter, truncated at zero. *)

@@ -1,0 +1,9 @@
+(* R5 negative fixture: helper-derived sizes and unrelated arithmetic. *)
+
+let next i = i + 1
+
+let padded f = (2 * f) + 2
+
+let scaled k f = (k * f) + 1
+
+let doubled f = 2 * (f + 1)

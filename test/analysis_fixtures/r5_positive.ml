@@ -1,0 +1,7 @@
+(* R5 positive fixture: bare quorum arithmetic in consensus/shard scope. *)
+
+let quorum f = (2 * f) + 1
+
+let committee f = 3 * f + 1
+
+let flipped f = 1 + f * 2

@@ -72,6 +72,31 @@ let test_r3_negative () =
   let fs = check_fixture ~logical:"lib/core" "r3_negative.ml" in
   Alcotest.(check int) "typed errors and guarded asserts pass" 0 (List.length (active fs))
 
+(* --- R5: quorum hygiene --------------------------------------------- *)
+
+let test_r5_positive_in_scope () =
+  let fs = check_fixture ~logical:"lib/consensus" "r5_positive.ml" in
+  Alcotest.(check int) "three R5 findings" 3 (count Lint_types.R5 fs)
+
+let test_r5_out_of_scope () =
+  let fs = check_fixture ~logical:"lib/sim" "r5_positive.ml" in
+  Alcotest.(check int) "quiet outside scope" 0 (List.length (active fs))
+
+let test_r5_negative () =
+  let fs = check_fixture ~logical:"lib/shard" "r5_negative.ml" in
+  Alcotest.(check int) "helper-derived sizes pass" 0 (List.length (active fs))
+
+let test_r5_scope_predicate () =
+  Alcotest.(check bool) "consensus in scope" true
+    (Lint_rules.in_r5_scope "lib/consensus/pbft.ml");
+  Alcotest.(check bool) "shard in scope" true (Lint_rules.in_r5_scope "lib/shard/reference.ml");
+  Alcotest.(check bool) "config allowlisted" false
+    (Lint_rules.in_r5_scope "lib/consensus/config.ml");
+  Alcotest.(check bool) "quorum allowlisted" false
+    (Lint_rules.in_r5_scope "lib/consensus/quorum.ml");
+  Alcotest.(check bool) "sizing allowlisted" false (Lint_rules.in_r5_scope "lib/shard/sizing.ml");
+  Alcotest.(check bool) "sim out of scope" false (Lint_rules.in_r5_scope "lib/sim/engine.ml")
+
 (* --- R4: interface coverage (whole-tree scan) ----------------------- *)
 
 let test_r4_scan () =
@@ -166,6 +191,13 @@ let () =
         [
           Alcotest.test_case "positive fixture fires" `Quick test_r3_positive;
           Alcotest.test_case "negative fixture quiet" `Quick test_r3_negative;
+        ] );
+      ( "r5-quorum",
+        [
+          Alcotest.test_case "positive fixture fires in scope" `Quick test_r5_positive_in_scope;
+          Alcotest.test_case "quiet outside scope" `Quick test_r5_out_of_scope;
+          Alcotest.test_case "negative fixture quiet" `Quick test_r5_negative;
+          Alcotest.test_case "scope predicate" `Quick test_r5_scope_predicate;
         ] );
       ("r4-interfaces", [ Alcotest.test_case "tree scan" `Quick test_r4_scan ]);
       ( "baseline",

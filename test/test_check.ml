@@ -1,0 +1,319 @@
+(* Tests for lib/check: schedule witnesses round-trip bit-exactly, the
+   oracles flag exactly the traces they should, the shrinker is greedy and
+   budget-bounded, and the headline differential holds — HL's unattested
+   quorums at N = 2f+1 violate agreement under the scripted split-brain
+   attack while AHL/AHL+/AHLR survive the identical schedules. *)
+
+open Repro_util
+open Repro_consensus
+open Repro_check
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let sched ?(byz = [ 0 ]) ?(split_brain = true) ?(stale = false) ?(silent = []) ?(requests = 8)
+    ?(events = []) () =
+  { Schedule.byz; split_brain; stale_replay = stale; silent_toward = silent; requests; events }
+
+let ev ?(start = 1.0) ?(stop = 2.0) kind = { Schedule.start; stop; kind }
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_roundtrip () =
+  let s =
+    sched ~byz:[ 0; 1 ] ~stale:true ~silent:[ 4 ] ~requests:12
+      ~events:
+        [
+          ev ~start:0.25 ~stop:1.75 (Schedule.Drop 0.125);
+          ev ~start:(1.0 /. 3.0) ~stop:3.0 (Schedule.Jitter 0.2);
+          ev ~start:0.5 ~stop:2.5 (Schedule.Duplicate 0.3);
+          ev ~start:2.0 ~stop:4.0 (Schedule.Partition [ 0; 2 ]);
+          ev ~start:0.0 ~stop:5.0 (Schedule.Silence { from_ = 1; toward = 3 });
+        ]
+      ()
+  in
+  let s' = Schedule.of_string (Schedule.to_string s) in
+  Alcotest.(check string) "string form round-trips" (Schedule.to_string s) (Schedule.to_string s');
+  Alcotest.(check (list int)) "byz preserved" s.Schedule.byz s'.Schedule.byz;
+  Alcotest.(check int) "requests preserved" s.Schedule.requests s'.Schedule.requests;
+  Alcotest.(check int) "events preserved" 5 (List.length s'.Schedule.events)
+
+let test_schedule_rejects_malformed () =
+  let malformed w =
+    match Schedule.of_string w with
+    | exception Schedule.Invalid_witness _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "wrong version" true (malformed "v2 byz=0 sb=1 stale=0 quiet=- req=4");
+  Alcotest.(check bool) "garbage" true (malformed "garbage");
+  Alcotest.(check bool) "bad event" true (malformed "v1 byz=0 sb=1 stale=0 quiet=- req=4 zap:1:2")
+
+let test_schedule_generation_deterministic () =
+  let gen () = Schedule.generate (Rng.split_named (Rng.create 42L) "0") ~n:5 ~f:2 in
+  Alcotest.(check string) "same rng, same schedule" (Schedule.to_string (gen ()))
+    (Schedule.to_string (gen ()));
+  let s = gen () in
+  Alcotest.(check (list int)) "byz clique is 0..f-1" [ 0; 1 ] s.Schedule.byz;
+  Alcotest.(check bool) "split-brain scripted when f >= 1" true s.Schedule.split_brain;
+  Alcotest.(check bool) "even request count" true (s.Schedule.requests mod 2 = 0)
+
+let test_schedule_heal_active_size () =
+  let e = ev ~start:1.0 ~stop:2.0 (Schedule.Drop 0.5) in
+  Alcotest.(check bool) "active inside window" true (Schedule.active e ~at:1.5);
+  Alcotest.(check bool) "inactive at stop" false (Schedule.active e ~at:2.0);
+  Alcotest.(check bool) "inactive before" false (Schedule.active e ~at:0.5);
+  let s = sched ~events:[ e; ev ~start:0.0 ~stop:7.5 (Schedule.Jitter 0.1) ] () in
+  Alcotest.(check (float 0.0)) "heal time is last stop" 7.5 (Schedule.heal_time s);
+  Alcotest.(check (float 0.0)) "no events heal at 0" 0.0 (Schedule.heal_time (sched ()));
+  let big = sched ~byz:[ 0; 1 ] ~stale:true ~silent:[ 2 ] ~requests:8 ~events:[ e ] () in
+  Alcotest.(check bool) "size shrinks with structure" true
+    (Schedule.size big > Schedule.size (sched ~requests:2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Oracles (synthetic traces)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let commit ?(member = 1) ?(view = 0) ?(digest = 7) ?(ids = []) ?(at = 1.0) seq =
+  { Trace.member; view; seq; digest; ids; at }
+
+let outcome ?(commits = []) ?(submitted = []) ?(honest = [ 1; 2 ]) ?(observer = 1) () =
+  {
+    Testbed.commits;
+    submitted;
+    honest;
+    observer;
+    heal_time = 0.0;
+    horizon = 30.0;
+    view_changes = 0;
+  }
+
+let test_oracle_agreement () =
+  let o =
+    outcome
+      ~commits:[ commit ~member:1 ~digest:7 1; commit ~member:2 ~digest:9 1 ]
+      ~submitted:[] ()
+  in
+  (match Oracle.check o with
+  | [ Oracle.Agreement { seq = 1; digest_a = 7; digest_b = 9; _ } ] -> ()
+  | vs -> Alcotest.failf "expected one agreement violation, got [%s]"
+            (String.concat "; " (List.map Oracle.to_string vs)));
+  (* A byzantine replica's conflicting commit is not a violation. *)
+  let o =
+    outcome
+      ~commits:[ commit ~member:1 ~digest:7 1; commit ~member:0 ~digest:9 1 ]
+      ~honest:[ 1; 2 ] ()
+  in
+  Alcotest.(check int) "byzantine commits ignored" 0 (List.length (Oracle.check o))
+
+let test_oracle_order_gap () =
+  let o = outcome ~commits:[ commit 1; commit 3 ] () in
+  match Oracle.check o with
+  | [ Oracle.Order { member = 1; missing_seq = 2; max_seq = 3 } ] -> ()
+  | vs ->
+      Alcotest.failf "expected one order violation, got [%s]"
+        (String.concat "; " (List.map Oracle.to_string vs))
+
+let test_oracle_validity () =
+  let o = outcome ~commits:[ commit ~ids:[ 5 ] 1 ] ~submitted:[ 0; 1 ] () in
+  match Oracle.check o with
+  | [ Oracle.Validity { member = 1; seq = 1; req_id = 5 } ] -> ()
+  | vs ->
+      Alcotest.failf "expected one validity violation, got [%s]"
+        (String.concat "; " (List.map Oracle.to_string vs))
+
+let test_oracle_liveness_only_when_safe () =
+  (* Submitted id 1 never executes at the observer: liveness violation. *)
+  let o = outcome ~commits:[ commit ~ids:[ 0 ] 1 ] ~submitted:[ 0; 1 ] () in
+  (match Oracle.check o with
+  | [ Oracle.Liveness { missing = 1; first_missing = 1 } ] -> ()
+  | vs ->
+      Alcotest.failf "expected one liveness violation, got [%s]"
+        (String.concat "; " (List.map Oracle.to_string vs)));
+  (* The same gap is NOT reported when the run is already unsafe. *)
+  let unsafe =
+    outcome
+      ~commits:[ commit ~member:1 ~digest:7 ~ids:[ 0 ] 1; commit ~member:2 ~digest:9 1 ]
+      ~submitted:[ 0; 1 ] ()
+  in
+  let vs = Oracle.check unsafe in
+  Alcotest.(check bool) "safety reported" true (List.for_all Oracle.is_safety vs);
+  Alcotest.(check bool) "liveness suppressed" true
+    (not (List.exists (fun v -> not (Oracle.is_safety v)) vs))
+
+let test_oracle_clean_run () =
+  let o =
+    outcome
+      ~commits:[ commit ~ids:[ 0 ] 1; commit ~member:2 ~ids:[ 0 ] 1; commit ~ids:[ 1 ] 2 ]
+      ~submitted:[ 0; 1 ] ~observer:1 ()
+  in
+  Alcotest.(check int) "no violations" 0 (List.length (Oracle.check o))
+
+let test_oracle_kinds () =
+  let ag = Oracle.Agreement { seq = 1; member_a = 1; view_a = 0; digest_a = 7; member_b = 2; view_b = 0; digest_b = 9 } in
+  let lv = Oracle.Liveness { missing = 1; first_missing = 0 } in
+  Alcotest.(check bool) "agreement is safety" true (Oracle.is_safety ag);
+  Alcotest.(check bool) "liveness is not" false (Oracle.is_safety lv);
+  Alcotest.(check bool) "same kind" true (Oracle.same_kind ag ag);
+  Alcotest.(check bool) "different kind" false (Oracle.same_kind ag lv)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrink_candidates () =
+  let s =
+    sched ~byz:[ 0; 1 ] ~stale:true ~silent:[ 2 ] ~requests:8
+      ~events:[ ev (Schedule.Drop 0.5); ev (Schedule.Jitter 0.1) ]
+      ()
+  in
+  (* 2 event drops + stale off + silence off + byz clique shrink + half
+     the requests = 6 one-step candidates. *)
+  Alcotest.(check int) "one-step candidates" 6 (List.length (Shrink.candidates s));
+  (* The clique never shrinks to empty: the attack needs one byzantine. *)
+  let single = sched ~byz:[ 0 ] ~requests:2 () in
+  Alcotest.(check int) "minimal schedule has no candidates" 0
+    (List.length (Shrink.candidates single))
+
+let test_shrink_minimize_greedy_and_bounded () =
+  let base =
+    sched ~byz:[ 0 ] ~stale:true ~silent:[ 3 ] ~requests:16
+      ~events:[ ev (Schedule.Drop 0.5); ev (Schedule.Jitter 0.1) ]
+      ()
+  in
+  let v = Oracle.Validity { member = 1; seq = 1; req_id = 99 } in
+  (* Bug reproduces on every candidate: the shrinker must reach the
+     structural floor. *)
+  let shrunk, reruns = Shrink.minimize ~replay:(fun _ -> Some v) ~budget:64 base v in
+  Alcotest.(check int) "all events dropped" 0 (List.length shrunk.Schedule.events);
+  Alcotest.(check bool) "stale replay disabled" false shrunk.Schedule.stale_replay;
+  Alcotest.(check (list int)) "silence dropped" [] shrunk.Schedule.silent_toward;
+  Alcotest.(check int) "requests at floor" 2 shrunk.Schedule.requests;
+  Alcotest.(check bool) "within budget" true (reruns <= 64);
+  (* A replay that never reproduces keeps the original schedule. *)
+  let kept, _ = Shrink.minimize ~replay:(fun _ -> None) ~budget:8 base v in
+  Alcotest.(check string) "irreproducible keeps original" (Schedule.to_string base)
+    (Schedule.to_string kept);
+  (* Budget 0 spends no replays at all. *)
+  let _, spent = Shrink.minimize ~replay:(fun _ -> Some v) ~budget:0 base v in
+  Alcotest.(check int) "budget 0 replays nothing" 0 spent
+
+(* ------------------------------------------------------------------ *)
+(* Testbed determinism                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pp_commits o = List.map (Format.asprintf "%a" Trace.pp_commit) o.Testbed.commits
+
+let test_testbed_deterministic () =
+  let s = Explore.schedule_for ~seed:11L ~n:3 ~f:1 0 in
+  let run () = Testbed.run ~engine_seed:11L ~variant:Explore.hl_small ~n:3 s in
+  let a = run () and b = run () in
+  Alcotest.(check (list string)) "bit-identical committed traces" (pp_commits a) (pp_commits b);
+  Alcotest.(check int) "same view changes" a.Testbed.view_changes b.Testbed.view_changes
+
+let test_testbed_horizon_uses_grace () =
+  let s = sched ~requests:2 ~events:[ ev ~start:0.0 ~stop:1.5 (Schedule.Drop 0.0) ] () in
+  let o = Testbed.run ~engine_seed:3L ~variant:Config.ahl ~n:3 s in
+  Alcotest.(check (float 1e-9)) "heal time from schedule" 1.5 o.Testbed.heal_time;
+  Alcotest.(check (float 1e-9)) "horizon grants the grace window"
+    (o.Testbed.heal_time +. Testbed.grace) o.Testbed.horizon;
+  Alcotest.(check (list int)) "honest excludes the byzantine clique" [ 1; 2 ] o.Testbed.honest
+
+(* ------------------------------------------------------------------ *)
+(* Explorer and the headline differential                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_variant_names () =
+  let name v = match v with Some v -> v.Config.name | None -> "?" in
+  Alcotest.(check string) "hl2f1" "HL@2f+1" (name (Explore.variant_of_name "hl2f1"));
+  Alcotest.(check string) "hl_small is the same config" Explore.hl_small.Config.name
+    (name (Explore.variant_of_name "hl@2f+1"));
+  Alcotest.(check string) "ahl+" "AHL+" (name (Explore.variant_of_name "ahl+"));
+  Alcotest.(check string) "ahlr" "AHLR" (name (Explore.variant_of_name "ahlr"));
+  Alcotest.(check bool) "unknown rejected" true
+    (Option.is_none (Explore.variant_of_name "bogus"))
+
+let test_trial_seeding () =
+  Alcotest.(check int64) "engine seed is base + index" 14L (Explore.engine_seed_for ~seed:11L 3);
+  let a = Explore.schedule_for ~seed:7L ~n:3 ~f:1 2 in
+  let b = Explore.schedule_for ~seed:7L ~n:3 ~f:1 2 in
+  Alcotest.(check string) "schedule_for is deterministic" (Schedule.to_string a)
+    (Schedule.to_string b)
+
+let test_differential_holds_and_witness_replays () =
+  let d = Explore.differential ~f:1 ~trials:3 ~seed:11L ~budget:16 in
+  Alcotest.(check bool) "differential holds" true d.Explore.holds;
+  Alcotest.(check bool) "unattested 2f+1 violates safety" true
+    (d.Explore.broken.Explore.safety_violations > 0);
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (r.Explore.variant_name ^ " stays safe on identical schedules")
+        0 r.Explore.safety_violations)
+    d.Explore.safe;
+  (* The shrunk witness replays bit-identically from (seed, string) alone. *)
+  let t =
+    List.find (fun t -> Option.is_some t.Explore.shrunk) d.Explore.broken.Explore.trials
+  in
+  let w = Option.get t.Explore.shrunk in
+  let n = d.Explore.broken.Explore.n in
+  let replay s =
+    List.map Oracle.to_string
+      (Explore.replay ~variant:Explore.hl_small ~n ~engine_seed:t.Explore.engine_seed s)
+  in
+  let direct = replay w in
+  Alcotest.(check (list string)) "witness replays from its printed form" direct
+    (replay (Schedule.of_string (Schedule.to_string w)));
+  Alcotest.(check bool) "shrunk witness still violates" true (direct <> [])
+
+let test_explore_json () =
+  let r = Explore.run ~variant:Config.ahl ~n:3 ~f:1 ~trials:1 ~seed:11L ~budget:4 in
+  let j = Explore.json_of_report r in
+  Alcotest.(check bool) "variant named" true (contains j "\"variant\":\"AHL\"");
+  Alcotest.(check bool) "per-trial results" true (contains j "\"engine_seed\":11");
+  let s = Explore.json_summary ~wall_time:1.5 [ r ] in
+  Alcotest.(check bool) "summary carries wall time" true (contains s "\"wall_time_s\":1.500");
+  Alcotest.(check bool) "summary embeds the report" true (contains s "\"safety_violations\":0")
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "witness round-trips" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_schedule_rejects_malformed;
+          Alcotest.test_case "generation deterministic" `Quick
+            test_schedule_generation_deterministic;
+          Alcotest.test_case "heal/active/size" `Quick test_schedule_heal_active_size;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "agreement" `Quick test_oracle_agreement;
+          Alcotest.test_case "order gap" `Quick test_oracle_order_gap;
+          Alcotest.test_case "validity" `Quick test_oracle_validity;
+          Alcotest.test_case "liveness only when safe" `Quick test_oracle_liveness_only_when_safe;
+          Alcotest.test_case "clean run" `Quick test_oracle_clean_run;
+          Alcotest.test_case "kinds" `Quick test_oracle_kinds;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "candidates" `Quick test_shrink_candidates;
+          Alcotest.test_case "greedy and bounded" `Quick test_shrink_minimize_greedy_and_bounded;
+        ] );
+      ( "testbed",
+        [
+          Alcotest.test_case "deterministic" `Quick test_testbed_deterministic;
+          Alcotest.test_case "horizon uses grace" `Quick test_testbed_horizon_uses_grace;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "variant names" `Quick test_variant_names;
+          Alcotest.test_case "trial seeding" `Quick test_trial_seeding;
+          Alcotest.test_case "differential holds; witness replays" `Quick
+            test_differential_holds_and_witness_replays;
+          Alcotest.test_case "json reports" `Quick test_explore_json;
+        ] );
+    ]

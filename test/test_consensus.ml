@@ -189,6 +189,28 @@ let test_pbft_view_change_on_leader_crash () =
       Alcotest.(check bool) (Printf.sprintf "req %d committed" i) true (List.mem i ids))
     [ 100; 105; 109 ]
 
+let test_pbft_new_view_reproposes_prepared () =
+  (* Batches that prepared in view 0 but never committed (every Commit is
+     eaten by the network) must survive the view change: the New_view
+     re-proposals carry their certificates and the new leader drives them
+     to execution. *)
+  let fx = make_fixture ~n:5 () in
+  Network.set_filter fx.network (fun ~src:_ ~dst:_ msg ->
+      match msg with Pbft.Commit _ -> Network.Drop | _ -> Network.Deliver);
+  for i = 0 to 4 do
+    submit fx ~req_id:i ~via:1
+  done;
+  Engine.run fx.engine ~until:1.5;
+  Alcotest.(check int) "nothing commits while commits are dropped" 0
+    (List.length (committed_ids fx ~member:2));
+  Node.crash fx.nodes.(0);
+  Network.clear_filter fx.network;
+  Engine.run fx.engine ~until:30.0;
+  Alcotest.(check bool) "view advanced" true (Pbft.current_view fx.committee ~member:2 > 0);
+  Alcotest.(check (list int)) "prepared batches re-proposed, committed exactly once"
+    (List.init 5 Fun.id)
+    (List.sort compare (committed_ids fx ~member:2))
+
 let test_pbft_progress_with_f_crashes () =
   (* AHL+: n = 5, f = 2 — two crashed followers must not stop progress. *)
   let fx = make_fixture ~n:5 () in
@@ -444,6 +466,22 @@ let test_harness_closed_loop_saturates () =
   in
   Alcotest.(check bool) "more clients more tps until saturation" true (tps 8 > tps 1)
 
+let test_harness_crash_schedule_counters () =
+  (* A leader crash injected through the harness must surface in the
+     result's view-change counters while the committee keeps committing. *)
+  let r =
+    Harness.run ~seed:3L ~duration:20.0 ~warmup:2.0
+      ~crashes:[ (0, 2.0) ]
+      ~variant:Config.ahl_plus ~n:5 ~topology:(Topology.lan ())
+      ~workload:(Harness.Open_loop { rate = 300.0; clients = 4 })
+      ()
+  in
+  Alcotest.(check bool) "view change attempted" true (r.Harness.view_change_attempts >= 1);
+  Alcotest.(check bool) "view change adopted" true (r.Harness.view_changes >= 1);
+  Alcotest.(check bool) "attempts >= adoptions" true
+    (r.Harness.view_change_attempts >= r.Harness.view_changes);
+  Alcotest.(check bool) "still commits after the crash" true (r.Harness.committed > 0)
+
 let test_harness_deterministic () =
   let run () =
     Harness.run ~seed:5L ~duration:6.0 ~variant:Config.ahl_plus ~n:4
@@ -647,6 +685,8 @@ let () =
           Alcotest.test_case "safety across replicas" `Quick test_pbft_safety_across_replicas;
           Alcotest.test_case "view change on leader crash" `Quick
             test_pbft_view_change_on_leader_crash;
+          Alcotest.test_case "new view re-proposes prepared" `Quick
+            test_pbft_new_view_reproposes_prepared;
           Alcotest.test_case "progress with f crashes" `Quick test_pbft_progress_with_f_crashes;
           Alcotest.test_case "halts beyond f crashes" `Quick test_pbft_no_progress_beyond_f_crashes;
           Alcotest.test_case "byzantine equivocation tolerated" `Quick
@@ -677,6 +717,7 @@ let () =
         [
           Alcotest.test_case "open loop" `Quick test_harness_open_loop;
           Alcotest.test_case "closed loop saturates" `Quick test_harness_closed_loop_saturates;
+          Alcotest.test_case "crash schedule counters" `Quick test_harness_crash_schedule_counters;
           Alcotest.test_case "deterministic" `Quick test_harness_deterministic;
         ] );
       ( "adversarial-network",

@@ -67,7 +67,7 @@ let test_engine_timer_cancel () =
 
 let test_engine_negative_delay_rejected () =
   let e = Engine.create ~seed:1L in
-  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+  Alcotest.check_raises "negative delay" (Sim_error.Invalid "Engine.schedule: negative delay")
     (fun () -> Engine.schedule e ~delay:(-1.0) (fun () -> ()))
 
 let test_engine_schedule_at_past_clamps () =
@@ -104,7 +104,7 @@ let test_topology_gcp_regions () =
   Alcotest.(check int) "round robin" 3 (Topology.region_of_node t 11)
 
 let test_topology_gcp_bad_count () =
-  Alcotest.check_raises "9 regions" (Invalid_argument "Topology.gcp: regions must be in 1..8")
+  Alcotest.check_raises "9 regions" (Sim_error.Invalid "Topology.gcp: regions must be in 1..8")
     (fun () -> ignore (Topology.gcp 9))
 
 let test_topology_latency_positive_and_jittered () =
@@ -180,7 +180,7 @@ let test_inbox_clear () =
   Alcotest.(check int) "empty" 0 (Inbox.length q)
 
 let test_inbox_zero_capacity_rejected () =
-  Alcotest.check_raises "zero cap" (Invalid_argument "Inbox.create: capacity must be positive")
+  Alcotest.check_raises "zero cap" (Sim_error.Invalid "Inbox.create: capacity must be positive")
     (fun () -> ignore (Inbox.create (Inbox.Shared 0)))
 
 (* ------------------------------------------------------------------ *)
@@ -315,6 +315,26 @@ let test_network_filter_delay () =
   | [ (_, at) ] -> Alcotest.(check bool) "delayed" true (at >= 5.0)
   | _ -> Alcotest.fail "expected one delivery"
 
+let test_network_filter_duplicate () =
+  let e, net, n0, _, received = two_nodes () in
+  Network.set_filter net (fun ~src:_ ~dst:_ _ ->
+      Network.Duplicate { copies = 3; spacing = 1.0 });
+  Network.send net ~src:n0 ~dst:1 ~channel:Inbox.Consensus ~bytes:100 "dup";
+  Engine.run_until_idle e;
+  Alcotest.(check int) "one send" 1 (Network.sent_count net);
+  Alcotest.(check int) "three deliveries" 3 (Network.delivered_count net);
+  (match List.rev !received with
+  | [ (_, t0); (_, t1); (_, t2) ] ->
+      Alcotest.(check (float 1e-9)) "second copy spaced" 1.0 (t1 -. t0);
+      Alcotest.(check (float 1e-9)) "third copy spaced" 1.0 (t2 -. t1)
+  | _ -> Alcotest.fail "expected three deliveries");
+  (* copies is clamped below at 1: a zero-copy duplicate still delivers. *)
+  Network.set_filter net (fun ~src:_ ~dst:_ _ ->
+      Network.Duplicate { copies = 0; spacing = 0.0 });
+  Network.send net ~src:n0 ~dst:1 ~channel:Inbox.Consensus ~bytes:100 "min";
+  Engine.run_until_idle e;
+  Alcotest.(check int) "clamped to one copy" 4 (Network.delivered_count net)
+
 let test_network_broadcast_excludes_self () =
   let e = Engine.create ~seed:1L in
   let net = Network.create e ~topology:(Topology.lan ()) in
@@ -340,7 +360,7 @@ let test_network_duplicate_registration () =
   let net = Network.create e ~topology:(Topology.lan ()) in
   let n = Node.create e ~id:0 ~inbox_mode:(Inbox.Shared 10) ~handler:(fun _ (_ : int) -> ()) in
   Network.register net n;
-  Alcotest.check_raises "dup" (Invalid_argument "Network.register: duplicate node id") (fun () ->
+  Alcotest.check_raises "dup" (Sim_error.Invalid "Network.register: duplicate node id") (fun () ->
       Network.register net n)
 
 (* ------------------------------------------------------------------ *)
@@ -366,6 +386,26 @@ let test_faults_adaptive_corruption_delay () =
   Alcotest.(check bool) "not yet corrupted" false (Faults.is_byzantine f 1);
   Engine.run e ~until:6.0;
   Alcotest.(check bool) "corrupted after delay" true (Faults.is_byzantine f 1)
+
+let test_faults_adaptive_corruption_timestamp () =
+  (* Section 3.3 adaptive corruption: pin down the exact engine time at
+     which the roster flips by sampling it from a probe event stream. *)
+  let e = Engine.create ~seed:1L in
+  let f = Faults.honest 3 in
+  let flip_seen_at = ref nan in
+  Faults.corrupt_after e f 1 ~delay:2.5;
+  let rec probe () =
+    if Faults.is_byzantine f 1 then begin
+      if Float.is_nan !flip_seen_at then flip_seen_at := Engine.now e
+    end
+    else Engine.schedule e ~delay:0.25 probe
+  in
+  probe ();
+  Engine.run e ~until:10.0;
+  check_float "first probe seeing corruption" 2.5 !flip_seen_at;
+  Alcotest.(check int) "exactly one byzantine" 1 (Faults.byzantine_count f);
+  Alcotest.(check bool) "others untouched" false
+    (Faults.is_byzantine f 0 || Faults.is_byzantine f 2)
 
 let test_metrics_throughput () =
   let e = Engine.create ~seed:1L in
@@ -517,6 +557,7 @@ let () =
           Alcotest.test_case "unknown destination" `Quick test_network_unknown_destination_ignored;
           Alcotest.test_case "filter drop" `Quick test_network_filter_drop;
           Alcotest.test_case "filter delay" `Quick test_network_filter_delay;
+          Alcotest.test_case "filter duplicate" `Quick test_network_filter_duplicate;
           Alcotest.test_case "broadcast excludes self" `Quick test_network_broadcast_excludes_self;
           Alcotest.test_case "external sender" `Quick test_network_send_external;
           Alcotest.test_case "duplicate registration" `Quick test_network_duplicate_registration;
@@ -526,6 +567,8 @@ let () =
           Alcotest.test_case "roster" `Quick test_faults_roster;
           Alcotest.test_case "random selection" `Quick test_faults_random_selection;
           Alcotest.test_case "adaptive corruption" `Quick test_faults_adaptive_corruption_delay;
+          Alcotest.test_case "adaptive corruption timestamp" `Quick
+            test_faults_adaptive_corruption_timestamp;
           Alcotest.test_case "throughput" `Quick test_metrics_throughput;
           Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_and_gauges;
           Alcotest.test_case "abort rate" `Quick test_metrics_abort_rate;

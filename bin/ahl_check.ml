@@ -3,14 +3,25 @@
 
    Usage: ahl_check [--variant NAME] [--n N] [--f F] [--trials T]
                     [--seed S] [--budget B] [--json]
+          ahl_check --cross-shard [--mode diff|ref|client]
+                    [--concurrency 2pl|waitdie] [--shards K]
+                    [--committee N] [--trials T] [--seed S] [--budget B]
+                    [--json]
 
-   Variants: hl2f1 hl ahl ahl+ ahlr, or `diff` (the default) for the
-   headline differential — HL's unattested quorums at N=2f+1 must yield
-   a safety violation within the trial budget while AHL/AHL+/AHLR stay
-   safe under identical schedules.
+   Single-committee variants: hl2f1 hl ahl ahl+ ahlr, or `diff` (the
+   default) for the headline differential — HL's unattested quorums at
+   N=2f+1 must yield a safety violation within the trial budget while
+   AHL/AHL+/AHLR stay safe under identical schedules.
 
-   Exit codes: 0 property holds / no safety violation, 1 otherwise,
-   2 usage errors.  Every reported witness is replayable from
+   --cross-shard switches to whole-system exploration: seeded 2PC
+   coordinator-fault schedules over shard committees plus R, with
+   atomicity / durable-decision / conservation / stuck-lock / liveness
+   oracles.  --mode diff runs the silent-client differential
+   (With_reference survives, Client_driven leaves locks stuck); --mode
+   ref or client explores that coordination mode.
+
+   Exit codes: 0 property holds / no violation, 1 otherwise, 2 usage
+   errors.  Every reported witness is replayable from
    (engine_seed, schedule) alone. *)
 
 open Repro_check
@@ -24,6 +35,11 @@ let () =
   let seed = ref 11 in
   let budget = ref 32 in
   let json = ref false in
+  let cross = ref false in
+  let mode = ref "diff" in
+  let concurrency = ref "2pl" in
+  let shards = ref 3 in
+  let committee = ref 4 in
   let spec =
     [
       ( "--variant",
@@ -35,6 +51,17 @@ let () =
       ("--seed", Arg.Set_int seed, "S base seed; trial i uses engine seed S+i (default: 11)");
       ("--budget", Arg.Set_int budget, "B max shrink replays per violation (default: 32)");
       ("--json", Arg.Set json, " emit a machine-readable summary on stdout");
+      ("--cross-shard", Arg.Set cross, " explore whole-system cross-shard schedules");
+      ( "--mode",
+        Arg.Set_string mode,
+        "M cross-shard mode: diff|ref|client (default: diff, the silent-client differential)" );
+      ( "--concurrency",
+        Arg.Set_string concurrency,
+        "C cross-shard concurrency control: 2pl|waitdie (default: 2pl)" );
+      ("--shards", Arg.Set_int shards, "K shard committees for --cross-shard (default: 3)");
+      ( "--committee",
+        Arg.Set_int committee,
+        "N replicas per committee for --cross-shard (default: 4)" );
     ]
   in
   Arg.parse (Arg.align spec)
@@ -61,6 +88,40 @@ let () =
     end;
     exit (if ok then 0 else 1)
   in
+  if !cross then begin
+    if !shards < 2 || !committee < 3 then begin
+      Printf.eprintf "ahl_check: --cross-shard needs --shards >= 2 and --committee >= 3\n";
+      exit 2
+    end;
+    let concurrency =
+      match Xexplore.concurrency_of_name !concurrency with
+      | Some c -> c
+      | None ->
+          Printf.eprintf "ahl_check: unknown concurrency %s\n" !concurrency;
+          exit 2
+    in
+    match !mode with
+    | "diff" | "differential" ->
+        let d = Xexplore.differential ~shards:!shards ~committee_size:!committee ~seed in
+        if !json then print_endline (Xexplore.json_of_differential d)
+        else Format.printf "%a" Xexplore.pp_differential d;
+        exit (if d.Xexplore.holds then 0 else 1)
+    | name -> (
+        match Xexplore.mode_of_name name with
+        | None ->
+            Printf.eprintf "ahl_check: unknown cross-shard mode %s\n" name;
+            exit 2
+        | Some mode ->
+            let r =
+              Xexplore.run ~mode ~concurrency ~shards:!shards ~committee_size:!committee
+                ~trials:!trials ~seed ~budget:!budget
+            in
+            if !json then print_endline (Xexplore.json_of_report r)
+            else Format.printf "%a" Xexplore.pp_report r;
+            exit
+              (if r.Xexplore.safety_violations = 0 && r.Xexplore.liveness_violations = 0 then 0
+               else 1))
+  end;
   match !variant with
   | "diff" | "differential" ->
       let d = Explore.differential ~f:!f ~trials:!trials ~seed ~budget:!budget in

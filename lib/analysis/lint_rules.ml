@@ -21,6 +21,13 @@ let in_r2_scope path =
   || starts_with ~prefix:"lib/ledger/" path
   || starts_with ~prefix:"lib/shard/" path
 
+(* Bare [compare] handed to a sort/dedup: the whole library tree.  A
+   polymorphic comparator deep in a hot path is both a perf trap and a
+   latent crash on float/closure-carrying elements, wherever it lives —
+   the narrower [in_r2_scope] already flags the ident itself, so this
+   broader rule only reports where that one stays quiet. *)
+let in_r2_sort_scope path = starts_with ~prefix:"lib/" path
+
 let in_r3_scope path = starts_with ~prefix:"lib/" path
 
 (* Bare quorum arithmetic: consensus and shard paths, minus the three
@@ -168,9 +175,36 @@ let check_ident ~path ~report lid loc =
     | _ -> ()
   end
 
+(* Sort/dedup callees whose comparator argument R2 polices everywhere. *)
+let is_sort_callee lid =
+  match last2 (flatten lid) with
+  | Some (("List" | "Array"), ("sort" | "sort_uniq" | "stable_sort" | "fast_sort")) -> true
+  | Some ("Det", ("iter" | "fold" | "bindings")) -> true
+  | _ -> false
+
+let is_bare_compare (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match flatten txt with
+      | [ "compare" ]
+      | [ "Stdlib"; "compare" ]
+      | [ "Poly"; "compare" ]
+      | [ "Pervasives"; "compare" ] ->
+          true
+      | _ -> false)
+  | _ -> false
+
 let check_expr ~path ~report (e : Parsetree.expression) =
   match e.pexp_desc with
   | Pexp_ident { txt; loc } -> check_ident ~path ~report txt loc
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = callee; _ }; _ }, args)
+    when in_r2_sort_scope path
+         && not (in_r2_scope path)
+         && is_sort_callee callee
+         && List.exists (fun (_, a) -> is_bare_compare a) args ->
+      report ~rule:R2 ~severity:Error e.pexp_loc
+        "bare polymorphic compare passed to a sort/dedup; use the element type's compare \
+         (Int/String/Float/...)"
   | Pexp_apply
       ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
         [ (_, a); (_, b) ] )

@@ -13,6 +13,12 @@ val in_r2_scope : string -> bool
 (** Whether R2 (comparison safety) applies to this path — exposed so tests
     and the driver agree on the message/state-path boundary. *)
 
+val in_r2_sort_scope : string -> bool
+(** Whether R2's sort-argument check (bare [compare] passed to a
+    sort/dedup or [Det] traversal) applies: the whole [lib/] tree.  Where
+    {!in_r2_scope} already holds, the ident-level check reports instead,
+    so the two never double-count a finding. *)
+
 val in_r5_scope : string -> bool
 (** Whether R5 (quorum hygiene) applies to this path: the consensus and
     shard trees, minus the size-computing allowlist

@@ -1,0 +1,84 @@
+(** The cross-shard explorer: seeded trials over whole-system schedules,
+    oracles, shrinking, and the silent-client differential.
+
+    Trial [i] of a run with base seed [s] uses engine seed [s + i] and the
+    schedule generated from [split_named (create s) (string_of_int i)] —
+    a witness is fully described by [(engine_seed, schedule)] plus the
+    fixed run parameters. *)
+
+val mode_of_name : string -> Repro_core.System.coordination_mode option
+(** CLI names: [ref], [client]. *)
+
+val mode_name : Repro_core.System.coordination_mode -> string
+
+val concurrency_of_name : string -> Repro_core.System.concurrency_control option
+(** CLI names: [2pl], [waitdie]. *)
+
+type trial = {
+  index : int;
+  engine_seed : int64;
+  schedule : Xschedule.t;
+  violations : Xoracle.violation list;
+  shrunk : Xschedule.t option;  (** minimized witness, on any violation *)
+  shrink_reruns : int;
+}
+
+type report = {
+  mode : Repro_core.System.coordination_mode;
+  shards : int;
+  committee_size : int;
+  trials : trial list;
+  safety_violations : int;  (** trials with at least one safety violation *)
+  liveness_violations : int;
+}
+
+val replay :
+  mode:Repro_core.System.coordination_mode ->
+  concurrency:Repro_core.System.concurrency_control ->
+  shards:int ->
+  committee_size:int ->
+  engine_seed:int64 ->
+  Xschedule.t ->
+  Xoracle.violation list
+(** Deterministically re-run one witness and re-check the oracles. *)
+
+val schedule_for : seed:int64 -> shards:int -> committee_size:int -> int -> Xschedule.t
+(** The schedule trial [i] uses (exposed for replay tests). *)
+
+val engine_seed_for : seed:int64 -> int -> int64
+
+val run :
+  mode:Repro_core.System.coordination_mode ->
+  concurrency:Repro_core.System.concurrency_control ->
+  shards:int ->
+  committee_size:int ->
+  trials:int ->
+  seed:int64 ->
+  budget:int ->
+  report
+(** Explore [trials] seeded schedules; every violation (stuck locks
+    included — they are first-class bugs here) is shrunk with at most
+    [budget] replays. *)
+
+val silent_client_schedule : Xschedule.t
+(** Two cross-shard transfers, the first from a silent client, no
+    network faults — the differential's fixed workload. *)
+
+type differential = {
+  with_ref : Xoracle.violation list;
+  client_driven : Xoracle.violation list;
+  holds : bool;
+      (** the paper's Figure-14 argument as a property: R's fallback
+          finishes the silent client's transaction with no violations,
+          while client-driven coordination leaves its locks stuck *)
+}
+
+val differential : shards:int -> committee_size:int -> seed:int64 -> differential
+
+val pp_report : Format.formatter -> report -> unit
+
+val pp_differential : Format.formatter -> differential -> unit
+
+val json_of_report : report -> string
+
+val json_of_differential : differential -> string

@@ -1,0 +1,135 @@
+open Repro_core
+
+type violation =
+  | Atomicity of {
+      txid : int;
+      committed_on : int list;
+      aborted_on : int list;
+      missing : int list;
+    }
+  | Divergence of { txid : int; ref_commit : bool; shard : int; shard_commit : bool }
+  | Conservation of { before : int; after : int }
+  | Stuck_locks of { count : int }
+  | Liveness of { missing : int; first : int }
+
+let is_safety = function
+  | Atomicity _ | Divergence _ | Conservation _ -> true
+  | Stuck_locks _ | Liveness _ -> false
+
+let same_kind a b =
+  match (a, b) with
+  | Atomicity _, Atomicity _
+  | Divergence _, Divergence _
+  | Conservation _, Conservation _
+  | Stuck_locks _, Stuck_locks _
+  | Liveness _, Liveness _ ->
+      true
+  | (Atomicity _ | Divergence _ | Conservation _ | Stuck_locks _ | Liveness _), _ -> false
+
+let ints ids = String.concat "," (List.map string_of_int ids)
+
+let to_string = function
+  | Atomicity { txid; committed_on; aborted_on; missing } ->
+      Printf.sprintf
+        "atomicity: tx %d committed on shards [%s] but aborted on [%s] and undecided on [%s]"
+        txid (ints committed_on) (ints aborted_on) (ints missing)
+  | Divergence { txid; ref_commit; shard; shard_commit } ->
+      Printf.sprintf "divergence: R recorded tx %d as %s but shard %d applied %s" txid
+        (if ref_commit then "committed" else "aborted")
+        shard
+        (if shard_commit then "a commit" else "an abort")
+  | Conservation { before; after } ->
+      Printf.sprintf "conservation: total balance drifted from %d to %d at quiescence" before
+        after
+  | Stuck_locks { count } ->
+      Printf.sprintf "stuck-locks: %d lock tuples still held at quiescence" count
+  | Liveness { missing; first } ->
+      Printf.sprintf "liveness: %d transactions never decided by the horizon (first: tx %d)"
+        missing first
+
+let check (o : Xtestbed.outcome) =
+  (* At-most-one decision per (txid, shard): the executors guard with the
+     applied table, so the trace can be read as a map. *)
+  let decisions_for txid =
+    List.filter (fun (d : System.decision_event) -> d.System.txid = txid) o.Xtestbed.decisions
+  in
+  (* Atomicity: a multi-shard transaction must reach the same decision on
+     every participant — commit-on-some with abort-or-nothing elsewhere is
+     the partial commit 2PC exists to prevent. *)
+  let atomicity =
+    List.filter_map
+      (fun (i : Xtestbed.tx_info) ->
+        if List.length i.Xtestbed.participants < 2 then None
+        else
+          let ds = decisions_for i.Xtestbed.txid in
+          let committed_on =
+            List.filter_map
+              (fun (d : System.decision_event) ->
+                if d.System.commit then Some d.System.shard else None)
+              ds
+          in
+          let aborted_on =
+            List.filter_map
+              (fun (d : System.decision_event) ->
+                if d.System.commit then None else Some d.System.shard)
+              ds
+          in
+          let missing =
+            List.filter
+              (fun s ->
+                not
+                  (List.exists
+                     (fun (d : System.decision_event) -> d.System.shard = s)
+                     ds))
+              i.Xtestbed.participants
+          in
+          if committed_on <> [] && (aborted_on <> [] || missing <> []) then
+            Some (Atomicity { txid = i.Xtestbed.txid; committed_on; aborted_on; missing })
+          else None)
+      o.Xtestbed.infos
+  in
+  (* Durable decision: what R's replicated state machine recorded must be
+     what the shard chains applied. *)
+  let divergence =
+    List.concat_map
+      (fun (txid, ref_commit) ->
+        List.filter_map
+          (fun (d : System.decision_event) ->
+            if d.System.txid = txid && d.System.commit <> ref_commit then
+              Some
+                (Divergence { txid; ref_commit; shard = d.System.shard; shard_commit = d.System.commit })
+            else None)
+          o.Xtestbed.decisions)
+      o.Xtestbed.ref_decisions
+  in
+  (* Conservation: transfers move value, they never mint or burn it. *)
+  let conservation =
+    if o.Xtestbed.total_before = o.Xtestbed.total_after then []
+    else [ Conservation { before = o.Xtestbed.total_before; after = o.Xtestbed.total_after } ]
+  in
+  let safety = atomicity @ divergence @ conservation in
+  match safety with
+  | _ :: _ -> safety
+  | [] ->
+      (* Liveness-class checks only mean something on safe runs.  With a
+         reference committee every transaction must eventually decide —
+         defeating silent clients is the point of R's fallback; client-
+         driven coordination is only accountable for honest clients. *)
+      let stuck =
+        if o.Xtestbed.stuck_locks > 0 then [ Stuck_locks { count = o.Xtestbed.stuck_locks } ]
+        else []
+      in
+      let undecided =
+        List.filter
+          (fun (i : Xtestbed.tx_info) ->
+            i.Xtestbed.outcome = None
+            && (i.Xtestbed.honest || o.Xtestbed.mode = System.With_reference))
+          o.Xtestbed.infos
+      in
+      let liveness =
+        match undecided with
+        | [] -> []
+        | first :: _ ->
+            [ Liveness { missing = List.length undecided; first = first.Xtestbed.txid } ]
+      in
+      stuck @ liveness

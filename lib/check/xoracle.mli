@@ -1,0 +1,35 @@
+(** Invariant oracles over a cross-shard run ({!Xtestbed.outcome}).
+
+    Safety first: atomicity, durable decision, and conservation are
+    checked on every run; the liveness-class oracles (stuck locks,
+    undecided transactions) are reported only when the run was safe — an
+    unsafe run's progress is meaningless. *)
+
+type violation =
+  | Atomicity of {
+      txid : int;
+      committed_on : int list;
+      aborted_on : int list;
+      missing : int list;
+    }
+      (** a multi-shard transaction committed on some participants but
+          aborted — or never decided — on others *)
+  | Divergence of { txid : int; ref_commit : bool; shard : int; shard_commit : bool }
+      (** R's recorded 2PC decision disagrees with what a shard applied *)
+  | Conservation of { before : int; after : int }
+      (** total account balance changed: a partial transfer minted or
+          burned value *)
+  | Stuck_locks of { count : int }
+      (** lock tuples still held after quiescence — the OmniLedger
+          blocking problem *)
+  | Liveness of { missing : int; first : int }
+      (** transactions the protocol owed a decision that never got one *)
+
+val is_safety : violation -> bool
+
+val same_kind : violation -> violation -> bool
+(** Constructor equality — the shrinker's "still the same bug" test. *)
+
+val to_string : violation -> string
+
+val check : Xtestbed.outcome -> violation list

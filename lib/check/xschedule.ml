@@ -1,0 +1,161 @@
+open Repro_util
+
+type leg = Prepare | Vote | Decision
+
+type fault_kind =
+  | Drop_leg of { leg : leg; p : float }
+  | Dup_leg of { leg : leg; p : float }
+  | Delay_leg of { leg : leg; d : float }
+  | Crash_ref of { member : int }
+  | Cut_shard of int
+
+type fault = { start : float; stop : float; kind : fault_kind }
+
+exception Invalid_witness of string
+
+type t = {
+  txs : int;
+  malicious : int list;
+  overdraft : int list;
+  contended : bool;
+  faults : fault list;
+}
+
+let heal_time t = List.fold_left (fun acc f -> Float.max acc f.stop) 0.0 t.faults
+
+let active f ~at = at >= f.start && at < f.stop
+
+let size t =
+  List.length t.faults + List.length t.malicious + List.length t.overdraft
+  + (if t.contended then 1 else 0)
+  + t.txs
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_fault rng ~shards ~committee_size =
+  let start = Rng.float rng 8.0 in
+  let stop = start +. 1.0 +. Rng.float rng 12.0 in
+  let leg () =
+    match Rng.int rng 3 with 0 -> Prepare | 1 -> Vote | _ -> Decision
+  in
+  let kind =
+    match Rng.int rng 5 with
+    | 0 -> Drop_leg { leg = leg (); p = 0.3 +. Rng.float rng 0.7 }
+    | 1 -> Dup_leg { leg = leg (); p = 0.3 +. Rng.float rng 0.7 }
+    | 2 ->
+        (* Long enough to sail past client_fallback_timeout: the window
+           where a sweep racing a slow prepare used to guess wrong. *)
+        Delay_leg { leg = leg (); d = 2.0 +. Rng.float rng 12.0 }
+    | 3 ->
+        (* Member 0 is the observer (pinned infrastructure); crash a
+           backup of R, the paper's crash-fault model for the committee. *)
+        Crash_ref { member = 1 + Rng.int rng (Int.max 1 (committee_size - 1)) }
+    | _ -> Cut_shard (Rng.int rng shards)
+  in
+  { start; stop; kind }
+
+let generate rng ~shards ~committee_size =
+  let txs = 2 + Rng.int rng 5 in
+  let indices = List.init txs Fun.id in
+  let malicious = List.filter (fun _ -> Rng.int rng 3 = 0) indices in
+  let overdraft = List.filter (fun _ -> Rng.int rng 5 = 0) indices in
+  let contended = Rng.int rng 4 = 0 in
+  let faults =
+    List.init (1 + Rng.int rng 3) (fun _ -> gen_fault rng ~shards ~committee_size)
+  in
+  { txs; malicious; overdraft; contended; faults }
+
+(* ------------------------------------------------------------------ *)
+(* Witness serialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* %.17g round-trips every float bit-exactly through float_of_string, so a
+   printed witness replays the identical schedule. *)
+let fl = Printf.sprintf "%.17g"
+
+let ints_field = function
+  | [] -> "-"
+  | ids -> String.concat "," (List.map string_of_int ids)
+
+let ints_of_field = function
+  | "-" -> []
+  | s -> List.map int_of_string (String.split_on_char ',' s)
+
+let string_of_leg = function Prepare -> "prep" | Vote -> "vote" | Decision -> "dec"
+
+let leg_of_string s =
+  match s with
+  | "prep" -> Prepare
+  | "vote" -> Vote
+  | "dec" -> Decision
+  | _ -> raise (Invalid_witness s)
+
+let string_of_fault f =
+  let window = Printf.sprintf "%s:%s" (fl f.start) (fl f.stop) in
+  match f.kind with
+  | Drop_leg { leg; p } -> Printf.sprintf "dropleg:%s:%s:%s" (string_of_leg leg) (fl p) window
+  | Dup_leg { leg; p } -> Printf.sprintf "dupleg:%s:%s:%s" (string_of_leg leg) (fl p) window
+  | Delay_leg { leg; d } -> Printf.sprintf "delayleg:%s:%s:%s" (string_of_leg leg) (fl d) window
+  | Crash_ref { member } -> Printf.sprintf "crashref:%d:%s" member window
+  | Cut_shard s -> Printf.sprintf "cut:%d:%s" s window
+
+let fault_of_string s =
+  match String.split_on_char ':' s with
+  | [ "dropleg"; leg; p; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Drop_leg { leg = leg_of_string leg; p = float_of_string p };
+      }
+  | [ "dupleg"; leg; p; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Dup_leg { leg = leg_of_string leg; p = float_of_string p };
+      }
+  | [ "delayleg"; leg; d; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Delay_leg { leg = leg_of_string leg; d = float_of_string d };
+      }
+  | [ "crashref"; member; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Crash_ref { member = int_of_string member };
+      }
+  | [ "cut"; shard; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Cut_shard (int_of_string shard);
+      }
+  | _ -> raise (Invalid_witness s)
+
+let to_string t =
+  String.concat " "
+    ("x1" :: Printf.sprintf "txs=%d" t.txs
+    :: Printf.sprintf "mal=%s" (ints_field t.malicious)
+    :: Printf.sprintf "over=%s" (ints_field t.overdraft)
+    :: Printf.sprintf "hot=%d" (if t.contended then 1 else 0)
+    :: List.map string_of_fault t.faults)
+
+let of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | "x1" :: txs :: mal :: over :: hot :: faults ->
+      let field prefix v =
+        match String.split_on_char '=' v with
+        | [ p; rest ] when String.equal p prefix -> rest
+        | _ -> raise (Invalid_witness s)
+      in
+      {
+        txs = int_of_string (field "txs" txs);
+        malicious = ints_of_field (field "mal" mal);
+        overdraft = ints_of_field (field "over" over);
+        contended = String.equal (field "hot" hot) "1";
+        faults = List.map fault_of_string faults;
+      }
+  | _ -> raise (Invalid_witness s)

@@ -1,0 +1,55 @@
+(** Cross-shard adversarial schedules: seeded 2PC coordinator faults over
+    the whole {!Repro_core.System} (shard committees plus R), extending the
+    single-committee {!Schedule} adversary.
+
+    A schedule scripts the workload (how many cross-shard transactions,
+    which clients go silent after BeginTx, which attempt overdrafts,
+    whether all debits contend on one hot key) and a list of timed faults
+    over the coordination legs themselves — the Figure-5 messages —
+    rather than over raw network packets. *)
+
+type leg =
+  | Prepare  (** PrepareTx, coordinator/client -> participant shard *)
+  | Vote  (** a shard's quorum answer relayed to R *)
+  | Decision  (** CommitTx/AbortTx -> participant shard *)
+
+type fault_kind =
+  | Drop_leg of { leg : leg; p : float }  (** lose matching legs w.p. [p] *)
+  | Dup_leg of { leg : leg; p : float }  (** re-deliver matching legs w.p. [p] *)
+  | Delay_leg of { leg : leg; d : float }
+      (** hold matching legs for [d] seconds — past
+          [client_fallback_timeout] when [d] is large *)
+  | Crash_ref of { member : int }  (** crash a backup replica of R for the window *)
+  | Cut_shard of int
+      (** partition this participant shard from R: both its incoming legs
+          and its outgoing votes are lost *)
+
+type fault = { start : float; stop : float; kind : fault_kind }
+
+exception Invalid_witness of string
+
+type t = {
+  txs : int;  (** cross-shard transfers submitted (txids 1..txs) *)
+  malicious : int list;  (** tx indices whose client stops relaying after BeginTx *)
+  overdraft : int list;  (** tx indices transferring more than their funding *)
+  contended : bool;  (** all debits drawn from one hot account on shard 0 *)
+  faults : fault list;
+}
+
+val heal_time : t -> float
+(** When the last fault window closes (0 if none). *)
+
+val active : fault -> at:float -> bool
+
+val size : t -> int
+(** Structural size, the shrinker's objective. *)
+
+val generate : Repro_util.Rng.t -> shards:int -> committee_size:int -> t
+
+val to_string : t -> string
+(** One-line witness; floats print as [%.17g] so [of_string] replays the
+    bit-identical schedule. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises {!Invalid_witness} on malformed
+    input. *)

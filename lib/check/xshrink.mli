@@ -1,0 +1,21 @@
+(** Greedy witness minimization for cross-shard schedules.
+
+    On a violation, [minimize] tries structurally smaller schedules —
+    dropping faults, un-contending the workload, clearing overdrafts,
+    shrinking the silent-client set, halving the transaction count — and
+    keeps any candidate whose deterministic replay still produces a
+    violation of the same kind, iterating to a fixpoint or until [budget]
+    replays have been spent. *)
+
+val candidates : Xschedule.t -> Xschedule.t list
+(** One-step simplifications of a schedule, most aggressive first. *)
+
+val minimize :
+  replay:(Xschedule.t -> Xoracle.violation option) ->
+  budget:int ->
+  Xschedule.t ->
+  Xoracle.violation ->
+  Xschedule.t * int
+(** [minimize ~replay ~budget s v] returns the shrunk schedule and the
+    number of replays spent.  [replay] must be deterministic and return
+    the first violation of a candidate run, if any. *)

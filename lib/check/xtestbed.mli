@@ -1,0 +1,44 @@
+(** Deterministic whole-system executor for cross-shard schedules.
+
+    Builds a {!Repro_core.System} (shard committees plus R when the mode
+    says so), installs the schedule's faults — a leg filter over the
+    coordination messages and timed crash windows on R's replicas — then
+    submits the scripted cross-shard transfers and runs to a quiescence
+    horizon ([heal time + grace]).  Everything the {!Xoracle}s need is
+    captured in the outcome; two calls with the same
+    [(engine_seed, schedule, mode, concurrency, shards, committee_size)]
+    produce identical outcomes. *)
+
+val grace : float
+(** Seconds of synchrony after the last fault heals (and the last
+    submission) before the run is considered quiescent. *)
+
+type tx_info = {
+  txid : int;
+  honest : bool;  (** false when the schedule made this client silent *)
+  participants : int list;
+  outcome : Repro_core.System.tx_outcome option;  (** None: never decided *)
+}
+
+type outcome = {
+  mode : Repro_core.System.coordination_mode;
+  infos : tx_info list;
+  decisions : Repro_core.System.decision_event list;
+  stuck_locks : int;  (** lock tuples still held at the horizon *)
+  total_before : int;  (** sum of account balances after funding *)
+  total_after : int;  (** the same sum at the horizon *)
+  ref_decisions : (int * bool) list;
+      (** R's recorded decision per txid ([true] = committed); empty in
+          [Client_driven] mode *)
+  horizon : float;
+  registry_size : int;  (** live coordination-registry entries at the horizon *)
+}
+
+val run :
+  engine_seed:int64 ->
+  mode:Repro_core.System.coordination_mode ->
+  concurrency:Repro_core.System.concurrency_control ->
+  shards:int ->
+  committee_size:int ->
+  Xschedule.t ->
+  outcome

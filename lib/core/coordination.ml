@@ -6,21 +6,60 @@ type op =
   | Commit_tx of { txid : int; ops : Repro_ledger.Tx.op list }
   | Abort_tx of { txid : int; ops : Repro_ledger.Tx.op list }
 
-type registry = { mutable ops : op array; mutable len : int }
+let txid_of_op = function
+  | Single { txid; _ }
+  | Begin_tx { txid; _ }
+  | Prepare_tx { txid; _ }
+  | Vote { txid; _ }
+  | Commit_tx { txid; _ }
+  | Abort_tx { txid; _ } ->
+      txid
 
-let create_registry () = { ops = Array.make 1024 (Vote { txid = -1; shard = -1; ok = false }); len = 0 }
+(* Tags are handed out once per distinct operation: a client retry (or an
+   adversarial duplicate) re-registering the same op gets the original tag
+   back, so the registry stays bounded by the set of *distinct* in-flight
+   operations rather than the number of messages sent.  [release] drops a
+   finished transaction's entries; a late message carrying a released tag
+   simply fails [lookup] (the decision is already on every chain). *)
+type registry = {
+  mutable next : int;
+  ops : (int, op) Hashtbl.t; (* tag -> op *)
+  index : (op, int) Hashtbl.t; (* structural op -> tag (idempotent re-sends) *)
+  by_txid : (int, int list) Hashtbl.t; (* txid -> tags, for compaction *)
+}
+
+let create_registry () =
+  { next = 0; ops = Hashtbl.create 1024; index = Hashtbl.create 1024; by_txid = Hashtbl.create 256 }
 
 let register r op =
-  if r.len = Array.length r.ops then begin
-    let bigger = Array.make (2 * r.len) op in
-    Array.blit r.ops 0 bigger 0 r.len;
-    r.ops <- bigger
-  end;
-  r.ops.(r.len) <- op;
-  r.len <- r.len + 1;
-  r.len - 1
+  match Hashtbl.find_opt r.index op with
+  | Some tag -> tag
+  | None ->
+      let tag = r.next in
+      r.next <- tag + 1;
+      Hashtbl.replace r.ops tag op;
+      Hashtbl.replace r.index op tag;
+      let txid = txid_of_op op in
+      let tags = Option.value (Hashtbl.find_opt r.by_txid txid) ~default:[] in
+      Hashtbl.replace r.by_txid txid (tag :: tags);
+      tag
 
-let lookup r tag = if tag >= 0 && tag < r.len then Some r.ops.(tag) else None
+let lookup r tag = Hashtbl.find_opt r.ops tag
+
+let release r ~txid =
+  match Hashtbl.find_opt r.by_txid txid with
+  | None -> ()
+  | Some tags ->
+      List.iter
+        (fun tag ->
+          (match Hashtbl.find_opt r.ops tag with
+          | Some op -> Hashtbl.remove r.index op
+          | None -> ());
+          Hashtbl.remove r.ops tag)
+        tags;
+      Hashtbl.remove r.by_txid txid
+
+let length r = Hashtbl.length r.ops
 
 let op_cost (costs : Repro_crypto.Cost_model.t) op =
   let per_op = costs.Repro_crypto.Cost_model.tx_execute in

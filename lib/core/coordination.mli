@@ -15,14 +15,30 @@ type op =
   | Commit_tx of { txid : int; ops : Repro_ledger.Tx.op list }
   | Abort_tx of { txid : int; ops : Repro_ledger.Tx.op list }
 
+val txid_of_op : op -> int
+(** The transaction every operation belongs to. *)
+
 type registry
 
 val create_registry : unit -> registry
 
 val register : registry -> op -> int
-(** Returns the [op_tag] to embed in the consensus request. *)
+(** Returns the [op_tag] to embed in the consensus request.  Idempotent:
+    re-registering a structurally identical op (a client retry, a
+    duplicated leg) returns the existing tag instead of growing the
+    registry, so a long-running system's registry is bounded by the
+    distinct operations still in flight. *)
 
 val lookup : registry -> int -> op option
+(** [None] for unknown tags and for tags already {!release}d. *)
+
+val release : registry -> txid:int -> unit
+(** Compaction hook: drop every entry belonging to a finished transaction.
+    Late retries or duplicates carrying a released tag fail [lookup] and
+    are ignored by the executors — the decision is already applied. *)
+
+val length : registry -> int
+(** Live entries; regression surface for the retry-leak bound. *)
 
 val op_cost : Repro_crypto.Cost_model.t -> op -> float
 (** Execution cost charged per replica when the operation runs: prepares

@@ -532,7 +532,7 @@ let fig12 ?(quick = false) () =
   let over_time = List.map (fun (name, r) -> (name, r.series)) first_runs in
   (* Align the three time series on common bins. *)
   let times =
-    List.sort_uniq compare (List.concat_map (fun (_, s) -> List.map fst s) over_time)
+    List.sort_uniq Float.compare (List.concat_map (fun (_, s) -> List.map fst s) over_time)
   in
   let series_rows =
     List.map
@@ -823,7 +823,7 @@ let appendix_b () =
     let hits = ref 0 in
     for _ = 1 to trials do
       let sh = List.init args (fun _ -> Rng.int rng shards) in
-      if List.length (List.sort_uniq compare sh) = touches then incr hits
+      if List.length (List.sort_uniq Int.compare sh) = touches then incr hits
     done;
     float_of_int !hits /. float_of_int trials
   in

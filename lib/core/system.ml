@@ -57,6 +57,10 @@ type committee_ctx = {
          idempotent *)
   parked : (int, Tx.op list * Types.request) Hashtbl.t;
       (* wait-die: prepares waiting for a lock, retried on releases *)
+  prepared : (int, bool) Hashtbl.t;
+      (* the shard observer's record of each prepare's quorum outcome —
+         the evidence R's fallback sweep reads instead of guessing from
+         lock tuples (a prepare still in flight has no entry) *)
   mutable state_commit : Sha256.digest;
       (* rolling state commitment chained per block; recomputing the full
          Merkle root over the whole state each block would be O(state) *)
@@ -74,6 +78,8 @@ type tx_record = {
   on_done : tx_outcome -> unit;
 }
 
+type decision_event = { at : float; txid : int; shard : int; commit : bool }
+
 type t = {
   cfg : config;
   engine : Engine.t;
@@ -87,6 +93,9 @@ type t = {
       (* per-tx vote collection when the client itself coordinates *)
   mutable next_req : int;
   rng : Rng.t;
+  mutable leg_filter : (dst:int -> Coordination.op -> Network.verdict) option;
+      (* adversarial hook over coordination legs (see set_leg_filter) *)
+  mutable decisions : decision_event list; (* reverse chronological *)
 }
 
 let ref_index t = t.cfg.shards
@@ -115,35 +124,51 @@ let fresh_req t ~client ~op_tag =
   Types.request ~req_id ~client ~submitted:(Engine.now t.engine) ~op_tag ()
 
 (* Submit a coordination step as a consensus request to a committee, via a
-   deterministic entry replica (clients talk to one peer, AHL+ forwards). *)
+   deterministic entry replica (clients talk to one peer, AHL+ forwards).
+   An installed leg filter can drop, delay, or duplicate the whole step —
+   the adversarial knob the cross-shard checker drives. *)
 let send_to_committee t ~committee ~client op =
-  let ctx = t.committees.(committee) in
-  let op_tag = Coordination.register t.registry op in
-  let req = fresh_req t ~client ~op_tag in
-  (* Clients notice an unresponsive peer (dead TCP connection) and try the
-     next one, so entry requests go to a live member. *)
-  let n = Array.length ctx.nodes in
-  let member =
-    let start = req.Types.req_id mod n in
-    let rec probe i =
-      if i >= n then start
-      else
-        let m = (start + i) mod n in
-        if Node.is_crashed ctx.nodes.(m) then probe (i + 1) else m
+  let deliver () =
+    let ctx = t.committees.(committee) in
+    let op_tag = Coordination.register t.registry op in
+    let req = fresh_req t ~client ~op_tag in
+    (* Clients notice an unresponsive peer (dead TCP connection) and try the
+       next one, so entry requests go to a live member. *)
+    let n = Array.length ctx.nodes in
+    let member =
+      let start = req.Types.req_id mod n in
+      let rec probe i =
+        if i >= n then start
+        else
+          let m = (start + i) mod n in
+          if Node.is_crashed ctx.nodes.(m) then probe (i + 1) else m
+      in
+      probe 0
     in
-    probe 0
+    let dst = ctx.base + member in
+    let msg = Pbft.submit_via ctx.pbft ~member req in
+    let region = Topology.region_of_node t.cfg.topology dst in
+    Network.send_external t.network ~src_region:region ~dst ~channel:Pbft.request_channel
+      ~bytes:(240 + (40 * match op with
+                          | Coordination.Single { ops; _ }
+                          | Coordination.Prepare_tx { ops; _ }
+                          | Coordination.Commit_tx { ops; _ }
+                          | Coordination.Abort_tx { ops; _ } -> List.length ops
+                          | Coordination.Begin_tx _ | Coordination.Vote _ -> 1))
+      msg
   in
-  let dst = ctx.base + member in
-  let msg = Pbft.submit_via ctx.pbft ~member req in
-  let region = Topology.region_of_node t.cfg.topology dst in
-  Network.send_external t.network ~src_region:region ~dst ~channel:Pbft.request_channel
-    ~bytes:(240 + (40 * match op with
-                        | Coordination.Single { ops; _ }
-                        | Coordination.Prepare_tx { ops; _ }
-                        | Coordination.Commit_tx { ops; _ }
-                        | Coordination.Abort_tx { ops; _ } -> List.length ops
-                        | Coordination.Begin_tx _ | Coordination.Vote _ -> 1))
-    msg
+  match t.leg_filter with
+  | None -> deliver ()
+  | Some filter -> (
+      match filter ~dst:committee op with
+      | Network.Deliver -> deliver ()
+      | Network.Drop -> ()
+      | Network.Delay d -> Engine.schedule t.engine ~delay:d deliver
+      | Network.Duplicate { copies; spacing } ->
+          deliver ();
+          for k = 1 to copies - 1 do
+            Engine.schedule t.engine ~delay:(float_of_int k *. spacing) deliver
+          done)
 
 (* ------------------------------------------------------------------ *)
 (* Coordination driver (the client relay + R fallback)                 *)
@@ -158,6 +183,7 @@ let finish_leg t txid shard =
       rec_.legs_left <- rec_.legs_left - 1;
       if rec_.legs_left <= 0 then begin
         Hashtbl.remove t.inflight txid;
+        Coordination.release t.registry ~txid;
         (match rec_.outcome with
         | Committed ->
             Metrics.commit t.metrics ~count:1;
@@ -243,6 +269,13 @@ let emit_vote t ctx (req : Types.request) ~txid ~ok =
           ())
   | Client_driven -> on_client_vote t txid ctx.index ok
 
+(* A prepare's quorum outcome is evidence the shard observer keeps until
+   the transaction's decision lands; R's fallback sweep reads it rather
+   than inferring a vote from the lock table. *)
+let record_prepare t ctx ~txid ~ok =
+  ignore t;
+  Hashtbl.replace ctx.prepared txid ok
+
 (* Wait-die retry: lock releases wake parked prepares in txid order. *)
 let retry_parked t ctx =
   let waiting = Det.bindings ~compare:Int.compare ctx.parked in
@@ -251,9 +284,11 @@ let retry_parked t ctx =
       match Executor.try_prepare ctx.state ~txid ops with
       | Ok () ->
           Hashtbl.remove ctx.parked txid;
+          record_prepare t ctx ~txid ~ok:true;
           emit_vote t ctx req ~txid ~ok:true
       | Error (Executor.Insufficient _) ->
           Hashtbl.remove ctx.parked txid;
+          record_prepare t ctx ~txid ~ok:false;
           emit_vote t ctx req ~txid ~ok:false
       | Error (Executor.Lock_conflict _) -> ())
     waiting
@@ -280,6 +315,7 @@ let execute_on_shard t ctx (req : Types.request) =
               match Hashtbl.find_opt t.inflight txid with
               | Some rec_ ->
                   Hashtbl.remove t.inflight txid;
+                  Coordination.release t.registry ~txid;
                   Metrics.commit t.metrics ~count:1;
                   Metrics.commit_latency t.metrics ~submitted:rec_.tx.Tx.submitted;
                   rec_.on_done Committed
@@ -288,39 +324,58 @@ let execute_on_shard t ctx (req : Types.request) =
               match Hashtbl.find_opt t.inflight txid with
               | Some rec_ ->
                   Hashtbl.remove t.inflight txid;
+                  Coordination.release t.registry ~txid;
                   Metrics.abort t.metrics ~count:1;
                   rec_.on_done Aborted
               | None -> ()))
       | Coordination.Prepare_tx { txid; ops } -> (
           (* The client reads the vote off the shard's chain and relays. *)
           match Executor.try_prepare ctx.state ~txid ops with
-          | Ok () -> emit_vote t ctx req ~txid ~ok:true
-          | Error (Executor.Insufficient _) -> emit_vote t ctx req ~txid ~ok:false
+          | Ok () ->
+              record_prepare t ctx ~txid ~ok:true;
+              emit_vote t ctx req ~txid ~ok:true
+          | Error (Executor.Insufficient _) ->
+              record_prepare t ctx ~txid ~ok:false;
+              emit_vote t ctx req ~txid ~ok:false
           | Error (Executor.Lock_conflict { holder; _ }) -> (
               match t.cfg.concurrency with
-              | Two_phase_locking -> emit_vote t ctx req ~txid ~ok:false
+              | Two_phase_locking ->
+                  record_prepare t ctx ~txid ~ok:false;
+                  emit_vote t ctx req ~txid ~ok:false
               | Wait_die ->
                   if txid < holder && not (Hashtbl.mem ctx.parked txid) then begin
-                    (* Older waits; a park timeout bounds the wait. *)
+                    (* Older waits; a park timeout bounds the wait.  No
+                       evidence is recorded while parked: the prepare is
+                       still undecided. *)
                     Hashtbl.replace ctx.parked txid (ops, req);
                     Engine.schedule t.engine ~delay:4.0 (fun () ->
                         match Hashtbl.find_opt ctx.parked txid with
                         | Some (_, req) ->
                             Hashtbl.remove ctx.parked txid;
+                            record_prepare t ctx ~txid ~ok:false;
                             emit_vote t ctx req ~txid ~ok:false
                         | None -> ())
                   end
-                  else emit_vote t ctx req ~txid ~ok:false))
+                  else begin
+                    record_prepare t ctx ~txid ~ok:false;
+                    emit_vote t ctx req ~txid ~ok:false
+                  end))
       | Coordination.Commit_tx { txid; ops } ->
           Hashtbl.replace ctx.applied (txid, 1) ();
           Executor.commit ctx.state ~txid ops;
           Hashtbl.remove ctx.parked txid;
+          Hashtbl.remove ctx.prepared txid;
+          t.decisions <-
+            { at = Engine.now t.engine; txid; shard = ctx.index; commit = true } :: t.decisions;
           finish_leg t txid ctx.index;
           if t.cfg.concurrency = Wait_die then retry_parked t ctx
       | Coordination.Abort_tx { txid; ops } ->
           Hashtbl.replace ctx.applied (txid, 2) ();
           Executor.abort ctx.state ~txid ops;
           Hashtbl.remove ctx.parked txid;
+          Hashtbl.remove ctx.prepared txid;
+          t.decisions <-
+            { at = Engine.now t.engine; txid; shard = ctx.index; commit = false } :: t.decisions;
           finish_leg t txid ctx.index;
           if t.cfg.concurrency = Wait_die then retry_parked t ctx
       | Coordination.Begin_tx _ | Coordination.Vote _ -> () (* reference-only ops *))
@@ -340,16 +395,15 @@ let rec execute_on_reference t (req : Types.request) =
                   if rec_.relaying then dispatch_prepares t txid
                   else
                     (* Fallback: R's nodes dispatch PrepareTx themselves if
-                       the client relay stays silent. *)
+                       the client relay stays silent, then sweep for the
+                       shards' prepare evidence until the tx is done. *)
                     Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout (fun () ->
-                        match Reference.state_of refsm ~txid with
+                        (match Reference.state_of refsm ~txid with
                         | Some (Reference.Preparing _) | Some Reference.Started ->
-                            dispatch_prepares t txid;
-                            (* And collect the votes by watching the shard
-                               chains: model as a second fallback sweep. *)
-                            Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout
-                              (fun () -> fallback_collect t txid)
-                        | Some Reference.Committed | Some Reference.Aborted | None -> ()))
+                            dispatch_prepares t txid
+                        | Some Reference.Committed | Some Reference.Aborted | None -> ());
+                        Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout
+                          (fun () -> fallback_collect t txid)))
           | Reference.No_change | Reference.Now_committed | Reference.Now_aborted -> ())
       | Coordination.Vote { txid; shard; ok } -> (
           let event =
@@ -363,26 +417,45 @@ let rec execute_on_reference t (req : Types.request) =
       | Coordination.Abort_tx _ ->
           ())
 
-(* When the client never relays votes, R's members read the participants'
-   chains directly: re-run the prepare decision against the shard state
-   (deterministic) and inject the votes. *)
+(* When the client never relays votes, R's members sweep the participants:
+   each shard observer keeps the quorum outcome of every prepare it ran
+   ([ctx.prepared]), and the sweep relays exactly that evidence.  A shard
+   with no evidence yet (prepare lost or still in flight) gets its prepare
+   re-dispatched instead of a guessed vote — inferring NotOK from the lock
+   table here is what used to abort transactions that would have committed,
+   and a single-shot sweep left locks stuck when a leg was lost.  The sweep
+   re-arms every [client_fallback_timeout] until the transaction is done,
+   re-driving undelivered decision legs too (the client will not). *)
 and fallback_collect t txid =
   match Hashtbl.find_opt t.inflight txid with
   | None -> ()
   | Some rec_ ->
-      if not rec_.decided then
-        List.iter
-          (fun shard ->
-            let ctx = t.committees.(shard) in
-            let locks = Locks.create ctx.state in
-            let keys =
-              List.sort_uniq compare
-                (List.map Tx.key_of_op (Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard))
-            in
-            let ok = List.for_all (fun k -> Locks.holder locks k = Some txid) keys in
-            send_to_committee t ~committee:(ref_index t) ~client:rec_.tx.Tx.client
-              (Coordination.Vote { txid; shard; ok }))
-          rec_.participant_shards
+      (if rec_.decided then
+         List.iter
+           (fun shard ->
+             if not (Hashtbl.mem rec_.legs_done shard) then begin
+               let ops = Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard in
+               let op =
+                 if rec_.outcome = Committed then Coordination.Commit_tx { txid; ops }
+                 else Coordination.Abort_tx { txid; ops }
+               in
+               send_to_committee t ~committee:shard ~client:rec_.tx.Tx.client op
+             end)
+           rec_.participant_shards
+       else
+         List.iter
+           (fun shard ->
+             match Hashtbl.find_opt t.committees.(shard).prepared txid with
+             | Some ok ->
+                 send_to_committee t ~committee:(ref_index t) ~client:rec_.tx.Tx.client
+                   (Coordination.Vote { txid; shard; ok })
+             | None ->
+                 let ops = Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard in
+                 send_to_committee t ~committee:shard ~client:rec_.tx.Tx.client
+                   (Coordination.Prepare_tx { txid; ops }))
+           rec_.participant_shards);
+      Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout (fun () ->
+          fallback_collect t txid)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -408,6 +481,8 @@ let create cfg =
       client_votes = Hashtbl.create 64;
       next_req = 0;
       rng = Rng.split_named (Engine.rng engine) "system";
+      leg_filter = None;
+      decisions = [];
     }
   in
   let make_committee index =
@@ -459,6 +534,7 @@ let create cfg =
         cmetrics;
         applied = Hashtbl.create 1024;
         parked = Hashtbl.create 64;
+        prepared = Hashtbl.create 64;
         state_commit = State.root state;
       }
     in
@@ -586,6 +662,22 @@ let stuck_locks t =
   done;
   !count
 
+(* ------------------------------------------------------------------ *)
+(* Fault hooks and observability (the cross-shard checker's surface)   *)
+(* ------------------------------------------------------------------ *)
+
+let set_leg_filter t f = t.leg_filter <- f
+
+let crash_member t ~committee ~member = Node.crash t.committees.(committee).nodes.(member)
+
+let recover_member t ~committee ~member = Node.recover t.committees.(committee).nodes.(member)
+
+let decision_trace t = List.rev t.decisions
+
+let prepare_evidence t ~shard ~txid = Hashtbl.find_opt t.committees.(shard).prepared txid
+
+let registry_size t = Coordination.length t.registry
+
 let schedule_reshard t ~at ~strategy ~fetch_time =
   let plan_waves () =
     (* Half of each committee's members are reassigned (two-shard swap of
@@ -638,8 +730,12 @@ let advance_epoch t ~at ~seed ~epoch ~strategy =
   let node_of_global id =
     (* Global ids are dense across committees in creation order. *)
     let rec find c =
-      let ctx = t.committees.(c) in
-      if id < ctx.base + Array.length ctx.nodes then ctx.nodes.(id - ctx.base) else find (c + 1)
+      if c >= Array.length t.committees then
+        Sim_error.invalid "System.advance_epoch: node id %d outside all committees" id
+      else
+        let ctx = t.committees.(c) in
+        if id >= ctx.base && id < ctx.base + Array.length ctx.nodes then ctx.nodes.(id - ctx.base)
+        else find (c + 1)
     in
     find 0
   in

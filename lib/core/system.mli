@@ -95,6 +95,39 @@ val stuck_locks : t -> int
 (** Lock tuples currently held across all shards; non-zero long after all
     clients finished indicates the OmniLedger blocking problem. *)
 
+val set_leg_filter :
+  t -> (dst:int -> Coordination.op -> Repro_sim.Network.verdict) option -> unit
+(** Install (or clear) an adversarial filter over coordination legs: every
+    client/R-initiated step headed for committee [dst] (a shard index, or
+    [shards t] for R) passes through it and can be dropped, delayed, or
+    duplicated before it reaches consensus.  This is the cross-shard
+    checker's fault-injection surface; [None] restores normal delivery. *)
+
+val crash_member : t -> committee:int -> member:int -> unit
+(** Crash one replica of a committee ([shards t] addresses R).  Crashing
+    member 0 — the observer that materializes state — stalls that
+    committee's execution; checkers that want the paper's crash-fault
+    model should pick members >= 1. *)
+
+val recover_member : t -> committee:int -> member:int -> unit
+
+type decision_event = { at : float; txid : int; shard : int; commit : bool }
+
+val decision_trace : t -> decision_event list
+(** Every Commit_tx/Abort_tx applied at a shard observer, in application
+    order — the observable record the atomicity and durable-decision
+    oracles read. *)
+
+val prepare_evidence : t -> shard:int -> txid:int -> bool option
+(** The shard observer's recorded quorum outcome for a prepare, if the
+    prepare has executed and the transaction is still undecided there
+    (evidence is dropped once the decision applies). *)
+
+val registry_size : t -> int
+(** Live entries in the coordination registry; bounded by the distinct
+    operations of in-flight transactions (regression surface for the
+    retry-leak fix). *)
+
 val schedule_reshard :
   t -> at:float -> strategy:[ `Swap_all | `Batched of int ] -> fetch_time:float -> unit
 (** Epoch transition (Section 5.3): transitioning replicas go offline for

@@ -19,7 +19,7 @@ let aggregate enclave ~f ~stmt_tag ~votes =
         if Keys.verify keystore s ~msg_tag:stmt_tag then Some s.Keys.signer else None)
       votes
   in
-  let distinct = List.sort_uniq compare valid_signers in
+  let distinct = List.sort_uniq Int.compare valid_signers in
   if List.length distinct < f + 1 then None
   else begin
     let aggregator = Enclave.id enclave in
@@ -29,7 +29,7 @@ let aggregate enclave ~f ~stmt_tag ~votes =
   end
 
 let verify keystore ~f p =
-  List.length (List.sort_uniq compare p.voters) >= f + 1
+  List.length (List.sort_uniq Int.compare p.voters) >= f + 1
   && p.signature.Keys.signer = p.aggregator
   && Keys.verify keystore p.signature
        ~msg_tag:(proof_tag ~aggregator:p.aggregator ~stmt_tag:p.stmt_tag ~voters:p.voters)

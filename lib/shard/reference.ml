@@ -37,7 +37,7 @@ let step t ~txid event =
   | None, Begin { participants } ->
       let distinct = List.sort_uniq Int.compare participants in
       (match distinct with
-      | [] -> invalid_arg "Reference.step: participants must be non-empty"
+      | [] -> Repro_sim.Sim_error.invalid "Reference.step: participants must be non-empty"
       | _ :: _ -> ());
       let table = Hashtbl.create 4 in
       List.iter (fun s -> Hashtbl.replace table s ()) distinct;

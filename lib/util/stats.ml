@@ -52,7 +52,7 @@ let percentile t p =
       | Some a -> a
       | None ->
           let a = Array.of_list t.samples in
-          Array.sort compare a;
+          Array.sort Float.compare a;
           t.sorted <- Some a;
           a
     in

@@ -1,0 +1,10 @@
+(* Typed or custom comparators as sort arguments: must stay quiet
+   everywhere. *)
+
+let sorted xs = List.sort Int.compare xs
+
+let by_name xs = List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+let arr a = Array.sort Float.compare a
+
+let dedup xs = List.sort_uniq String.compare xs

@@ -1,0 +1,9 @@
+(* R2 sort-argument fixture: bare polymorphic compare handed to a
+   sort/dedup must fire anywhere under lib/ — including paths outside the
+   narrower R2 message/state scope — and stay quiet under bench/. *)
+
+let sorted xs = List.sort compare xs
+
+let dedup xs = List.sort_uniq compare xs
+
+let arr a = Array.sort Stdlib.compare a

@@ -41,8 +41,13 @@ let test_r2_positive_in_scope () =
   Alcotest.(check int) "nine R2 findings" 9 (count Lint_types.R2 fs)
 
 let test_r2_out_of_scope () =
+  (* Outside lib/ nothing fires; inside lib/ but outside the narrow R2
+     scope only the lib/-wide sort-argument check does (the fixture's
+     [List.sort_uniq compare] line). *)
+  let fs = check_fixture ~logical:"bench" "r2_positive.ml" in
+  Alcotest.(check int) "quiet outside lib" 0 (List.length (active fs));
   let fs = check_fixture ~logical:"lib/sim" "r2_positive.ml" in
-  Alcotest.(check int) "quiet outside scope" 0 (List.length (active fs))
+  Alcotest.(check int) "only the sort finding elsewhere in lib" 1 (count Lint_types.R2 fs)
 
 let test_r2_negative () =
   let fs = check_fixture ~logical:"lib/ledger" "r2_negative.ml" in
@@ -56,6 +61,36 @@ let test_r2_scope_predicate () =
   Alcotest.(check bool) "sim out of scope" false (Lint_rules.in_r2_scope "lib/sim/engine.ml");
   Alcotest.(check bool) "tests out of scope" false
     (Lint_rules.in_r2_scope "test/test_consensus.ml")
+
+(* --- R2: sort-argument check (lib/-wide) ---------------------------- *)
+
+let test_r2_sort_positive_in_scope () =
+  let fs = check_fixture ~logical:"lib/core" "r2_sort_positive.ml" in
+  Alcotest.(check int) "three R2 findings" 3 (count Lint_types.R2 fs)
+
+let test_r2_sort_out_of_scope () =
+  let fs = check_fixture ~logical:"bench" "r2_sort_positive.ml" in
+  Alcotest.(check int) "quiet outside lib/" 0 (List.length (active fs))
+
+let test_r2_sort_no_double_count () =
+  (* Where the narrow R2 scope already flags the bare idents, the sort
+     rule stays quiet: [List.sort compare] and [List.sort_uniq compare]
+     each yield exactly one finding (the ident), not two. *)
+  let fs = check_fixture ~logical:"lib/ledger" "r2_sort_positive.ml" in
+  Alcotest.(check int) "one finding per bare compare" 3 (count Lint_types.R2 fs)
+
+let test_r2_sort_negative () =
+  let fs = check_fixture ~logical:"lib/core" "r2_sort_negative.ml" in
+  Alcotest.(check int) "typed comparators pass" 0 (List.length (active fs))
+
+let test_r2_sort_scope_predicate () =
+  Alcotest.(check bool) "core in scope" true (Lint_rules.in_r2_sort_scope "lib/core/system.ml");
+  Alcotest.(check bool) "sgx in scope" true (Lint_rules.in_r2_sort_scope "lib/sgx/aggregator.ml");
+  Alcotest.(check bool) "util in scope" true (Lint_rules.in_r2_sort_scope "lib/util/stats.ml");
+  Alcotest.(check bool) "bench out of scope" false
+    (Lint_rules.in_r2_sort_scope "bench/bench_main.ml");
+  Alcotest.(check bool) "tests out of scope" false
+    (Lint_rules.in_r2_sort_scope "test/test_core.ml")
 
 (* --- R3: exception hygiene ------------------------------------------ *)
 
@@ -186,6 +221,15 @@ let () =
           Alcotest.test_case "quiet outside scope" `Quick test_r2_out_of_scope;
           Alcotest.test_case "negative fixture quiet" `Quick test_r2_negative;
           Alcotest.test_case "scope predicate" `Quick test_r2_scope_predicate;
+        ] );
+      ( "r2-sort-argument",
+        [
+          Alcotest.test_case "positive fixture fires in lib scope" `Quick
+            test_r2_sort_positive_in_scope;
+          Alcotest.test_case "quiet outside lib" `Quick test_r2_sort_out_of_scope;
+          Alcotest.test_case "no double count in narrow scope" `Quick test_r2_sort_no_double_count;
+          Alcotest.test_case "negative fixture quiet" `Quick test_r2_sort_negative;
+          Alcotest.test_case "scope predicate" `Quick test_r2_sort_scope_predicate;
         ] );
       ( "r3-exceptions",
         [

@@ -278,6 +278,260 @@ let test_explore_json () =
   Alcotest.(check bool) "summary carries wall time" true (contains s "\"wall_time_s\":1.500");
   Alcotest.(check bool) "summary embeds the report" true (contains s "\"safety_violations\":0")
 
+(* ------------------------------------------------------------------ *)
+(* Cross-shard schedules                                                *)
+(* ------------------------------------------------------------------ *)
+
+open Repro_core
+
+let xsched ?(txs = 3) ?(malicious = []) ?(overdraft = []) ?(contended = false) ?(faults = []) ()
+    =
+  { Xschedule.txs; malicious; overdraft; contended; faults }
+
+let xfault ?(start = 1.0) ?(stop = 4.0) kind = { Xschedule.start; stop; kind }
+
+let test_xschedule_roundtrip () =
+  let s =
+    xsched ~txs:5 ~malicious:[ 0; 3 ] ~overdraft:[ 1 ] ~contended:true
+      ~faults:
+        [
+          xfault ~start:0.25 ~stop:(10.0 /. 3.0)
+            (Xschedule.Drop_leg { leg = Xschedule.Vote; p = 1.0 /. 3.0 });
+          xfault (Xschedule.Dup_leg { leg = Xschedule.Decision; p = 0.5 });
+          xfault (Xschedule.Delay_leg { leg = Xschedule.Prepare; d = 7.25 });
+          xfault (Xschedule.Crash_ref { member = 2 });
+          xfault (Xschedule.Cut_shard 1);
+        ]
+      ()
+  in
+  let s' = Xschedule.of_string (Xschedule.to_string s) in
+  Alcotest.(check string) "witness round-trips bit-exactly" (Xschedule.to_string s)
+    (Xschedule.to_string s');
+  Alcotest.(check int) "faults preserved" 5 (List.length s'.Xschedule.faults);
+  Alcotest.(check (list int)) "malicious preserved" [ 0; 3 ] s'.Xschedule.malicious;
+  Alcotest.(check bool) "contention preserved" true s'.Xschedule.contended
+
+let test_xschedule_rejects_malformed () =
+  let malformed w =
+    match Xschedule.of_string w with
+    | exception Xschedule.Invalid_witness _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "wrong version" true (malformed "v1 txs=2 mal=- over=- hot=0");
+  Alcotest.(check bool) "garbage" true (malformed "garbage");
+  Alcotest.(check bool) "unknown fault" true (malformed "x1 txs=2 mal=- over=- hot=0 zap:1:2");
+  Alcotest.(check bool) "unknown leg" true
+    (malformed "x1 txs=2 mal=- over=- hot=0 dropleg:xyz:0.5:1:2")
+
+let test_xschedule_generation_deterministic () =
+  let gen () =
+    Xschedule.generate (Rng.split_named (Rng.create 42L) "0") ~shards:3 ~committee_size:4
+  in
+  Alcotest.(check string) "same rng, same schedule" (Xschedule.to_string (gen ()))
+    (Xschedule.to_string (gen ()));
+  let s = gen () in
+  Alcotest.(check bool) "at least two txs" true (s.Xschedule.txs >= 2);
+  Alcotest.(check bool) "at least one fault" true (s.Xschedule.faults <> []);
+  let e = xfault ~start:1.0 ~stop:4.0 (Xschedule.Cut_shard 0) in
+  Alcotest.(check bool) "active inside window" true (Xschedule.active e ~at:2.0);
+  Alcotest.(check bool) "inactive at stop" false (Xschedule.active e ~at:4.0);
+  Alcotest.(check (float 0.0)) "heal time is last stop" 4.0
+    (Xschedule.heal_time (xsched ~faults:[ e ] ()));
+  Alcotest.(check bool) "size shrinks with structure" true
+    (Xschedule.size (xsched ~txs:6 ~malicious:[ 0 ] ~faults:[ e ] ())
+    > Xschedule.size (xsched ~txs:2 ()))
+
+(* Synthetic outcomes for the cross-shard oracles. *)
+
+let xinfo ?(honest = true) ?(participants = [ 0; 1 ]) ?outcome txid =
+  { Xtestbed.txid; honest; participants; outcome }
+
+let xdecision ?(at = 1.0) ~txid ~shard commit = { System.at; txid; shard; commit }
+
+let xoutcome ?(mode = System.With_reference) ?(infos = []) ?(decisions = []) ?(stuck_locks = 0)
+    ?(total = (2000, 2000)) ?(ref_decisions = []) () =
+  let total_before, total_after = total in
+  {
+    Xtestbed.mode;
+    infos;
+    decisions;
+    stuck_locks;
+    total_before;
+    total_after;
+    ref_decisions;
+    horizon = 60.0;
+    registry_size = 0;
+  }
+
+let test_xoracle_atomicity () =
+  (* tx 1 committed on shard 0, undecided on shard 1: partial commit. *)
+  let o =
+    xoutcome
+      ~infos:[ xinfo ~outcome:System.Committed 1 ]
+      ~decisions:[ xdecision ~txid:1 ~shard:0 true ]
+      ()
+  in
+  (match Xoracle.check o with
+  | [ Xoracle.Atomicity { txid = 1; committed_on = [ 0 ]; aborted_on = []; missing = [ 1 ] } ]
+    ->
+      ()
+  | vs ->
+      Alcotest.failf "expected one atomicity violation, got [%s]"
+        (String.concat "; " (List.map Xoracle.to_string vs)));
+  (* Commit-on-some with abort-elsewhere is the same bug. *)
+  let o =
+    xoutcome
+      ~infos:[ xinfo ~outcome:System.Committed 1 ]
+      ~decisions:[ xdecision ~txid:1 ~shard:0 true; xdecision ~txid:1 ~shard:1 false ]
+      ()
+  in
+  Alcotest.(check bool) "commit+abort fires" true
+    (List.exists
+       (function Xoracle.Atomicity { aborted_on = [ 1 ]; _ } -> true | _ -> false)
+       (Xoracle.check o));
+  (* A single-shard transaction cannot violate atomicity. *)
+  let o =
+    xoutcome
+      ~infos:[ xinfo ~participants:[ 0 ] ~outcome:System.Committed 1 ]
+      ~decisions:[ xdecision ~txid:1 ~shard:0 true ]
+      ()
+  in
+  Alcotest.(check int) "single participant exempt" 0 (List.length (Xoracle.check o))
+
+let test_xoracle_divergence_and_conservation () =
+  let o =
+    xoutcome
+      ~infos:[ xinfo ~outcome:System.Aborted 1 ]
+      ~decisions:[ xdecision ~txid:1 ~shard:0 false; xdecision ~txid:1 ~shard:1 false ]
+      ~ref_decisions:[ (1, true) ] ()
+  in
+  (match Xoracle.check o with
+  | [ Xoracle.Divergence { txid = 1; ref_commit = true; _ }; Xoracle.Divergence _ ] -> ()
+  | vs ->
+      Alcotest.failf "expected two divergences, got [%s]"
+        (String.concat "; " (List.map Xoracle.to_string vs)));
+  let o = xoutcome ~total:(2000, 1995) () in
+  match Xoracle.check o with
+  | [ Xoracle.Conservation { before = 2000; after = 1995 } ] -> ()
+  | vs ->
+      Alcotest.failf "expected one conservation violation, got [%s]"
+        (String.concat "; " (List.map Xoracle.to_string vs))
+
+let test_xoracle_liveness_only_when_safe () =
+  (* Undecided honest tx + stuck locks on an otherwise safe run. *)
+  let o = xoutcome ~infos:[ xinfo 1; xinfo 2 ] ~stuck_locks:2 () in
+  let vs = Xoracle.check o in
+  Alcotest.(check bool) "stuck locks reported" true
+    (List.exists (function Xoracle.Stuck_locks { count = 2 } -> true | _ -> false) vs);
+  Alcotest.(check bool) "liveness reported with first txid" true
+    (List.exists (function Xoracle.Liveness { missing = 2; first = 1 } -> true | _ -> false) vs);
+  (* Same progress gaps are suppressed when the run is unsafe. *)
+  let unsafe = xoutcome ~infos:[ xinfo 1 ] ~stuck_locks:2 ~total:(10, 9) () in
+  Alcotest.(check bool) "only safety reported" true
+    (List.for_all Xoracle.is_safety (Xoracle.check unsafe));
+  (* A dishonest client's undecided tx only counts with a reference
+     committee on duty. *)
+  let abandoned mode = xoutcome ~mode ~infos:[ xinfo ~honest:false 1 ] () in
+  Alcotest.(check bool) "R owes silent clients a decision" true
+    (Xoracle.check (abandoned System.With_reference) <> []);
+  Alcotest.(check int) "client-driven owes nothing" 0
+    (List.length (Xoracle.check (abandoned System.Client_driven)))
+
+(* The cross-shard regression witness: the schedule the explorer found
+   against the pre-fix fallback sweep (a silent client plus a dropped
+   decision leg yielded a partial commit).  The fixed sweep must replay
+   it clean. *)
+
+let prefix_bug_witness =
+  "x1 txs=6 mal=5 over=- hot=0 dropleg:dec:0.54010956549511413:6.5492538101898843:16.057947951576917"
+
+let test_xtestbed_deterministic () =
+  let s = Xschedule.of_string prefix_bug_witness in
+  let run () =
+    Xtestbed.run ~engine_seed:58L ~mode:System.With_reference
+      ~concurrency:System.Two_phase_locking ~shards:2 ~committee_size:4 s
+  in
+  let a = run () and b = run () in
+  let pp (o : Xtestbed.outcome) =
+    List.map
+      (fun (d : System.decision_event) ->
+        Printf.sprintf "%.17g:%d:%d:%b" d.System.at d.System.txid d.System.shard d.System.commit)
+      o.Xtestbed.decisions
+  in
+  Alcotest.(check (list string)) "bit-identical decision traces" (pp a) (pp b);
+  Alcotest.(check int) "same stuck locks" a.Xtestbed.stuck_locks b.Xtestbed.stuck_locks;
+  Alcotest.(check int) "same final total" a.Xtestbed.total_after b.Xtestbed.total_after;
+  Alcotest.(check bool) "horizon grants grace" true
+    (a.Xtestbed.horizon >= Xschedule.heal_time s +. Xtestbed.grace)
+
+let test_fallback_sweep_regression () =
+  (* Evidence-based sweep: no violation survives the witness replay. *)
+  let vs =
+    Xexplore.replay ~mode:System.With_reference ~concurrency:System.Two_phase_locking ~shards:2
+      ~committee_size:4 ~engine_seed:58L
+      (Xschedule.of_string prefix_bug_witness)
+  in
+  Alcotest.(check (list string)) "fixed sweep survives the witness" []
+    (List.map Xoracle.to_string vs)
+
+let test_xshrink_candidates_and_minimize () =
+  let s =
+    xsched ~txs:8 ~malicious:[ 0; 2 ] ~overdraft:[ 1 ] ~contended:true
+      ~faults:[ xfault (Xschedule.Cut_shard 1); xfault (Xschedule.Crash_ref { member = 1 }) ]
+      ()
+  in
+  (* 2 fault drops + un-contend + clear overdrafts + shrink malicious +
+     halve txs = 6 one-step candidates. *)
+  Alcotest.(check int) "one-step candidates" 6 (List.length (Xshrink.candidates s));
+  Alcotest.(check int) "minimal schedule has no candidates" 0
+    (List.length (Xshrink.candidates (xsched ~txs:2 ())));
+  let v = Xoracle.Stuck_locks { count = 1 } in
+  let shrunk, reruns = Xshrink.minimize ~replay:(fun _ -> Some v) ~budget:64 s v in
+  Alcotest.(check int) "all faults dropped" 0 (List.length shrunk.Xschedule.faults);
+  Alcotest.(check bool) "un-contended" false shrunk.Xschedule.contended;
+  Alcotest.(check (list int)) "overdrafts cleared" [] shrunk.Xschedule.overdraft;
+  Alcotest.(check int) "txs at floor" 2 shrunk.Xschedule.txs;
+  Alcotest.(check int) "one malicious client kept" 1 (List.length shrunk.Xschedule.malicious);
+  Alcotest.(check bool) "within budget" true (reruns <= 64);
+  let kept, _ = Xshrink.minimize ~replay:(fun _ -> None) ~budget:8 s v in
+  Alcotest.(check string) "irreproducible keeps original" (Xschedule.to_string s)
+    (Xschedule.to_string kept)
+
+let test_xexplore_differential_and_json () =
+  let d = Xexplore.differential ~shards:2 ~committee_size:3 ~seed:21L in
+  Alcotest.(check bool) "differential holds" true d.Xexplore.holds;
+  Alcotest.(check int) "fallback leaves nothing behind" 0 (List.length d.Xexplore.with_ref);
+  Alcotest.(check bool) "client-driven leaves stuck locks" true
+    (List.exists
+       (function Xoracle.Stuck_locks _ -> true | _ -> false)
+       d.Xexplore.client_driven);
+  let j = Xexplore.json_of_differential d in
+  Alcotest.(check bool) "json carries the verdict" true (contains j "\"holds\":true");
+  Alcotest.(check bool) "silent client is honest-flagged in the schedule" true
+    (Xexplore.silent_client_schedule.Xschedule.malicious = [ 0 ]);
+  (* A small explorer run in each mode stays clean post-fix and reports
+     deterministically. *)
+  let r =
+    Xexplore.run ~mode:System.With_reference ~concurrency:System.Two_phase_locking ~shards:2
+      ~committee_size:3 ~trials:2 ~seed:11L ~budget:8
+  in
+  Alcotest.(check int) "no safety violations" 0 r.Xexplore.safety_violations;
+  Alcotest.(check int) "no liveness violations" 0 r.Xexplore.liveness_violations;
+  Alcotest.(check int64) "engine seed is base + index" 14L (Xexplore.engine_seed_for ~seed:11L 3);
+  let a = Xexplore.schedule_for ~seed:7L ~shards:2 ~committee_size:3 2 in
+  let b = Xexplore.schedule_for ~seed:7L ~shards:2 ~committee_size:3 2 in
+  Alcotest.(check string) "schedule_for deterministic" (Xschedule.to_string a)
+    (Xschedule.to_string b);
+  Alcotest.(check string) "mode names round-trip" "with-reference"
+    (Xexplore.mode_name System.With_reference);
+  Alcotest.(check bool) "mode parsing" true
+    (Xexplore.mode_of_name "client" = Some System.Client_driven);
+  Alcotest.(check bool) "concurrency parsing" true
+    (Xexplore.concurrency_of_name "waitdie" = Some System.Wait_die);
+  let rj = Xexplore.json_of_report r in
+  Alcotest.(check bool) "report json names the mode" true
+    (contains rj "\"mode\":\"with-reference\"")
+
 let () =
   Alcotest.run "check"
     [
@@ -315,5 +569,31 @@ let () =
           Alcotest.test_case "differential holds; witness replays" `Quick
             test_differential_holds_and_witness_replays;
           Alcotest.test_case "json reports" `Quick test_explore_json;
+        ] );
+      ( "xschedule",
+        [
+          Alcotest.test_case "witness round-trips" `Quick test_xschedule_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_xschedule_rejects_malformed;
+          Alcotest.test_case "generation deterministic" `Quick
+            test_xschedule_generation_deterministic;
+        ] );
+      ( "xoracle",
+        [
+          Alcotest.test_case "atomicity" `Quick test_xoracle_atomicity;
+          Alcotest.test_case "divergence and conservation" `Quick
+            test_xoracle_divergence_and_conservation;
+          Alcotest.test_case "liveness only when safe" `Quick
+            test_xoracle_liveness_only_when_safe;
+        ] );
+      ( "xtestbed",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xtestbed_deterministic;
+          Alcotest.test_case "fallback sweep regression" `Quick test_fallback_sweep_regression;
+        ] );
+      ("xshrink", [ Alcotest.test_case "candidates and minimize" `Quick test_xshrink_candidates_and_minimize ]);
+      ( "xexplore",
+        [
+          Alcotest.test_case "differential, explorer, json" `Quick
+            test_xexplore_differential_and_json;
         ] );
     ]

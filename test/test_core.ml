@@ -20,6 +20,26 @@ let test_registry_grows () =
   in
   Alcotest.(check int) "sequential tags" 2999 (List.nth tags 2999)
 
+let test_registry_release () =
+  let r = Coordination.create_registry () in
+  let v7 = Coordination.Vote { txid = 7; shard = 0; ok = true } in
+  let v8 = Coordination.Vote { txid = 8; shard = 1; ok = false } in
+  let t7 = Coordination.register r v7 in
+  let _ = Coordination.register r v8 in
+  Alcotest.(check int) "two live entries" 2 (Coordination.length r);
+  (* Re-registering a structurally identical op reuses its tag: a retried
+     leg does not grow the registry. *)
+  Alcotest.(check int) "idempotent register" t7 (Coordination.register r v7);
+  Alcotest.(check int) "still two entries" 2 (Coordination.length r);
+  Coordination.release r ~txid:7;
+  Alcotest.(check int) "txid 7 compacted" 1 (Coordination.length r);
+  Alcotest.(check bool) "released tag gone" true (Coordination.lookup r t7 = None);
+  (* Release is keyed on txid, so a fresh registration gets a fresh tag. *)
+  let t7' = Coordination.register r v7 in
+  Alcotest.(check bool) "new tag after release" true (t7' <> t7);
+  Alcotest.(check int) "txid extraction" 8 (Coordination.txid_of_op v8);
+  Coordination.release r ~txid:9999 (* unknown txid is a no-op *)
+
 let test_op_cost_positive () =
   let costs = Repro_crypto.Cost_model.default in
   let ops = [ Tx.Put { key = "k"; value = "v" } ] in
@@ -258,6 +278,119 @@ let test_wait_die_reduces_aborts () =
   Alcotest.(check bool) "wait-die aborts no more" true (awd <= a2pl);
   Alcotest.(check int) "same workload size" (c2pl + a2pl) (cwd + awd)
 
+let test_malicious_client_fallback_commits () =
+  (* Sharper than "R decided": when every prepare succeeds, the fallback
+     sweep must reach the COMMIT it owes — reading the shard observers'
+     recorded votes, not guessing from lock state — and both legs must
+     apply. *)
+  let sys = make_system ~mode:System.With_reference () in
+  let a = key_in sys 0 and b = key_in sys 1 in
+  fund sys a 100;
+  fund sys b 0;
+  let outcome = ref None in
+  System.submit sys ~malicious_client:true ~on_done:(fun o -> outcome := Some o)
+    (transfer_tx ~txid:1 sys ~from_:a ~to_:b ~amount:30);
+  System.run sys ~until:60.0;
+  Alcotest.(check bool) "fallback commits" true (!outcome = Some System.Committed);
+  Alcotest.(check int) "debit applied" 70 (Executor.balance (System.shard_state sys 0) a);
+  Alcotest.(check int) "credit applied" 30 (Executor.balance (System.shard_state sys 1) b);
+  Alcotest.(check int) "no stuck locks" 0 (System.stuck_locks sys);
+  match System.reference_machine sys with
+  | Some r ->
+      Alcotest.(check bool) "R recorded COMMIT" true
+        (Repro_shard.Reference.state_of r ~txid:1 = Some Repro_shard.Reference.Committed)
+  | None -> Alcotest.fail "reference expected"
+
+let test_wait_die_park_timeout_aborts () =
+  (* An older transaction parks behind a lock that never frees (malicious
+     client in client-driven mode); the 4s park timeout must convert the
+     wait into a NotOK vote so the victim terminates instead of hanging. *)
+  let sys =
+    System.create
+      {
+        (System.default_config ~shards:2 ~committee_size:3) with
+        System.mode = System.Client_driven;
+        concurrency = System.Wait_die;
+      }
+  in
+  let a = key_in sys 0 and b = key_in sys 1 in
+  fund sys a 100;
+  fund sys b 100;
+  System.submit sys ~malicious_client:true (transfer_tx ~txid:5 sys ~from_:a ~to_:b ~amount:10);
+  System.run sys ~until:15.0;
+  Alcotest.(check bool) "attacker's locks held" true (System.stuck_locks sys > 0);
+  (* The shard observer recorded the undecided prepare's outcome — the
+     evidence the reference committee's sweep would read. *)
+  Alcotest.(check bool) "prepare evidence recorded" true
+    (System.prepare_evidence sys ~shard:0 ~txid:5 = Some true);
+  let outcome = ref None in
+  (* txid 1 < 5: wait-die parks it rather than killing it outright. *)
+  System.submit sys ~on_done:(fun o -> outcome := Some o)
+    (transfer_tx ~txid:1 sys ~from_:a ~to_:b ~amount:10);
+  System.run sys ~until:40.0;
+  Alcotest.(check bool) "parked victim aborts on timeout" true (!outcome = Some System.Aborted);
+  Alcotest.(check int) "no balance change from the victim" 100
+    (Executor.balance (System.shard_state sys 1) b)
+
+let test_duplicate_decision_leg_idempotent () =
+  (* An adversary re-delivering CommitTx must not double-apply: the
+     observer's applied-set makes the decision leg idempotent. *)
+  let sys = make_system ~mode:System.With_reference () in
+  System.set_leg_filter sys
+    (Some
+       (fun ~dst:_ op ->
+         match op with
+         | Coordination.Commit_tx _ | Coordination.Abort_tx _ ->
+             Repro_sim.Network.Duplicate { copies = 3; spacing = 0.5 }
+         | _ -> Repro_sim.Network.Deliver));
+  let a = key_in sys 0 and b = key_in sys 1 in
+  fund sys a 100;
+  fund sys b 0;
+  let outcome = ref None in
+  System.submit sys ~on_done:(fun o -> outcome := Some o)
+    (transfer_tx ~txid:1 sys ~from_:a ~to_:b ~amount:30);
+  System.run sys ~until:30.0;
+  Alcotest.(check bool) "committed once" true (!outcome = Some System.Committed);
+  Alcotest.(check int) "debit applied exactly once" 70
+    (Executor.balance (System.shard_state sys 0) a);
+  Alcotest.(check int) "credit applied exactly once" 30
+    (Executor.balance (System.shard_state sys 1) b);
+  Alcotest.(check int) "no stuck locks" 0 (System.stuck_locks sys)
+
+let test_client_driven_aborts_on_first_not_ok () =
+  (* Client-driven coordination decides ABORT on the first NotOK without
+     waiting for the other shard, and must still release the OK shard's
+     locks. *)
+  let sys = make_system ~mode:System.Client_driven () in
+  let a = key_in sys 0 and b = key_in sys 1 in
+  fund sys a 5;
+  fund sys b 50;
+  let outcome = ref None in
+  System.submit sys ~on_done:(fun o -> outcome := Some o)
+    (transfer_tx ~txid:1 sys ~from_:a ~to_:b ~amount:500);
+  run_to_done sys;
+  Alcotest.(check bool) "aborted" true (!outcome = Some System.Aborted);
+  Alcotest.(check int) "debit shard untouched" 5 (Executor.balance (System.shard_state sys 0) a);
+  Alcotest.(check int) "credit shard untouched" 50 (Executor.balance (System.shard_state sys 1) b);
+  Alcotest.(check int) "OK shard's locks released" 0 (System.stuck_locks sys)
+
+let test_registry_bounded_under_retries () =
+  (* Regression for the retry leak: honest-client retries and the fallback
+     sweep re-register the same ops; at quiescence every finished
+     transaction's entries must have been compacted away. *)
+  let sys = make_system ~mode:System.With_reference () in
+  let a = key_in sys 0 and b = key_in sys 1 in
+  fund sys a 1000;
+  fund sys b 1000;
+  for txid = 1 to 6 do
+    let malicious_client = txid mod 2 = 0 in
+    System.submit sys ~malicious_client
+      (transfer_tx ~txid sys ~from_:a ~to_:b ~amount:1)
+  done;
+  System.run sys ~until:120.0;
+  Alcotest.(check int) "all decided, no stuck locks" 0 (System.stuck_locks sys);
+  Alcotest.(check int) "registry fully compacted" 0 (System.registry_size sys)
+
 (* ------------------------------------------------------------------ *)
 (* Workload                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -333,6 +466,7 @@ let () =
         [
           Alcotest.test_case "registry roundtrip" `Quick test_registry_roundtrip;
           Alcotest.test_case "registry grows" `Quick test_registry_grows;
+          Alcotest.test_case "registry release" `Quick test_registry_release;
           Alcotest.test_case "op cost" `Quick test_op_cost_positive;
         ] );
       ( "system",
@@ -349,6 +483,16 @@ let () =
             test_malicious_client_client_driven_blocks;
           Alcotest.test_case "lock conflict" `Quick test_lock_conflict_aborts_one;
           Alcotest.test_case "wait-die reduces aborts" `Quick test_wait_die_reduces_aborts;
+          Alcotest.test_case "malicious client fallback commits" `Quick
+            test_malicious_client_fallback_commits;
+          Alcotest.test_case "wait-die park timeout aborts" `Quick
+            test_wait_die_park_timeout_aborts;
+          Alcotest.test_case "duplicate decision leg idempotent" `Quick
+            test_duplicate_decision_leg_idempotent;
+          Alcotest.test_case "client-driven early abort" `Quick
+            test_client_driven_aborts_on_first_not_ok;
+          Alcotest.test_case "registry bounded under retries" `Quick
+            test_registry_bounded_under_retries;
           Alcotest.test_case "chains validate" `Quick test_chains_validate;
         ] );
       ( "workload",

@@ -19,6 +19,7 @@
 open Repro_util
 open Repro_crypto
 open Repro_core
+module Probe = Repro_obs.Probe
 
 let quick = Sys.getenv_opt "BENCH_QUICK" <> None
 
@@ -43,6 +44,9 @@ let micro_tests () =
   let leaves = List.init 100 (fun i -> "tx-" ^ string_of_int i) in
   let zipf = Zipf.create ~n:100_000 ~theta:0.99 in
   let zrng = Rng.create 9L in
+  let live_probe =
+    Probe.make ~trace:(Repro_obs.Trace.create ()) ~metrics:(Repro_obs.Metrics.create ())
+  in
   [
     Test.make ~name:"sha256/256B" (Staged.stage (fun () -> Sha256.digest_string payload));
     Test.make ~name:"hmac-sha256/256B"
@@ -62,7 +66,67 @@ let micro_tests () =
            Repro_shard.Sizing.min_committee_size ~total:2000 ~fraction:0.25
              ~rule:Repro_shard.Sizing.Ahl_half ~security_bits:20));
     Test.make ~name:"zipf-sample" (Staged.stage (fun () -> Zipf.sample zipf zrng));
+    (* The two probe entries bound the cost of the permanent instrumentation:
+       disabled emitters must be branch-cheap, enabled ones a hashtable op. *)
+    Test.make ~name:"probe-off/incr" (Staged.stage (fun () -> Probe.incr Probe.none "bench.ctr"));
+    Test.make ~name:"probe-on/incr" (Staged.stage (fun () -> Probe.incr live_probe "bench.ctr"));
+    Test.make ~name:"probe-on/observe"
+      (Staged.stage (fun () -> Probe.observe live_probe "bench.lat" 0.125));
   ]
+
+(* The probes live permanently in the consensus/2PC hot paths, so the
+   disabled path must stay within 2% of PBFT happy-path throughput.  The
+   uninstrumented baseline no longer exists in-tree; instead, measure the
+   per-call cost of a disabled emitter, count the probe calls an identical
+   enabled run actually fires, and bound the product against the disabled
+   run's wall time. *)
+let assert_probe_overhead () =
+  let module Harness = Repro_consensus.Harness in
+  let happy_path probe =
+    let t0 = Unix.gettimeofday () in
+    let (_ : Harness.result) =
+      Harness.run ~probe ~duration:4.0 ~warmup:1.0 ~variant:Repro_consensus.Config.ahl_plus
+        ~n:4
+        ~topology:(Repro_sim.Topology.lan ())
+        ~workload:(Harness.Open_loop { rate = 400.0; clients = 8 })
+        ()
+    in
+    Unix.gettimeofday () -. t0
+  in
+  let wall_off = happy_path Probe.none in
+  let trace = Repro_obs.Trace.create () and metrics = Repro_obs.Metrics.create () in
+  let (_ : float) = happy_path (Probe.make ~trace ~metrics) in
+  let module Metrics = Repro_obs.Metrics in
+  (* Counter values overcount Metrics.add calls, which only makes the
+     bound stricter. *)
+  let calls =
+    Repro_obs.Trace.length trace
+    + List.fold_left (fun acc (_, v) -> acc + v) 0 (Metrics.counters metrics)
+    + List.length (Metrics.gauges metrics)
+    + List.fold_left
+        (fun acc name ->
+          match Metrics.histogram_stats metrics name with
+          | Some s -> acc + Stats.count s
+          | None -> acc)
+        0 (Metrics.histogram_names metrics)
+  in
+  let iters = 20_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Probe.incr Probe.none "bench.ctr"
+  done;
+  let per_call = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  let overhead = per_call *. float_of_int calls in
+  let pct = 100.0 *. overhead /. wall_off in
+  Printf.printf
+    "probe-disabled overhead: %d probe calls x %.1f ns = %.3f ms, %.4f%% of the %.2f s PBFT \
+     happy path (bound: 2%%)\n\n\
+     %!"
+    calls (1e9 *. per_call) (1e3 *. overhead) pct wall_off;
+  if pct > 2.0 then begin
+    prerr_endline "bench: disabled-probe overhead exceeds the 2% acceptance bound";
+    exit 1
+  end
 
 let run_micro () =
   let open Bechamel in
@@ -94,7 +158,8 @@ let run_micro () =
   List.iter
     (fun (_, l) -> print_endline l)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) lines);
-  print_newline ()
+  print_newline ();
+  assert_probe_overhead ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure/table harness                                                 *)
@@ -110,11 +175,21 @@ let run_experiment id =
   | None -> Printf.printf "unknown experiment id: %s\n" id
   | Some f ->
       let t0 = Unix.gettimeofday () in
+      (* One hub per figure: METRICS_<id>.json carries the runs this figure
+         computed itself.  Memoized sweeps shared with an earlier figure
+         record nothing here (they already landed in that figure's file). *)
+      let hub = Repro_obs.Hub.create () in
+      Experiment.set_hub (Some hub);
       let fig = f ~quick () in
+      Experiment.set_hub None;
       let wall = Unix.gettimeofday () -. t0 in
       Results.print fig;
       Option.iter (fun dir -> Results.save_csv ~dir fig) csv_dir;
       Results.save_json ~dir:json_dir ~wall_time_s:wall ~jobs:(Experiment.jobs_in_use ()) fig;
+      let metrics_path = Filename.concat json_dir (Printf.sprintf "METRICS_%s.json" id) in
+      (match Repro_obs.Sink.save ~path:metrics_path (Repro_obs.Sink.metrics_json (Repro_obs.Hub.metrics hub)) with
+      | Ok () -> ()
+      | Error msg -> Printf.eprintf "bench: cannot write %s: %s\n" metrics_path msg);
       Printf.printf "(%s completed in %.1f s wall time)\n\n%!" id wall
 
 let () =

@@ -268,8 +268,9 @@ let scan ?(base = "") ~roots ~excludes () =
 (* Format: one entry per line, "<rule> <path> <count>"; '#' comments.  *)
 (* A (rule, path) group passes while its violation count stays at or   *)
 (* below the recorded allowance; any growth reports every finding in   *)
-(* the group.  R1/R2 entries are rejected outright: determinism and    *)
-(* comparison-safety violations must be fixed, never baselined.        *)
+(* the group.  R1/R2/R6 entries are rejected outright: determinism,    *)
+(* comparison-safety, and console-hygiene violations must be fixed,    *)
+(* never baselined.                                                    *)
 (* ------------------------------------------------------------------ *)
 
 type baseline_entry = { b_rule : string; b_path : string; b_count : int }
@@ -323,7 +324,8 @@ let group_counts findings =
     findings;
   tbl
 
-let never_baselined rule = String.equal rule "R1" || String.equal rule "R2"
+let never_baselined rule =
+  String.equal rule "R1" || String.equal rule "R2" || String.equal rule "R6"
 
 let apply_baseline ~baseline findings =
   let counts = group_counts findings in
@@ -365,7 +367,7 @@ let write_baseline ~path findings =
   in
   let body =
     "# ahl_lint baseline: tolerated pre-existing violations, \"<rule> <path> <count>\".\n\
-     # Shrink this file over time; never grow it.  R1/R2 entries are rejected.\n"
+     # Shrink this file over time; never grow it.  R1/R2/R6 entries are rejected.\n"
     ^ String.concat ""
         (List.map (fun ((rule, bpath), n) -> Printf.sprintf "%s %s %d\n" rule bpath n) groups)
   in

@@ -39,6 +39,14 @@ let in_r5_scope path =
   (starts_with ~prefix:"lib/consensus/" path || starts_with ~prefix:"lib/shard/" path)
   && not (List.exists (String.equal path) r5_allowlist)
 
+(* Direct console printing: the whole library tree, minus the two modules
+   whose exported job is rendering to stdout.  Library code reports
+   through Repro_obs probes or returns strings for bin/bench to print. *)
+let r6_allowlist = [ "lib/obs/sink.ml"; "lib/util/table.ml" ]
+
+let in_r6_scope path =
+  starts_with ~prefix:"lib/" path && not (List.exists (String.equal path) r6_allowlist)
+
 (* ------------------------------------------------------------------ *)
 (* Longident helpers                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -164,6 +172,23 @@ let check_ident ~path ~report lid loc =
         if matches then report ~rule:R2 ~severity:Error loc (Printf.sprintf "%s.%s %s" m v hint))
       r2_banned_idents
   end;
+  (if in_r6_scope path then
+     let flag what =
+       report ~rule:R6 ~severity:Error loc
+         (Printf.sprintf
+            "%s prints to the console from library code; emit a Repro_obs probe event or return \
+             the string"
+            what)
+     in
+     match parts with
+     | [ "Printf"; ("printf" | "eprintf") ] -> flag ("Printf." ^ List.nth parts 1)
+     | [ ("print_string" | "print_endline" | "print_newline" | "prerr_string" | "prerr_endline")
+       ]
+     | [ "Stdlib";
+         ("print_string" | "print_endline" | "print_newline" | "prerr_string" | "prerr_endline")
+       ] ->
+         flag (List.nth parts (List.length parts - 1))
+     | _ -> ());
   if in_r3_scope path then begin
     match parts with
     | [ "failwith" ] | [ "Stdlib"; "failwith" ] ->

@@ -24,6 +24,10 @@ val in_r5_scope : string -> bool
     shard trees, minus the size-computing allowlist
     ([Config]/[Quorum]/[Sizing]). *)
 
+val in_r6_scope : string -> bool
+(** Whether R6 (console hygiene) applies to this path: the whole [lib/]
+    tree, minus the rendering allowlist ([Sink]/[Table]). *)
+
 val starts_with : prefix:string -> string -> bool
 (** Path-prefix test shared with the driver's R4 scoping. *)
 

@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | R5 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | Parse_error
 
 type severity = Error | Warning
 
@@ -18,6 +18,7 @@ let rule_id = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
   | Parse_error -> "parse"
 
 let rule_of_id = function
@@ -26,6 +27,7 @@ let rule_of_id = function
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
   | "parse" -> Some Parse_error
   | _ -> None
 

@@ -12,9 +12,13 @@
       unused public values.
     - R5 quorum hygiene: no bare [2*f+1] / [3*f+1] arithmetic in the
       consensus and shard paths; quorum and committee sizes must come from
-      [Config.quorum_size] / [Config.n_for_f] (or the sizing allowlist). *)
+      [Config.quorum_size] / [Config.n_for_f] (or the sizing allowlist).
+    - R6 console hygiene: no direct console printing
+      ([Printf.printf]/[eprintf], [print_string] and friends) in [lib/]
+      outside the rendering allowlist ([Sink]/[Table]); library code
+      reports through [Repro_obs] probes or returns strings. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | Parse_error
 
 type severity = Error | Warning
 
@@ -29,7 +33,7 @@ type finding = {
 }
 
 val rule_id : rule -> string
-(** "R1".."R5", or "parse" for unparseable files. *)
+(** "R1".."R6", or "parse" for unparseable files. *)
 
 val rule_of_id : string -> rule option
 

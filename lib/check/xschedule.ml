@@ -8,6 +8,8 @@ type fault_kind =
   | Delay_leg of { leg : leg; d : float }
   | Crash_ref of { member : int }
   | Cut_shard of int
+  | Crash_observer of { shard : int }
+  | Epoch_wave of { epoch : int }
 
 type fault = { start : float; stop : float; kind : fault_kind }
 
@@ -41,7 +43,7 @@ let gen_fault rng ~shards ~committee_size =
     match Rng.int rng 3 with 0 -> Prepare | 1 -> Vote | _ -> Decision
   in
   let kind =
-    match Rng.int rng 5 with
+    match Rng.int rng 7 with
     | 0 -> Drop_leg { leg = leg (); p = 0.3 +. Rng.float rng 0.7 }
     | 1 -> Dup_leg { leg = leg (); p = 0.3 +. Rng.float rng 0.7 }
     | 2 ->
@@ -52,7 +54,15 @@ let gen_fault rng ~shards ~committee_size =
         (* Member 0 is the observer (pinned infrastructure); crash a
            backup of R, the paper's crash-fault model for the committee. *)
         Crash_ref { member = 1 + Rng.int rng (Int.max 1 (committee_size - 1)) }
-    | _ -> Cut_shard (Rng.int rng shards)
+    | 4 -> Cut_shard (Rng.int rng shards)
+    | 5 ->
+        (* The hard crash: a shard's observer, where state materializes —
+           execution stalls until recovery and retries must re-drive. *)
+        Crash_observer { shard = Rng.int rng shards }
+    | _ ->
+        (* A full Section-5 epoch transition racing the 2PC legs:
+           transitioning replicas go offline in waves mid-protocol. *)
+        Epoch_wave { epoch = 1 + Rng.int rng 3 }
   in
   { start; stop; kind }
 
@@ -100,6 +110,8 @@ let string_of_fault f =
   | Delay_leg { leg; d } -> Printf.sprintf "delayleg:%s:%s:%s" (string_of_leg leg) (fl d) window
   | Crash_ref { member } -> Printf.sprintf "crashref:%d:%s" member window
   | Cut_shard s -> Printf.sprintf "cut:%d:%s" s window
+  | Crash_observer { shard } -> Printf.sprintf "crashobs:%d:%s" shard window
+  | Epoch_wave { epoch } -> Printf.sprintf "epochwave:%d:%s" epoch window
 
 let fault_of_string s =
   match String.split_on_char ':' s with
@@ -132,6 +144,18 @@ let fault_of_string s =
         start = float_of_string start;
         stop = float_of_string stop;
         kind = Cut_shard (int_of_string shard);
+      }
+  | [ "crashobs"; shard; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Crash_observer { shard = int_of_string shard };
+      }
+  | [ "epochwave"; epoch; start; stop ] ->
+      {
+        start = float_of_string start;
+        stop = float_of_string stop;
+        kind = Epoch_wave { epoch = int_of_string epoch };
       }
   | _ -> raise (Invalid_witness s)
 

@@ -23,6 +23,15 @@ type fault_kind =
   | Cut_shard of int
       (** partition this participant shard from R: both its incoming legs
           and its outgoing votes are lost *)
+  | Crash_observer of { shard : int }
+      (** crash the shard's observer replica (member 0, where state
+          materializes) for the window — execution on that shard stalls
+          until recovery and client retries / R's sweeps must re-drive *)
+  | Epoch_wave of { epoch : int }
+      (** run a full {!Repro_core.System.advance_epoch} transition
+          (Batched_log waves) starting at the window's [start], racing
+          the 2PC legs against transitioning replicas; [stop] only pads
+          the quiescence horizon *)
 
 type fault = { start : float; stop : float; kind : fault_kind }
 

@@ -40,7 +40,8 @@ let key_on ~shards ~prefix shard =
   in
   find 0
 
-let run ~engine_seed ~mode ~concurrency ~shards ~committee_size (sched : Xschedule.t) =
+let run ?(probe = Repro_obs.Probe.none) ~engine_seed ~mode ~concurrency ~shards
+    ~committee_size (sched : Xschedule.t) =
   let sys =
     System.create
       {
@@ -50,6 +51,7 @@ let run ~engine_seed ~mode ~concurrency ~shards ~committee_size (sched : Xschedu
         seed = engine_seed;
       }
   in
+  System.set_probe sys probe;
   let engine = System.engine sys in
   (* Draws are a pure function of (schedule, leg-delivery order), so two
      runs with the same (engine_seed, schedule) are identical. *)
@@ -89,7 +91,8 @@ let run ~engine_seed ~mode ~concurrency ~shards ~committee_size (sched : Xschedu
                        if l = leg && Rng.float adv 1.0 < p then dup := true
                    | Xschedule.Delay_leg { leg = l; d } ->
                        if l = leg then delay := !delay +. d
-                   | Xschedule.Crash_ref _ | Xschedule.Cut_shard _ -> ())
+                   | Xschedule.Crash_ref _ | Xschedule.Cut_shard _
+                   | Xschedule.Crash_observer _ | Xschedule.Epoch_wave _ -> ())
                  live;
                if !dropped then Network.Drop
                else if !delay > 0.0 then Network.Delay !delay
@@ -109,6 +112,21 @@ let run ~engine_seed ~mode ~concurrency ~shards ~committee_size (sched : Xschedu
                 System.recover_member sys ~committee:shards ~member)
         | _ -> ())
       sched.Xschedule.faults;
+  (* Shard-side crash faults and epoch transitions apply in every mode. *)
+  List.iter
+    (fun (f : Xschedule.fault) ->
+      match f.Xschedule.kind with
+      | Xschedule.Crash_observer { shard } ->
+          let shard = Int.max 0 (Int.min shard (shards - 1)) in
+          Engine.schedule_at engine ~time:f.Xschedule.start (fun () ->
+              System.crash_member sys ~committee:shard ~member:0);
+          Engine.schedule_at engine ~time:f.Xschedule.stop (fun () ->
+              System.recover_member sys ~committee:shard ~member:0)
+      | Xschedule.Epoch_wave { epoch } ->
+          System.advance_epoch sys ~at:f.Xschedule.start ~seed:engine_seed ~epoch
+            ~strategy:`Batched_log
+      | _ -> ())
+    sched.Xschedule.faults;
   (* Workload: [txs] two-op cross-shard transfers.  Sources are funded
      far above the honest transfer amount; overdraft transactions ask for
      more than any funding so their debit shard votes NotOK. *)

@@ -35,6 +35,7 @@ type outcome = {
 }
 
 val run :
+  ?probe:Repro_obs.Probe.t ->
   engine_seed:int64 ->
   mode:Repro_core.System.coordination_mode ->
   concurrency:Repro_core.System.concurrency_control ->
@@ -42,3 +43,7 @@ val run :
   committee_size:int ->
   Xschedule.t ->
   outcome
+(** [probe] (default disabled) threads observability through the whole
+    system under test — 2PC leg timing, vote/abort causes, PBFT phase and
+    view-change events, epoch-transition waves — so a shrunk witness can
+    be replayed with [--trace] and read in Perfetto. *)

@@ -24,8 +24,9 @@ type result = {
 }
 
 let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crashes = [])
-    ?(cpu_scale = 1.0) ?(costs = Cost_model.default) ?(tune = fun (c : Config.t) -> c) ~variant
-    ~n ~topology ~workload () =
+    ?(cpu_scale = 1.0) ?(costs = Cost_model.default) ?(tune = fun (c : Config.t) -> c)
+    ?(probe = Repro_obs.Probe.none) ~variant ~n ~topology ~workload () =
+  let module Probe = Repro_obs.Probe in
   let engine = Engine.create ~seed in
   let cfg = tune (Config.default variant ~n) in
   let keystore = Keys.create_keystore (Engine.rng engine) in
@@ -60,6 +61,7 @@ let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crash
             | None -> ()))
   in
   Array.iter (Network.register network) nodes;
+  Network.set_probe network probe;
   let send ~src ~dst ~channel ~bytes m =
     Network.send network ~src:nodes.(src) ~dst ~channel ~bytes m
   in
@@ -77,11 +79,33 @@ let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crash
   in
   (match observer with Some o -> Pbft.set_observer c o | None -> ());
   committee := Some c;
+  Pbft.set_probe c probe;
   Pbft.set_alive c (fun m -> not (Node.is_crashed nodes.(m)));
   List.iter
-    (fun (m, at) -> Engine.schedule engine ~delay:at (fun () -> Node.crash nodes.(m)))
+    (fun (m, at) ->
+      Engine.schedule engine ~delay:at (fun () ->
+          Probe.instant probe ~time:(Engine.now engine) ~cat:"harness"
+            ~node:("r" ^ string_of_int m) "node_crash";
+          Node.crash nodes.(m)))
     crashes;
   Pbft.start c;
+  (* Inbox-depth counter series: sample twice a second while enabled, so
+     queueing collapses (Fig. 9 saturation, flooding attacks) are visible
+     in the trace without per-message event volume. *)
+  if Probe.enabled probe then begin
+    let rec sample_inboxes () =
+      let now = Engine.now engine in
+      Array.iter
+        (fun node ->
+          Probe.counter_sample probe ~time:now
+            ~node:("r" ^ string_of_int (Node.id node))
+            "inbox_depth"
+            (float_of_int (Node.inbox_length node)))
+        nodes;
+      if now +. 0.5 <= duration then Engine.schedule engine ~delay:0.5 sample_inboxes
+    in
+    sample_inboxes ()
+  end;
   (* ---------------- clients ---------------- *)
   let next_req_id = ref 0 in
   let client_rng = Rng.split_named (Engine.rng engine) "clients" in
@@ -143,6 +167,10 @@ let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crash
         done
       done);
   Engine.run engine ~until:duration;
+  if Probe.enabled probe then begin
+    Probe.set_gauge probe "net.sent" (float_of_int (Network.sent_count network));
+    Probe.set_gauge probe "net.delivered" (float_of_int (Network.delivered_count network))
+  end;
   (* ---------------- results ---------------- *)
   let latencies = Metrics.latency_stats metrics in
   let blocks = Metrics.counter metrics "blocks" in

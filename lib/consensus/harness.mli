@@ -39,6 +39,7 @@ val run :
   ?cpu_scale:float ->
   ?costs:Repro_crypto.Cost_model.t ->
   ?tune:(Config.t -> Config.t) ->
+  ?probe:Repro_obs.Probe.t ->
   variant:Config.variant ->
   n:int ->
   topology:Repro_sim.Topology.t ->
@@ -52,6 +53,10 @@ val run :
     first member that stays honest and alive.  [cpu_scale] multiplies every
     CPU charge — 1.0 models the paper's 3.5 GHz Xeon cluster servers, 3.5
     the 2-vCPU GCP instances.  [tune] post-processes the default
-    {!Config.t} (batch sizes, timeouts) for ablations. *)
+    {!Config.t} (batch sizes, timeouts) for ablations.  [probe] (default
+    disabled) threads observability through the committee and transport:
+    PBFT phase/view-change events, network delivery latency and drop
+    counters, crash instants, and a per-replica inbox-depth counter series
+    sampled at 2 Hz. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -2,6 +2,8 @@ open Repro_crypto
 open Repro_sim
 open Repro_sgx
 open Types
+module Probe = Repro_obs.Probe
+module Ev = Repro_obs.Event
 
 type msg =
   | Request of { req : request; relayed : bool }
@@ -105,6 +107,7 @@ type committee = {
   mutable stale_log : msg list;
   mutable commit_hook :
     member:int -> view:int -> seq:int -> digest:int -> batch:request list -> unit;
+  mutable probe : Probe.t;
 }
 
 let default_byz_strategy =
@@ -165,6 +168,13 @@ let observer c = c.observer
 
 let at_observer c r f = if r.index = c.observer then f ()
 
+let rname r = "r" ^ string_of_int r.index
+
+(* Trace emitters are guarded on [Probe.enabled] at every call site so an
+   uninstrumented run neither builds the args list nor takes the call. *)
+let probe_instant c r ~cat ?args name =
+  Probe.instant c.probe ~time:(Engine.now c.engine) ~cat ~node:(rname r) ?args name
+
 let charge_consensus c r cost =
   c.charge_cb ~member:r.index cost;
   at_observer c r (fun () -> Metrics.add_to c.metrics "consensus_cost" cost)
@@ -193,7 +203,16 @@ let authenticate c r ~phase_idx ~view ~slot ~digest =
   | Some a2m -> (
       match A2m.append a2m ~log:(a2m_log ~phase_idx ~view) ~slot ~digest_tag:digest with
       | Some _ -> true
-      | None -> false)
+      | None ->
+          (* The attested log refused the append: an equivocation (or a
+             post-recovery replay) was blocked right here. *)
+          if Probe.enabled c.probe then begin
+            Probe.incr c.probe "pbft.equivocation_blocked";
+            probe_instant c r ~cat:"pbft"
+              ~args:[ ("view", Ev.I view); ("slot", Ev.I slot); ("phase", Ev.I phase_idx) ]
+              "a2m_refused"
+          end;
+          false)
   | None ->
       charge_consensus c r c.costs.Cost_model.ecdsa_sign;
       true
@@ -256,7 +275,7 @@ let make_replica c ~enclave_base_id index =
 let create ~engine ~keystore ~costs ~config ~faults ~metrics ~enclave_base_id ~send ~charge
     ~execute =
   if Faults.size faults <> config.Config.n then
-    invalid_arg "Pbft.create: fault roster size must equal n";
+    Sim_error.invalid "Pbft.create: fault roster size must equal n";
   let obs =
     let rec first i =
       if i >= config.Config.n then 0
@@ -286,6 +305,7 @@ let create ~engine ~keystore ~costs ~config ~faults ~metrics ~enclave_base_id ~s
       equiv_plans = Hashtbl.create 16;
       stale_log = [];
       commit_hook = (fun ~member:_ ~view:_ ~seq:_ ~digest:_ ~batch:_ -> ());
+      probe = Probe.none;
     }
   in
   c.replicas <- Array.init config.Config.n (make_replica c ~enclave_base_id);
@@ -340,6 +360,12 @@ let rec try_propose c r =
         r.next_seq <- seq + 1;
         Hashtbl.replace r.preprep seq (r.view, digest, batch);
         List.iter (add_known c r) batch;
+        if Probe.enabled c.probe then begin
+          Probe.incr c.probe "pbft.pre_prepares";
+          probe_instant c r ~cat:"pbft"
+            ~args:[ ("seq", Ev.I seq); ("view", Ev.I r.view); ("batch", Ev.I (List.length batch)) ]
+            "pre_prepare"
+        end;
         broadcast c r ~channel:consensus_channel (Pre_prepare { view = r.view; seq; batch; digest });
         (* The pre-prepare stands for the leader's prepare vote. *)
         ignore (Quorum.vote r.prepares ~view:r.view ~seq ~digest ~member:r.index);
@@ -420,6 +446,12 @@ and mark_prepared c r ~view ~seq ~digest =
     match Hashtbl.find_opt r.preprep seq with
     | Some (v, d, _) when v = view && d = digest ->
         Hashtbl.replace r.prepared seq digest;
+        if Probe.enabled c.probe && r.index = c.observer then begin
+          Probe.incr c.probe "pbft.prepared";
+          probe_instant c r ~cat:"pbft"
+            ~args:[ ("seq", Ev.I seq); ("view", Ev.I view) ]
+            "prepared"
+        end;
         if c.cfg.Config.variant.Config.relay then begin
           if is_leader c r then leader_self_vote c r ~phase:Commit_phase ~seq ~digest
           else begin
@@ -445,6 +477,10 @@ and mark_committed c r ~seq ~digest =
     match Hashtbl.find_opt r.preprep seq with
     | Some (v, d, batch) when d = digest ->
         Hashtbl.replace r.committed seq (v, digest, batch);
+        if Probe.enabled c.probe && r.index = c.observer then begin
+          Probe.incr c.probe "pbft.committed";
+          probe_instant c r ~cat:"pbft" ~args:[ ("seq", Ev.I seq) ] "committed"
+        end;
         try_execute c r
     | Some _ | None -> ()
   end
@@ -472,6 +508,18 @@ and try_execute c r =
           Metrics.incr c.metrics "blocks";
           Metrics.commit c.metrics ~count:(List.length fresh);
           List.iter (fun q -> Metrics.commit_latency c.metrics ~submitted:q.submitted) fresh);
+      if Probe.enabled c.probe && r.index = c.observer then begin
+        Probe.incr c.probe "pbft.blocks";
+        Probe.add c.probe "pbft.txs_executed" (List.length fresh);
+        (* The gap since the previous execution at the observer: the
+           per-block consensus interval, rendered as a span in Perfetto. *)
+        Probe.span c.probe ~time:r.last_exec_time
+          ~dur:(now c -. r.last_exec_time)
+          ~cat:"pbft" ~node:(rname r)
+          ~args:[ ("seq", Ev.I seq); ("txs", Ev.I (List.length fresh)) ]
+          "block_interval";
+        Probe.observe c.probe "pbft.block_interval_s" (now c -. r.last_exec_time)
+      end;
       r.last_exec <- seq;
       r.last_exec_time <- now c;
       r.earliest_known <- now c;
@@ -512,7 +560,7 @@ and stabilize c r ~seq =
 (* View changes                                                        *)
 (* ------------------------------------------------------------------ *)
 
-and start_view_change c r ~target =
+and start_view_change c r ~reason ~target =
   let current_goal = if r.active then r.view else r.vc_target in
   if target > current_goal then begin
     r.active <- false;
@@ -520,6 +568,12 @@ and start_view_change c r ~target =
     let backoff = Int.min 6 (Int.max 0 (target - r.view - 1)) in
     r.vc_deadline <- now c +. (c.cfg.Config.progress_timeout *. Float.pow 2.0 (float_of_int backoff));
     at_observer c r (fun () -> Metrics.incr c.metrics "view_change_started");
+    if Probe.enabled c.probe then begin
+      Probe.incr c.probe ("pbft.vc.reason." ^ reason);
+      probe_instant c r ~cat:"pbft"
+        ~args:[ ("target", Ev.I target); ("reason", Ev.S reason) ]
+        "view_change_start"
+    end;
     charge_consensus c r c.costs.Cost_model.ecdsa_sign;
     let prepared =
       Repro_util.Det.fold ~compare:Int.compare
@@ -554,7 +608,7 @@ and record_view_change_vote c r ~target ~sender ~prepared =
   let votes = Quorum.vote r.vc_votes ~view:target ~seq:0 ~digest:0 ~member:sender in
   (* Join a view change when f+1 peers demand it. *)
   let goal = if r.active then r.view else r.vc_target in
-  if votes >= f_of c + 1 && target > goal then start_view_change c r ~target;
+  if votes >= f_of c + 1 && target > goal then start_view_change c r ~reason:"join-f+1" ~target;
   if
     votes >= quorum c
     && leader_of_view_int c target = r.index
@@ -579,6 +633,10 @@ and adopt_new_view c r ~view ~reproposals =
     r.active <- true;
     r.vc_deadline <- infinity;
     at_observer c r (fun () -> Metrics.incr c.metrics "view_changes");
+    if Probe.enabled c.probe then begin
+      Probe.incr c.probe "pbft.vc.adopted";
+      probe_instant c r ~cat:"pbft" ~args:[ ("view", Ev.I view) ] "new_view"
+    end;
     (* Drop stale view-change bookkeeping. *)
     let stale =
       List.filter (fun t -> t <= view) (Repro_util.Det.keys ~compare:Int.compare r.vc_prepared)
@@ -637,7 +695,7 @@ and respond_to_preprepare c r ~view ~seq ~digest =
       let rec watch () =
         if c.alive r.index && r.active && r.view = view && r.last_exec < seq then begin
           let stall = now c -. r.last_exec_time in
-          if stall > deadline then start_view_change c r ~target:(r.view + 1)
+          if stall > deadline then start_view_change c r ~reason:"relay-stall" ~target:(r.view + 1)
           else ignore (Engine.timer c.engine ~delay:(deadline -. stall +. 1e-3) watch)
         end
       in
@@ -742,7 +800,7 @@ and byz_naive_equivocate c r ~view ~seq ~digest =
             broadcast c r ~channel:consensus_channel (Prepare { view; seq; digest; sender = r.index })
         | None -> ());
         (match A2m.append a2m ~log ~slot:seq ~digest_tag:(digest + 1) with
-        | Some _ -> assert false (* the A2M must refuse the conflict *)
+        | Some _ -> Sim_error.invalid "Pbft: A2M accepted a conflicting append for slot %d" seq
         | None -> ())
     | None -> ()
 
@@ -923,10 +981,11 @@ let watchdog c r () =
             broadcast c r ~channel:request_channel (Request { req; relayed = true })
           end)
         r.known;
-      start_view_change c r ~target:(r.view + 1)
+      start_view_change c r ~reason:"progress-timeout" ~target:(r.view + 1)
     end
   end
-  else if now c > r.vc_deadline then start_view_change c r ~target:(r.vc_target + 1)
+  else if now c > r.vc_deadline then
+    start_view_change c r ~reason:"vc-restart" ~target:(r.vc_target + 1)
 
 let start c =
   Array.iter
@@ -967,3 +1026,5 @@ let set_byz_strategy c s = c.byz <- s
 let set_observer c o = c.observer <- o
 
 let set_commit_hook c f = c.commit_hook <- f
+
+let set_probe c p = c.probe <- p

@@ -117,6 +117,13 @@ val set_alive : committee -> (int -> bool) -> unit
     returns [false] (crashed / transitioning nodes) fire no timers.
     Defaults to always-alive. *)
 
+val set_probe : committee -> Repro_obs.Probe.t -> unit
+(** Install an observability probe (default {!Repro_obs.Probe.none}):
+    phase transitions, block intervals and per-reason view-change counters
+    are recorded at the observer replica; equivocation refusals and
+    view-change starts at every replica.  The disabled probe costs one
+    branch per site. *)
+
 val start : committee -> unit
 (** Arm leader batching and watchdog timers (they run as local engine
     timers, not network messages — a flooded inbox cannot suppress a

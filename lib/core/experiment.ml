@@ -36,6 +36,19 @@ let pool () =
       the_pool := Some p;
       p
 
+(* Optional observability hub: when installed, the shared runners request
+   probes under names derived purely from their run parameters (the memo
+   keys), never from scheduling — so hub dumps, which are sorted by name,
+   stay byte-identical for any worker count. *)
+let the_hub : Repro_obs.Hub.t option ref = ref None
+
+let set_hub h = the_hub := h
+
+let hub_probe name =
+  match !the_hub with
+  | None -> Repro_obs.Probe.none
+  | Some h -> Repro_obs.Hub.probe h name
+
 (* Submit every cell of a row-structured sweep before joining any, then
    join in submission order.  [rows] pairs each x-axis point with the
    thunks producing its column values. *)
@@ -74,10 +87,16 @@ let tune_of site (c : Config.t) =
 let pbft_cache : (string * int * int * int * bool, Harness.result) Memo.t = Memo.create ()
 
 let run_pbft ?(quick = false) ?(byzantine = 0) ~site ~variant ~n () =
-  let key = (variant.Config.name, n, byzantine, (match site with Cluster -> 0 | Gcp4 -> 4 | Gcp8 -> 8), quick) in
+  let site_code = match site with Cluster -> 0 | Gcp4 -> 4 | Gcp8 -> 8 in
+  let key = (variant.Config.name, n, byzantine, site_code, quick) in
   Memo.get pbft_cache key (fun () ->
+      let probe =
+        hub_probe
+          (Printf.sprintf "pbft:%s:n=%d:byz=%d:site=%d:quick=%b" variant.Config.name n
+             byzantine site_code quick)
+      in
       Harness.run ~duration:(duration ~quick) ~warmup ~byzantine
-        ~cpu_scale:(cpu_scale_of site) ~tune:(tune_of site) ~variant ~n
+        ~cpu_scale:(cpu_scale_of site) ~tune:(tune_of site) ~probe ~variant ~n
         ~topology:(topology_of site)
         ~workload:(Harness.Open_loop { rate = 2200.0; clients = 10 })
         ())
@@ -195,6 +214,30 @@ let run_shards ?(quick = false) ?(site = Cluster) ?(mode = System.With_reference
     }
   in
   let sys = System.create cfg in
+  (let mode_tag =
+     match mode with System.With_reference -> "ref" | System.Client_driven -> "client"
+   in
+   let cc_tag =
+     match concurrency with System.Two_phase_locking -> "2pl" | System.Wait_die -> "waitdie"
+   in
+   let wl_tag =
+     match workload with
+     | Workload.Smallbank -> "sb"
+     | Workload.Kvstore { updates_per_tx } -> Printf.sprintf "kvs%d" updates_per_tx
+   in
+   let reshard_tag =
+     match reshard with
+     | None -> "none"
+     | Some `Swap_all -> "swapall"
+     | Some (`Batched b) -> "batched" ^ string_of_int b
+   in
+   System.set_probe sys
+     (hub_probe
+        (Printf.sprintf
+           "shards:%s:k=%d:n=%d:mode=%s:cc=%s:site=%d:theta=%g:wl=%s:out=%d:reshard=%s:dur=%g:quick=%b"
+           cfg.System.variant.Config.name shards committee_size mode_tag cc_tag
+           (match site with Cluster -> 0 | Gcp4 -> 4 | Gcp8 -> 8)
+           theta wl_tag outstanding reshard_tag dur quick)));
   (* Keyspace grows with the deployment (more shards serve more users), so
      contention reflects skew rather than an artificially small universe. *)
   let wl =

@@ -16,6 +16,15 @@ val set_jobs : int -> unit
 val jobs_in_use : unit -> int
 (** The worker count the next figure will run with. *)
 
+val set_hub : Repro_obs.Hub.t option -> unit
+(** Install (or clear) an observability hub for subsequent figures.  The
+    shared runners ([run_pbft] / [run_shards]) request per-run probes
+    under names derived purely from their parameters (the memo keys), so
+    the hub's sorted-by-name dumps are byte-identical for every [-j]
+    worker count.  Runs already cached by the memo tables record nothing;
+    call {!reset_caches} first for a complete trace.  Do not swap hubs
+    while a figure is running. *)
+
 val reset_caches : unit -> unit
 (** Drop the memoized PBFT/PoET sweeps so the next figure recomputes
     them (used by the determinism replay test).  Do not call while a

@@ -25,7 +25,9 @@ let render f =
     f.panels;
   Buffer.contents buf
 
-let print f = print_string (render f)
+(* The one sanctioned console write of lib/core: the exported figure
+   printer that bin/bench call on purpose. *)
+let print f = print_string (render f) (* ahl_lint: allow R6 *)
 
 let text_figure ~id ~caption body =
   { id; caption; panels = [ { title = body; x_label = ""; columns = []; rows = [] } ] }

@@ -4,6 +4,8 @@ open Repro_sim
 open Repro_consensus
 open Repro_ledger
 open Repro_shard
+module Probe = Repro_obs.Probe
+module Ev = Repro_obs.Event
 
 type coordination_mode = With_reference | Client_driven
 
@@ -55,8 +57,9 @@ type committee_ctx = {
       (* (txid, phase) pairs already executed — client retries after
          request loss make re-delivery possible, execution must be
          idempotent *)
-  parked : (int, Tx.op list * Types.request) Hashtbl.t;
-      (* wait-die: prepares waiting for a lock, retried on releases *)
+  parked : (int, Tx.op list * Types.request * float) Hashtbl.t;
+      (* wait-die: prepares waiting for a lock (with park time),
+         retried on releases *)
   prepared : (int, bool) Hashtbl.t;
       (* the shard observer's record of each prepare's quorum outcome —
          the evidence R's fallback sweep reads instead of guessing from
@@ -75,6 +78,8 @@ type tx_record = {
   legs_done : (int, unit) Hashtbl.t;
   mutable outcome : tx_outcome;
   mutable relaying : bool; (* false once a malicious client went silent *)
+  mutable prepare_started : float; (* -1 until the first prepare dispatch *)
+  mutable decided_at : float; (* -1 until the decision is reached *)
   on_done : tx_outcome -> unit;
 }
 
@@ -96,6 +101,7 @@ type t = {
   mutable leg_filter : (dst:int -> Coordination.op -> Network.verdict) option;
       (* adversarial hook over coordination legs (see set_leg_filter) *)
   mutable decisions : decision_event list; (* reverse chronological *)
+  mutable probe : Probe.t;
 }
 
 let ref_index t = t.cfg.shards
@@ -181,14 +187,20 @@ let finish_leg t txid shard =
   | Some rec_ ->
       Hashtbl.replace rec_.legs_done shard ();
       rec_.legs_left <- rec_.legs_left - 1;
+      if rec_.decided_at >= 0.0 then
+        Probe.observe t.probe "2pc.decision_leg_s" (Engine.now t.engine -. rec_.decided_at);
       if rec_.legs_left <= 0 then begin
         Hashtbl.remove t.inflight txid;
         Coordination.release t.registry ~txid;
         (match rec_.outcome with
         | Committed ->
             Metrics.commit t.metrics ~count:1;
-            Metrics.commit_latency t.metrics ~submitted:rec_.tx.Tx.submitted
-        | Aborted -> Metrics.abort t.metrics ~count:1);
+            Metrics.commit_latency t.metrics ~submitted:rec_.tx.Tx.submitted;
+            Probe.incr t.probe "2pc.committed"
+        | Aborted ->
+            Metrics.abort t.metrics ~count:1;
+            Probe.incr t.probe "2pc.aborted");
+        Probe.observe t.probe "2pc.tx_total_s" (Engine.now t.engine -. rec_.tx.Tx.submitted);
         rec_.on_done rec_.outcome
       end
 
@@ -199,6 +211,14 @@ let dispatch_decision t txid ok =
       if not rec_.decided then begin
         rec_.decided <- true;
         rec_.outcome <- (if ok then Committed else Aborted);
+        rec_.decided_at <- Engine.now t.engine;
+        if Probe.enabled t.probe then begin
+          Probe.incr t.probe
+            (if ok then "2pc.decided.commit" else "2pc.decided.abort");
+          Probe.instant t.probe ~time:(Engine.now t.engine) ~cat:"2pc" ~node:"coord"
+            ~args:[ ("txid", Ev.I txid); ("commit", Ev.S (string_of_bool ok)) ]
+            "decision"
+        end;
         rec_.legs_left <- List.length rec_.participant_shards;
         List.iter
           (fun shard ->
@@ -215,6 +235,12 @@ let dispatch_prepares t txid =
   match Hashtbl.find_opt t.inflight txid with
   | None -> ()
   | Some rec_ ->
+      if rec_.prepare_started < 0.0 then begin
+        rec_.prepare_started <- Engine.now t.engine;
+        Probe.incr t.probe "2pc.prepare_rounds";
+        Probe.instant t.probe ~time:(Engine.now t.engine) ~cat:"2pc" ~node:"coord"
+          "prepare_dispatch"
+      end;
       List.iter
         (fun shard ->
           let ops = Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard in
@@ -280,14 +306,17 @@ let record_prepare t ctx ~txid ~ok =
 let retry_parked t ctx =
   let waiting = Det.bindings ~compare:Int.compare ctx.parked in
   List.iter
-    (fun (txid, (ops, req)) ->
+    (fun (txid, (ops, req, parked_at)) ->
       match Executor.try_prepare ctx.state ~txid ops with
       | Ok () ->
           Hashtbl.remove ctx.parked txid;
+          Probe.incr t.probe "2pc.waitdie.retry_ok";
+          Probe.observe t.probe "2pc.waitdie.wait_s" (Engine.now t.engine -. parked_at);
           record_prepare t ctx ~txid ~ok:true;
           emit_vote t ctx req ~txid ~ok:true
       | Error (Executor.Insufficient _) ->
           Hashtbl.remove ctx.parked txid;
+          Probe.incr t.probe "2pc.vote_nok.insufficient";
           record_prepare t ctx ~txid ~ok:false;
           emit_vote t ctx req ~txid ~ok:false
       | Error (Executor.Lock_conflict _) -> ())
@@ -335,11 +364,18 @@ let execute_on_shard t ctx (req : Types.request) =
               record_prepare t ctx ~txid ~ok:true;
               emit_vote t ctx req ~txid ~ok:true
           | Error (Executor.Insufficient _) ->
+              Probe.incr t.probe "2pc.vote_nok.insufficient";
               record_prepare t ctx ~txid ~ok:false;
               emit_vote t ctx req ~txid ~ok:false
           | Error (Executor.Lock_conflict { holder; _ }) -> (
+              if Probe.enabled t.probe then
+                Probe.instant t.probe ~time:(Engine.now t.engine) ~cat:"2pc"
+                  ~node:("s" ^ string_of_int ctx.index)
+                  ~args:[ ("txid", Ev.I txid); ("holder", Ev.I holder) ]
+                  "lock_conflict";
               match t.cfg.concurrency with
               | Two_phase_locking ->
+                  Probe.incr t.probe "2pc.vote_nok.lock_conflict";
                   record_prepare t ctx ~txid ~ok:false;
                   emit_vote t ctx req ~txid ~ok:false
               | Wait_die ->
@@ -347,16 +383,21 @@ let execute_on_shard t ctx (req : Types.request) =
                     (* Older waits; a park timeout bounds the wait.  No
                        evidence is recorded while parked: the prepare is
                        still undecided. *)
-                    Hashtbl.replace ctx.parked txid (ops, req);
+                    Probe.incr t.probe "2pc.waitdie.parked";
+                    Hashtbl.replace ctx.parked txid (ops, req, Engine.now t.engine);
                     Engine.schedule t.engine ~delay:4.0 (fun () ->
                         match Hashtbl.find_opt ctx.parked txid with
-                        | Some (_, req) ->
+                        | Some (_, req, parked_at) ->
                             Hashtbl.remove ctx.parked txid;
+                            Probe.incr t.probe "2pc.waitdie.park_timeout";
+                            Probe.observe t.probe "2pc.waitdie.wait_s"
+                              (Engine.now t.engine -. parked_at);
                             record_prepare t ctx ~txid ~ok:false;
                             emit_vote t ctx req ~txid ~ok:false
                         | None -> ())
                   end
                   else begin
+                    Probe.incr t.probe "2pc.waitdie.died";
                     record_prepare t ctx ~txid ~ok:false;
                     emit_vote t ctx req ~txid ~ok:false
                   end))
@@ -406,6 +447,12 @@ let rec execute_on_reference t (req : Types.request) =
                           (fun () -> fallback_collect t txid)))
           | Reference.No_change | Reference.Now_committed | Reference.Now_aborted -> ())
       | Coordination.Vote { txid; shard; ok } -> (
+          (if Probe.enabled t.probe then
+             match Hashtbl.find_opt t.inflight txid with
+             | Some rec_ when rec_.prepare_started >= 0.0 && not rec_.decided ->
+                 Probe.observe t.probe "2pc.vote_leg_s"
+                   (Engine.now t.engine -. rec_.prepare_started)
+             | Some _ | None -> ());
           let event =
             if ok then Reference.Prepare_ok { shard } else Reference.Prepare_not_ok { shard }
           in
@@ -430,6 +477,10 @@ and fallback_collect t txid =
   match Hashtbl.find_opt t.inflight txid with
   | None -> ()
   | Some rec_ ->
+      Probe.incr t.probe "2pc.fallback_sweeps";
+      Probe.instant t.probe ~time:(Engine.now t.engine) ~cat:"2pc" ~node:"R"
+        ~args:[ ("txid", Ev.I txid) ]
+        "fallback_sweep";
       (if rec_.decided then
          List.iter
            (fun shard ->
@@ -483,6 +534,7 @@ let create cfg =
       rng = Rng.split_named (Engine.rng engine) "system";
       leg_filter = None;
       decisions = [];
+      probe = Probe.none;
     }
   in
   let make_committee index =
@@ -602,6 +654,8 @@ let submit t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
           legs_done = Hashtbl.create 4;
           outcome = Aborted;
           relaying = true;
+          prepare_started = -1.0;
+          decided_at = -1.0;
           on_done;
         };
       send_to_committee t ~committee:shard ~client:tx.Tx.client
@@ -617,6 +671,8 @@ let submit t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
           legs_done = Hashtbl.create 4;
           outcome = Aborted;
           relaying = not malicious_client;
+          prepare_started = -1.0;
+          decided_at = -1.0;
           on_done;
         }
       in
@@ -668,6 +724,11 @@ let stuck_locks t =
 
 let set_leg_filter t f = t.leg_filter <- f
 
+let set_probe t p =
+  t.probe <- p;
+  Network.set_probe t.network p;
+  Array.iter (fun ctx -> Pbft.set_probe ctx.pbft p) t.committees
+
 let crash_member t ~committee ~member = Node.crash t.committees.(committee).nodes.(member)
 
 let recover_member t ~committee ~member = Node.recover t.committees.(committee).nodes.(member)
@@ -712,15 +773,23 @@ let schedule_reshard t ~at ~strategy ~fetch_time =
   in
   Engine.schedule_at t.engine ~time:at (fun () ->
       let waves = plan_waves () in
-      let rec run_wave = function
-        | [] -> ()
+      let rec run_wave w = function
+        | [] ->
+            Probe.instant t.probe ~time:(Engine.now t.engine) ~cat:"epoch" ~node:"epoch"
+              "reshard_done"
         | wave :: rest ->
+            Probe.incr t.probe "epoch.reshard_waves";
+            if Probe.enabled t.probe then
+              Probe.span t.probe ~time:(Engine.now t.engine) ~dur:fetch_time ~cat:"epoch"
+                ~node:"epoch"
+                ~args:[ ("wave", Ev.I w); ("movers", Ev.I (List.length wave)) ]
+                "reshard_wave";
             List.iter Node.crash wave;
             Engine.schedule t.engine ~delay:fetch_time (fun () ->
                 List.iter Node.recover wave;
-                run_wave rest)
+                run_wave (w + 1) rest)
       in
-      run_wave waves)
+      run_wave 0 waves)
 
 let advance_epoch t ~at ~seed ~epoch ~strategy =
   let committees = Array.length t.committees in
@@ -761,10 +830,17 @@ let advance_epoch t ~at ~seed ~epoch ~strategy =
   in
   let waves = Assignment.transition_plan ~from_ ~to_ ~batch in
   Engine.schedule_at t.engine ~time:at (fun () ->
-      let rec run_wave = function
-        | [] -> ()
+      Probe.instant t.probe ~time:(Engine.now t.engine) ~cat:"epoch" ~node:"epoch"
+        ~args:[ ("epoch", Ev.I epoch); ("waves", Ev.I (List.length waves)) ]
+        "epoch_transition_start";
+      let rec run_wave w = function
+        | [] ->
+            Probe.instant t.probe ~time:(Engine.now t.engine) ~cat:"epoch" ~node:"epoch"
+              ~args:[ ("epoch", Ev.I epoch) ]
+              "epoch_transition_done"
         | wave :: rest ->
             let max_fetch = ref 1.0 in
+            let moved = ref 0 in
             List.iter
               (fun step ->
                 let nd = node_of_global step.Assignment.node in
@@ -772,11 +848,19 @@ let advance_epoch t ~at ~seed ~epoch ~strategy =
                    as pinned infrastructure and never transitions. *)
                 if Node.id nd mod t.cfg.committee_size <> 0 || strategy = `Swap_all then begin
                   Node.crash nd;
+                  Stdlib.incr moved;
                   let ft = fetch_time step in
                   if ft > !max_fetch then max_fetch := ft;
                   Engine.schedule t.engine ~delay:ft (fun () -> Node.recover nd)
                 end)
               wave;
-            Engine.schedule t.engine ~delay:!max_fetch (fun () -> run_wave rest)
+            Probe.incr t.probe "epoch.waves";
+            Probe.add t.probe "epoch.movers" !moved;
+            if Probe.enabled t.probe then
+              Probe.span t.probe ~time:(Engine.now t.engine) ~dur:!max_fetch ~cat:"epoch"
+                ~node:"epoch"
+                ~args:[ ("epoch", Ev.I epoch); ("wave", Ev.I w); ("movers", Ev.I !moved) ]
+                "epoch_wave";
+            Engine.schedule t.engine ~delay:!max_fetch (fun () -> run_wave (w + 1) rest)
       in
-      run_wave waves)
+      run_wave 0 waves)

@@ -103,6 +103,14 @@ val set_leg_filter :
     duplicated before it reaches consensus.  This is the cross-shard
     checker's fault-injection surface; [None] restores normal delivery. *)
 
+val set_probe : t -> Repro_obs.Probe.t -> unit
+(** Thread an observability probe through the whole system: 2PC leg
+    timing histograms ([2pc.vote_leg_s], [2pc.decision_leg_s],
+    [2pc.tx_total_s]), vote/abort cause counters ([2pc.vote_nok.*],
+    [2pc.waitdie.*]), fallback-sweep firings, epoch-transition wave
+    events, plus every committee's PBFT probe points and the shared
+    network's delivery/drop instrumentation.  Call before {!run}. *)
+
 val crash_member : t -> committee:int -> member:int -> unit
 (** Crash one replica of a committee ([shards t] addresses R).  Crashing
     member 0 — the observer that materializes state — stalls that

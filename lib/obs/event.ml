@@ -1,0 +1,22 @@
+(* A single trace event.  Times are *simulated* seconds (Engine.now), never
+   wall clock: the whole subsystem inherits the simulator's determinism, so
+   two runs of the same seed produce byte-identical traces.  [seq] breaks
+   ties between events carrying the same simulated timestamp and records
+   emission order within one trace. *)
+
+type arg = S of string | I of int | F of float
+
+type kind =
+  | Instant
+  | Span of { dur : float }
+  | Counter of { value : float }
+
+type t = {
+  seq : int;
+  time : float;
+  name : string;
+  cat : string;
+  node : string;
+  kind : kind;
+  args : (string * arg) list;
+}

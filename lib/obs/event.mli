@@ -1,0 +1,19 @@
+(** A single trace event, stamped with simulated time plus an emission
+    sequence number.  See DESIGN.md §13 for the event model. *)
+
+type arg = S of string | I of int | F of float
+
+type kind =
+  | Instant  (** a point in simulated time *)
+  | Span of { dur : float }  (** a closed interval starting at [time] *)
+  | Counter of { value : float }  (** a sampled series value *)
+
+type t = {
+  seq : int;  (** emission order within one trace; breaks timestamp ties *)
+  time : float;  (** simulated seconds (Engine.now), never wall clock *)
+  name : string;
+  cat : string;  (** coarse grouping: "pbft", "2pc", "net", "epoch", ... *)
+  node : string;  (** per-node scope, e.g. "r3" or "shard1/r0" *)
+  kind : kind;
+  args : (string * arg) list;
+}

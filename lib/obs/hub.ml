@@ -1,0 +1,57 @@
+(* Cross-domain collection point for per-run probes.
+
+   The parallel experiment runner fans datapoints across a domain pool, so
+   which worker executes a given run is scheduling-dependent.  Each run
+   asks the hub for a probe under a name derived deterministically from the
+   run's parameters (e.g. the memo key), records into its own private
+   Trace/Metrics pair, and the hub dumps everything in sorted-name order —
+   so the rendered artifact is a pure function of the set of runs, not of
+   worker scheduling.  Only the registry itself is locked; recording into a
+   run's trace stays lock-free on the run's own domain. *)
+
+open Repro_util
+
+type entry = { trace : Trace.t; metrics : Metrics.t; probe : Probe.t }
+
+type t = { mutex : Mutex.t; entries : (string, entry) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); entries = Hashtbl.create 32 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let probe t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some e -> e.probe
+      | None ->
+          let trace = Trace.create () and metrics = Metrics.create () in
+          let e = { trace; metrics; probe = Probe.make ~trace ~metrics } in
+          Hashtbl.replace t.entries name e;
+          e.probe)
+
+let names t =
+  locked t (fun () -> Det.keys ~compare:String.compare t.entries)
+
+let traces t =
+  locked t (fun () ->
+      List.map
+        (fun (name, e) -> (name, e.trace))
+        (Det.bindings ~compare:String.compare t.entries))
+
+let metrics t =
+  locked t (fun () ->
+      List.map
+        (fun (name, e) -> (name, e.metrics))
+        (Det.bindings ~compare:String.compare t.entries))
+
+let find_metrics t name =
+  locked t (fun () -> Option.map (fun e -> e.metrics) (Hashtbl.find_opt t.entries name))
+
+(* Counter-merge across every registry, in sorted-name order so merged
+   floats combine identically on every run. *)
+let merged_metrics t =
+  let into = Metrics.create () in
+  List.iter (fun (_, m) -> Metrics.merge ~into m) (metrics t);
+  into

@@ -1,0 +1,25 @@
+(** Cross-domain collection point for per-run probes.
+
+    Runs executing on pool workers request probes under deterministic names
+    (derived from run parameters, never from scheduling); dumps are sorted
+    by name, so artifacts are byte-identical across [-j] worker counts. *)
+
+type t
+
+val create : unit -> t
+
+val probe : t -> string -> Probe.t
+(** Get-or-create the probe registered under [name].  Idempotent: the same
+    name always returns the same probe, whichever domain asks first. *)
+
+val names : t -> string list
+
+val traces : t -> (string * Trace.t) list
+(** All (name, trace) pairs, sorted by name. *)
+
+val metrics : t -> (string * Metrics.t) list
+
+val find_metrics : t -> string -> Metrics.t option
+
+val merged_metrics : t -> Metrics.t
+(** All registries counter-merged in sorted-name order. *)

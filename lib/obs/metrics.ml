@@ -1,0 +1,126 @@
+(* Registry of named counters, gauges, and log-bucketed histograms.
+
+   Everything is keyed by string and dumped in sorted-name order via Det,
+   so a dump is a pure function of the recorded values — no hash-order
+   nondeterminism can leak into artifacts. *)
+
+open Repro_util
+
+type histogram = {
+  base : float;
+  buckets : (int, int ref) Hashtbl.t;
+  mutable zero : int; (* observations <= 0, which no log bucket covers *)
+  stats : Stats.t;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 32; gauges = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+
+let add t name n =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.counters name (ref n)
+
+let incr t name = add t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  List.map (fun (k, r) -> (k, !r)) (Det.bindings ~compare:String.compare t.counters)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let gauges t =
+  List.map (fun (k, r) -> (k, !r)) (Det.bindings ~compare:String.compare t.gauges)
+
+(* Index of the log bucket [base^i, base^(i+1)) containing [v > 0].  The
+   naive floor(log v / log base) misplaces exact powers (log 8 / log 2 =
+   2.999...96), so the candidate index is corrected against the actual
+   bucket bounds. *)
+let bucket_index ~base v =
+  let i = int_of_float (Float.floor (Float.log v /. Float.log base)) in
+  let lo = base ** float_of_int i in
+  if v < lo then i - 1 else if v >= lo *. base then i + 1 else i
+
+let default_base = 2.0
+
+let histogram t ~base name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = { base; buckets = Hashtbl.create 16; zero = 0; stats = Stats.create () } in
+      Hashtbl.replace t.histograms name h;
+      h
+
+let observe ?(base = default_base) t name v =
+  let h = histogram t ~base name in
+  Stats.add h.stats v;
+  if v > 0.0 then begin
+    let i = bucket_index ~base:h.base v in
+    match Hashtbl.find_opt h.buckets i with
+    | Some r -> Stdlib.incr r
+    | None -> Hashtbl.replace h.buckets i (ref 1)
+  end
+  else h.zero <- h.zero + 1
+
+let buckets t name =
+  match Hashtbl.find_opt t.histograms name with
+  | None -> []
+  | Some h -> List.map (fun (i, r) -> (i, !r)) (Det.bindings ~compare:Int.compare h.buckets)
+
+let histogram_stats t name =
+  Option.map (fun h -> h.stats) (Hashtbl.find_opt t.histograms name)
+
+let histogram_names t = Det.keys ~compare:String.compare t.histograms
+
+(* Counters sum; a gauge in [src] overwrites the same-named gauge in
+   [into] (a gauge is a last-write sample, not an accumulator); same-named
+   histograms must share a bucket base and merge exactly, samples
+   included. *)
+let merge ~into src =
+  List.iter (fun (k, n) -> add into k n) (counters src);
+  List.iter (fun (k, v) -> set_gauge into k v) (gauges src);
+  Det.iter ~compare:String.compare
+    (fun name (h : histogram) ->
+      let dst = histogram into ~base:h.base name in
+      Stats.merge ~into:dst.stats h.stats;
+      dst.zero <- dst.zero + h.zero;
+      Det.iter ~compare:Int.compare
+        (fun i r ->
+          match Hashtbl.find_opt dst.buckets i with
+          | Some d -> d := !d + !r
+          | None -> Hashtbl.replace dst.buckets i (ref !r))
+        h.buckets)
+    src.histograms
+
+let rows t =
+  let counter_rows = List.map (fun (k, n) -> [ k; "counter"; string_of_int n ]) (counters t) in
+  let gauge_rows = List.map (fun (k, v) -> [ k; "gauge"; Table.fnum v ]) (gauges t) in
+  let hist_rows =
+    List.map
+      (fun (name, h) ->
+        let s = h.stats in
+        [
+          name;
+          "histogram";
+          Printf.sprintf "n=%d mean=%s p50=%s p95=%s max=%s" (Stats.count s)
+            (Table.fnum (Stats.mean s))
+            (Table.fnum (Stats.percentile s 50.0))
+            (Table.fnum (Stats.percentile s 95.0))
+            (Table.fnum (Stats.max s));
+        ])
+      (Det.bindings ~compare:String.compare t.histograms)
+  in
+  counter_rows @ gauge_rows @ hist_rows

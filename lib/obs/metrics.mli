@@ -1,0 +1,45 @@
+(** Registry of named counters, gauges, and log-bucketed histograms.
+
+    All dump/iteration order is sorted by name (via {!Repro_util.Det}), so
+    rendered output is a pure function of the recorded values. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val counter : t -> string -> int
+(** Current value of a counter; 0 if never touched. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float option
+val gauges : t -> (string * float) list
+
+val observe : ?base:float -> t -> string -> float -> unit
+(** Record a sample into the named histogram.  Positive samples land in the
+    log bucket [base^i, base^(i+1)) (default base 2); samples <= 0 are
+    counted separately.  The first observation of a name fixes its base. *)
+
+val bucket_index : base:float -> float -> int
+(** [bucket_index ~base v] for [v > 0]: the [i] with
+    [base^i <= v < base^(i+1)], exact at representable bucket bounds. *)
+
+val buckets : t -> string -> (int * int) list
+(** Non-empty log buckets of a histogram as [(index, count)], sorted. *)
+
+val histogram_stats : t -> string -> Repro_util.Stats.t option
+(** Exact running stats (count/mean/percentiles) over all samples of a
+    histogram, including those <= 0. *)
+
+val histogram_names : t -> string list
+
+val merge : into:t -> t -> unit
+(** Counters sum; gauges take [src]'s value (last write wins); same-named
+    histograms must share a base and merge exactly, samples included. *)
+
+val rows : t -> string list list
+(** One [name; kind; value] row per metric, for {!Repro_util.Table.render}. *)

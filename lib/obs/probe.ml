@@ -1,0 +1,40 @@
+(* The capability handed to instrumented code.  [none] makes every emitter
+   a single branch on an immediate, so an uninstrumented run pays one
+   compare per probe point and allocates nothing; hot call sites that would
+   otherwise build an args list guard on [enabled] first. *)
+
+type active = { trace : Trace.t; metrics : Metrics.t }
+
+type t = active option
+
+let none : t = None
+
+let make ~trace ~metrics = Some { trace; metrics }
+
+let enabled = function None -> false | Some _ -> true
+
+let trace_of = function None -> None | Some a -> Some a.trace
+
+let metrics_of = function None -> None | Some a -> Some a.metrics
+
+let instant p ~time ~cat ~node ?args name =
+  match p with
+  | None -> ()
+  | Some a -> Trace.instant a.trace ~time ~cat ~node ?args name
+
+let span p ~time ~dur ~cat ~node ?args name =
+  match p with
+  | None -> ()
+  | Some a -> Trace.span a.trace ~time ~dur ~cat ~node ?args name
+
+let counter_sample p ~time ~node name value =
+  match p with None -> () | Some a -> Trace.counter a.trace ~time ~node name value
+
+let incr p name = match p with None -> () | Some a -> Metrics.incr a.metrics name
+
+let add p name n = match p with None -> () | Some a -> Metrics.add a.metrics name n
+
+let observe p name v = match p with None -> () | Some a -> Metrics.observe a.metrics name v
+
+let set_gauge p name v =
+  match p with None -> () | Some a -> Metrics.set_gauge a.metrics name v

@@ -1,0 +1,39 @@
+(** Observability capability threaded through instrumented code.
+
+    An unset probe ({!none}) turns every emitter into a single branch on an
+    immediate — no allocation, no recording — so instrumentation can live
+    permanently in hot paths.  Call sites that build argument lists should
+    guard on {!enabled} to skip even that construction when disabled. *)
+
+type t
+
+val none : t
+(** The disabled probe: every emitter is a no-op costing one branch. *)
+
+val make : trace:Trace.t -> metrics:Metrics.t -> t
+
+val enabled : t -> bool
+
+val trace_of : t -> Trace.t option
+val metrics_of : t -> Metrics.t option
+
+val instant :
+  t -> time:float -> cat:string -> node:string -> ?args:(string * Event.arg) list -> string -> unit
+
+val span :
+  t ->
+  time:float ->
+  dur:float ->
+  cat:string ->
+  node:string ->
+  ?args:(string * Event.arg) list ->
+  string ->
+  unit
+
+val counter_sample : t -> time:float -> node:string -> string -> float -> unit
+(** Sample a counter series into the trace (Chrome "C" events). *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val observe : t -> string -> float -> unit
+val set_gauge : t -> string -> float -> unit

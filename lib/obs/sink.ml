@@ -1,0 +1,203 @@
+(* Renderers for recorded traces and metrics.
+
+   All output is assembled in sorted-name order from data that is itself a
+   pure function of (seed, schedule), so a rendered artifact is
+   byte-identical across runs and across `-j` worker counts.  This module
+   and Repro_util.Table are the only lib/ modules allowed to print
+   directly (ahl_lint rule R6). *)
+
+open Repro_util
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Integral values render without an exponent so timestamps stay readable;
+   everything else round-trips at full precision. *)
+let json_num x =
+  if Float.is_nan x then "null"
+  else if x = Float.infinity then "1e999"
+  else if x = Float.neg_infinity then "-1e999"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let json_arg = function
+  | Event.S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Event.I n -> string_of_int n
+  | Event.F x -> json_num x
+
+let json_args args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (json_arg v)) args)
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON (chrome://tracing, Perfetto)                *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_by_name xs =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+let nodes_of trace =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (e : Event.t) -> Hashtbl.replace tbl e.Event.node ()) (Trace.events trace);
+  Det.keys ~compare:String.compare tbl
+
+(* Simulated seconds -> integer-friendly microseconds. *)
+let ts time = json_num (time *. 1e6)
+
+let chrome_event ~pid ~tid (e : Event.t) =
+  let common =
+    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%s"
+      (json_escape e.Event.name) (json_escape e.Event.cat) pid tid (ts e.Event.time)
+  in
+  match e.Event.kind with
+  | Event.Instant ->
+      Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"t\",\"args\":%s}" common (json_args e.Event.args)
+  | Event.Span { dur } ->
+      Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%s,\"args\":%s}" common (ts dur)
+        (json_args e.Event.args)
+  | Event.Counter { value } ->
+      Printf.sprintf "{%s,\"ph\":\"C\",\"args\":{\"value\":%s}}" common (json_num value)
+
+let chrome_json traces =
+  let traces = sorted_by_name traces in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf "\n";
+    Buffer.add_string buf line
+  in
+  List.iteri
+    (fun i (name, trace) ->
+      let pid = i + 1 in
+      let nodes = nodes_of trace in
+      let tid_of =
+        let tbl = Hashtbl.create 16 in
+        List.iteri (fun j n -> Hashtbl.replace tbl n (j + 1)) nodes;
+        fun n -> Option.value (Hashtbl.find_opt tbl n) ~default:0
+      in
+      emit
+        (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           pid (json_escape name));
+      List.iter
+        (fun n ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+               pid (tid_of n) (json_escape n)))
+        nodes;
+      List.iter
+        (fun (e : Event.t) -> emit (chrome_event ~pid ~tid:(tid_of e.Event.node) e))
+        (Trace.events trace))
+    traces;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSONL: one event object per line, for ad-hoc slicing with jq        *)
+(* ------------------------------------------------------------------ *)
+
+let jsonl traces =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, trace) ->
+      List.iter
+        (fun (e : Event.t) ->
+          let kind, extra =
+            match e.Event.kind with
+            | Event.Instant -> ("instant", "")
+            | Event.Span { dur } -> ("span", Printf.sprintf ",\"dur\":%s" (json_num dur))
+            | Event.Counter { value } ->
+                ("counter", Printf.sprintf ",\"value\":%s" (json_num value))
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"trace\":\"%s\",\"seq\":%d,\"time\":%s,\"node\":\"%s\",\"cat\":\"%s\",\"kind\":\"%s\",\"name\":\"%s\"%s,\"args\":%s}\n"
+               (json_escape name) e.Event.seq (json_num e.Event.time)
+               (json_escape e.Event.node) (json_escape e.Event.cat) kind
+               (json_escape e.Event.name) extra (json_args e.Event.args)))
+        (Trace.events trace))
+    (sorted_by_name traces);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Metrics artifacts: text summary and a flat JSON object              *)
+(* ------------------------------------------------------------------ *)
+
+let summary metrics =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      match Metrics.rows m with
+      | [] -> ()
+      | rows ->
+          Buffer.add_string buf (Printf.sprintf "== %s ==\n" name);
+          Buffer.add_string buf (Table.render ~header:[ "metric"; "kind"; "value" ] ~rows);
+          Buffer.add_char buf '\n')
+    (sorted_by_name metrics);
+  Buffer.contents buf
+
+let metrics_json metrics =
+  let one (name, m) =
+    let counters =
+      List.map (fun (k, n) -> Printf.sprintf "\"%s\":%d" (json_escape k) n) (Metrics.counters m)
+    in
+    let gauges =
+      List.map
+        (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (json_num v))
+        (Metrics.gauges m)
+    in
+    let hists =
+      List.map
+        (fun k ->
+          let stats = Metrics.histogram_stats m k in
+          let count, mean, p50, p95, p99, mx =
+            match stats with
+            | None -> (0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            | Some s ->
+                ( Stats.count s,
+                  Stats.mean s,
+                  Stats.percentile s 50.0,
+                  Stats.percentile s 95.0,
+                  Stats.percentile s 99.0,
+                  Stats.max s )
+          in
+          let buckets =
+            String.concat ","
+              (List.map (fun (i, n) -> Printf.sprintf "[%d,%d]" i n) (Metrics.buckets m k))
+          in
+          Printf.sprintf
+            "\"%s\":{\"count\":%d,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"max\":%s,\"buckets\":[%s]}"
+            (json_escape k) count (json_num mean) (json_num p50) (json_num p95) (json_num p99)
+            (json_num mx) buckets)
+        (Metrics.histogram_names m)
+    in
+    Printf.sprintf "\"%s\":{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}"
+      (json_escape name) (String.concat "," counters) (String.concat "," gauges)
+      (String.concat "," hists)
+  in
+  "{" ^ String.concat "," (List.map one (sorted_by_name metrics)) ^ "}\n"
+
+let save ~path contents =
+  match Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents) with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let print_summary metrics = print_string (summary metrics)

@@ -1,0 +1,25 @@
+(* Append-only event recorder.  One trace per instrumented run; a run is
+   single-domain, so no locking here — cross-domain aggregation happens in
+   Hub, which hands each run its own trace. *)
+
+type t = { mutable rev_events : Event.t list; mutable next_seq : int }
+
+let create () = { rev_events = []; next_seq = 0 }
+
+let record t ~time ~name ~cat ~node ~kind ~args =
+  let e = { Event.seq = t.next_seq; time; name; cat; node; kind; args } in
+  t.next_seq <- t.next_seq + 1;
+  t.rev_events <- e :: t.rev_events
+
+let instant t ~time ~cat ~node ?(args = []) name =
+  record t ~time ~name ~cat ~node ~kind:Event.Instant ~args
+
+let span t ~time ~dur ~cat ~node ?(args = []) name =
+  record t ~time ~name ~cat ~node ~kind:(Event.Span { dur }) ~args
+
+let counter t ~time ~node name value =
+  record t ~time ~name ~cat:"counter" ~node ~kind:(Event.Counter { value }) ~args:[]
+
+let events t = List.rev t.rev_events
+
+let length t = t.next_seq

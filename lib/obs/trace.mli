@@ -1,0 +1,32 @@
+(** Append-only recorder of {!Event.t}s for one instrumented run.
+
+    Events are stamped with the caller-supplied *simulated* time and an
+    internal sequence number; [events] returns them in emission order. *)
+
+type t
+
+val create : unit -> t
+
+val instant :
+  t -> time:float -> cat:string -> node:string -> ?args:(string * Event.arg) list -> string -> unit
+(** [instant t ~time ~cat ~node name] records a point event. *)
+
+val span :
+  t ->
+  time:float ->
+  dur:float ->
+  cat:string ->
+  node:string ->
+  ?args:(string * Event.arg) list ->
+  string ->
+  unit
+(** [span t ~time ~dur ~cat ~node name] records a closed interval
+    [\[time, time +. dur\]]. *)
+
+val counter : t -> time:float -> node:string -> string -> float -> unit
+(** [counter t ~time ~node name v] samples a counter series. *)
+
+val events : t -> Event.t list
+(** All recorded events, in emission (= seq) order. *)
+
+val length : t -> int

@@ -20,7 +20,10 @@ let create_with_bin engine ~bin =
     latencies = Stats.create ();
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
-    series = Stats.Series.create ~bin;
+    series =
+      (match Stats.Series.create ~bin with
+      | Ok s -> s
+      | Error msg -> Sim_error.invalid "Metrics.create_with_bin: %s" msg);
   }
 
 let create engine = create_with_bin engine ~bin:1.0

@@ -16,6 +16,7 @@ type 'msg t = {
   mutable delivered : int;
   mutable net_dropped : int;
   mutable inbox_dropped : int;
+  mutable probe : Repro_obs.Probe.t;
 }
 
 let create engine ~topology =
@@ -29,6 +30,7 @@ let create engine ~topology =
     delivered = 0;
     net_dropped = 0;
     inbox_dropped = 0;
+    probe = Repro_obs.Probe.none;
   }
 
 let register_in_region t node ~region =
@@ -54,7 +56,9 @@ let transmit t ~src_id ~src_region ~departure ~dst ~channel ~bytes msg =
         | Some f -> f ~src:src_id ~dst msg
       in
       match decide () with
-      | Drop -> t.net_dropped <- t.net_dropped + 1
+      | Drop ->
+          t.net_dropped <- t.net_dropped + 1;
+          Repro_obs.Probe.incr t.probe "net.dropped.filter"
       | (Deliver | Delay _ | Duplicate _) as v ->
           let extra, copies, spacing =
             match v with
@@ -69,8 +73,15 @@ let transmit t ~src_id ~src_region ~departure ~dst ~channel ~bytes msg =
             Engine.schedule_at t.engine
               ~time:(arrival +. (spacing *. float_of_int i))
               (fun () ->
-                if Node.deliver dst_node channel msg then t.delivered <- t.delivered + 1
-                else t.inbox_dropped <- t.inbox_dropped + 1)
+                if Node.deliver dst_node channel msg then begin
+                  t.delivered <- t.delivered + 1;
+                  Repro_obs.Probe.observe t.probe "net.delivery_s"
+                    (Engine.now t.engine -. departure)
+                end
+                else begin
+                  t.inbox_dropped <- t.inbox_dropped + 1;
+                  Repro_obs.Probe.incr t.probe "net.dropped.inbox"
+                end)
           done)
 
 let send t ~src ~dst ~channel ~bytes msg =
@@ -88,6 +99,8 @@ let send_external t ~src_region ~dst ~channel ~bytes msg =
 
 let broadcast t ~src ~dsts ~channel ~bytes msg =
   List.iter (fun dst -> if dst <> Node.id src then send t ~src ~dst ~channel ~bytes msg) dsts
+
+let set_probe t p = t.probe <- p
 
 let set_filter t f = t.filter <- Some f
 

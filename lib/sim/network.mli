@@ -42,6 +42,12 @@ val broadcast :
   'msg t -> src:'msg Node.t -> dsts:int list -> channel:Inbox.channel -> bytes:int -> 'msg -> unit
 (** Send to every id in [dsts] except the source itself. *)
 
+val set_probe : 'msg t -> Repro_obs.Probe.t -> unit
+(** Install an observability probe (default {!Repro_obs.Probe.none}):
+    records a delivery-latency histogram ([net.delivery_s], departure to
+    arrival including serialization and fault-injected delay) and drop
+    counters split by cause ([net.dropped.filter] / [net.dropped.inbox]). *)
+
 val set_filter : 'msg t -> (src:int -> dst:int -> 'msg -> verdict) -> unit
 (** Install a fault-injection filter consulted on every send ([src = -1]
     for external senders). *)

@@ -44,6 +44,35 @@ let max t = if t.count = 0 then 0.0 else t.max_v
 
 let total t = t.total
 
+(* Chan et al. parallel-variance combine; samples concatenate so percentile
+   queries over the merged accumulator stay exact. *)
+let merge ~into src =
+  if src.count > 0 then begin
+    if into.count = 0 then begin
+      into.count <- src.count;
+      into.mean <- src.mean;
+      into.m2 <- src.m2;
+      into.min_v <- src.min_v;
+      into.max_v <- src.max_v;
+      into.total <- src.total;
+      into.samples <- src.samples;
+      into.sorted <- None
+    end
+    else begin
+      let n1 = float_of_int into.count and n2 = float_of_int src.count in
+      let delta = src.mean -. into.mean in
+      let n = n1 +. n2 in
+      into.m2 <- into.m2 +. src.m2 +. (delta *. delta *. n1 *. n2 /. n);
+      into.mean <- into.mean +. (delta *. n2 /. n);
+      into.count <- into.count + src.count;
+      if src.min_v < into.min_v then into.min_v <- src.min_v;
+      if src.max_v > into.max_v then into.max_v <- src.max_v;
+      into.total <- into.total +. src.total;
+      into.samples <- List.rev_append src.samples into.samples;
+      into.sorted <- None
+    end
+  end
+
 let percentile t p =
   if t.count = 0 then 0.0
   else begin
@@ -66,8 +95,8 @@ module Series = struct
   type s = { bin : float; table : (int, float) Hashtbl.t }
 
   let create ~bin =
-    if bin <= 0.0 then invalid_arg "Series.create: bin must be positive";
-    { bin; table = Hashtbl.create 64 }
+    if bin <= 0.0 then Error "Series.create: bin must be positive"
+    else Ok { bin; table = Hashtbl.create 64 }
 
   let record s time weight =
     let idx = int_of_float (Float.floor (time /. s.bin)) in

@@ -27,14 +27,18 @@ val percentile : t -> float -> float
 
 val total : t -> float
 
+val merge : into:t -> t -> unit
+(** Combine [src] into [into] (parallel Welford merge); retained samples
+    concatenate, so percentile queries over the result stay exact. *)
+
 (** Fixed-width time-series binning, e.g. committed transactions per second
     over the run for the Figure 12 throughput-over-time plot. *)
 module Series : sig
   type s
 
-  val create : bin:float -> s
+  val create : bin:float -> (s, string) result
   (** [create ~bin] accumulates events into bins of width [bin] (simulated
-      seconds). *)
+      seconds); [Error] when [bin <= 0]. *)
 
   val record : s -> float -> float -> unit
   (** [record s time weight] adds [weight] to the bin containing [time]. *)

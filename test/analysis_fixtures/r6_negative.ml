@@ -1,0 +1,7 @@
+(* R6 fixture: formatting without console output; must stay quiet. *)
+
+let render x = Printf.sprintf "x = %d" x
+
+let log buf s = Buffer.add_string buf s
+
+let to_chan oc s = output_string oc s

@@ -1,0 +1,11 @@
+(* R6 fixture: direct console printing from library code; five findings. *)
+
+let debug x = Printf.printf "x = %d\n" x
+
+let warn msg = Printf.eprintf "warning: %s\n" msg
+
+let shout s = print_endline s
+
+let put s = print_string s
+
+let complain s = prerr_endline s

@@ -132,6 +132,32 @@ let test_r5_scope_predicate () =
   Alcotest.(check bool) "sizing allowlisted" false (Lint_rules.in_r5_scope "lib/shard/sizing.ml");
   Alcotest.(check bool) "sim out of scope" false (Lint_rules.in_r5_scope "lib/sim/engine.ml")
 
+(* --- R6: console hygiene -------------------------------------------- *)
+
+let test_r6_positive_in_scope () =
+  let fs = check_fixture ~logical:"lib/core" "r6_positive.ml" in
+  Alcotest.(check int) "five R6 findings" 5 (count Lint_types.R6 fs);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "R6 is an error" "error"
+        (Lint_types.severity_id f.Lint_types.severity))
+    (active fs)
+
+let test_r6_out_of_scope () =
+  let fs = check_fixture ~logical:"bin" "r6_positive.ml" in
+  Alcotest.(check int) "quiet outside lib" 0 (List.length (active fs))
+
+let test_r6_negative () =
+  let fs = check_fixture ~logical:"lib/core" "r6_negative.ml" in
+  Alcotest.(check int) "sprintf/Buffer/channels pass" 0 (List.length (active fs))
+
+let test_r6_scope_predicate () =
+  Alcotest.(check bool) "consensus in scope" true (Lint_rules.in_r6_scope "lib/consensus/pbft.ml");
+  Alcotest.(check bool) "obs library in scope" true (Lint_rules.in_r6_scope "lib/obs/metrics.ml");
+  Alcotest.(check bool) "sink allowlisted" false (Lint_rules.in_r6_scope "lib/obs/sink.ml");
+  Alcotest.(check bool) "table allowlisted" false (Lint_rules.in_r6_scope "lib/util/table.ml");
+  Alcotest.(check bool) "bench out of scope" false (Lint_rules.in_r6_scope "bench/main.ml")
+
 (* --- R4: interface coverage (whole-tree scan) ----------------------- *)
 
 let test_r4_scan () =
@@ -190,9 +216,10 @@ let test_baseline_exceeded () =
       Alcotest.(check int) "growth reports the whole group" 2 (List.length remaining))
 
 let test_baseline_rejects_r1_r2 () =
-  with_baseline "R1 lib/sim/engine.ml 1\nR2 lib/consensus/pbft.ml 3\n" (fun b ->
+  with_baseline "R1 lib/sim/engine.ml 1\nR2 lib/consensus/pbft.ml 3\nR6 lib/core/results.ml 1\n"
+    (fun b ->
       let remaining = Lint.apply_baseline ~baseline:b [] in
-      Alcotest.(check int) "both entries rejected" 2 (List.length remaining);
+      Alcotest.(check int) "all three entries rejected" 3 (List.length remaining);
       List.iter
         (fun f ->
           Alcotest.(check string) "rejection is an error" "error"
@@ -243,12 +270,19 @@ let () =
           Alcotest.test_case "negative fixture quiet" `Quick test_r5_negative;
           Alcotest.test_case "scope predicate" `Quick test_r5_scope_predicate;
         ] );
+      ( "r6-console",
+        [
+          Alcotest.test_case "positive fixture fires in scope" `Quick test_r6_positive_in_scope;
+          Alcotest.test_case "quiet outside lib" `Quick test_r6_out_of_scope;
+          Alcotest.test_case "negative fixture quiet" `Quick test_r6_negative;
+          Alcotest.test_case "scope predicate" `Quick test_r6_scope_predicate;
+        ] );
       ("r4-interfaces", [ Alcotest.test_case "tree scan" `Quick test_r4_scan ]);
       ( "baseline",
         [
           Alcotest.test_case "within allowance" `Quick test_baseline_within_allowance;
           Alcotest.test_case "exceeded reports group" `Quick test_baseline_exceeded;
-          Alcotest.test_case "R1/R2 never baselined" `Quick test_baseline_rejects_r1_r2;
+          Alcotest.test_case "R1/R2/R6 never baselined" `Quick test_baseline_rejects_r1_r2;
           Alcotest.test_case "missing file is empty" `Quick test_baseline_missing_file_is_empty;
         ] );
     ]

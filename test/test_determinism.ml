@@ -41,20 +41,31 @@ let test_run_produces_work () =
   Alcotest.(check bool) "committed transactions" true (r.Harness.committed > 0)
 
 (* The parallel runner's contract: a figure rendered with 4 worker domains
-   is bit-for-bit the figure rendered sequentially.  Caches are dropped
-   between runs so both actually recompute every datapoint. *)
+   is bit-for-bit the figure rendered sequentially — and so are the trace
+   and metrics artifacts an installed observability hub records while it
+   runs.  Caches are dropped between runs so both actually recompute every
+   datapoint. *)
 let test_parallel_join_bit_identical () =
   let open Repro_core in
   let render jobs =
     Experiment.set_jobs jobs;
     Experiment.reset_caches ();
-    Results.render (Experiment.fig10 ~quick:true ())
+    let hub = Repro_obs.Hub.create () in
+    Experiment.set_hub (Some hub);
+    let rendered = Results.render (Experiment.fig10 ~quick:true ()) in
+    Experiment.set_hub None;
+    ( rendered,
+      Repro_obs.Sink.chrome_json (Repro_obs.Hub.traces hub),
+      Repro_obs.Sink.metrics_json (Repro_obs.Hub.metrics hub) )
   in
-  let sequential = render 1 in
-  let parallel = render 4 in
+  let sequential, trace1, metrics1 = render 1 in
+  let parallel, trace4, metrics4 = render 4 in
   Experiment.set_jobs 1 (* join the 4 worker domains *);
   Alcotest.(check string) "jobs=4 output equals jobs=1 output" sequential parallel;
-  Alcotest.(check bool) "figure is non-trivial" true (String.length sequential > 200)
+  Alcotest.(check bool) "figure is non-trivial" true (String.length sequential > 200);
+  Alcotest.(check bool) "jobs=4 trace is byte-identical" true (String.equal trace1 trace4);
+  Alcotest.(check bool) "jobs=4 metrics are byte-identical" true (String.equal metrics1 metrics4);
+  Alcotest.(check bool) "trace is non-trivial" true (String.length trace1 > 10_000)
 
 let () =
   Alcotest.run "determinism"

@@ -1,0 +1,262 @@
+(* Unit tests for the observability layer: metrics bucketing and merge,
+   probe capability semantics, hub registration, and well-formedness of
+   the Chrome trace-event JSON the sinks emit. *)
+
+open Repro_obs
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- Metrics: histogram bucket edges -------------------------------- *)
+
+let test_bucket_index_edges () =
+  let i = Alcotest.(check int) in
+  (* Representable powers of the base land exactly on their bucket's
+     lower edge. *)
+  i "1.0 in bucket 0" 0 (Metrics.bucket_index ~base:2.0 1.0);
+  i "2.0 opens bucket 1" 1 (Metrics.bucket_index ~base:2.0 2.0);
+  i "just under 2.0 stays in 0" 0 (Metrics.bucket_index ~base:2.0 1.9999999999);
+  i "4.0 opens bucket 2" 2 (Metrics.bucket_index ~base:2.0 4.0);
+  i "1024 opens bucket 10" 10 (Metrics.bucket_index ~base:2.0 1024.0);
+  i "0.5 in bucket -1" (-1) (Metrics.bucket_index ~base:2.0 0.5);
+  i "0.25 in bucket -2" (-2) (Metrics.bucket_index ~base:2.0 0.25);
+  i "base 10: 1.0" 0 (Metrics.bucket_index ~base:10.0 1.0);
+  i "base 10: 10.0" 1 (Metrics.bucket_index ~base:10.0 10.0);
+  i "base 10: 99.9" 1 (Metrics.bucket_index ~base:10.0 99.9);
+  i "base 10: 0.01" (-2) (Metrics.bucket_index ~base:10.0 0.01)
+
+let test_histogram_observe_and_buckets () =
+  let m = Metrics.create () in
+  Metrics.observe m "lat" 1.0;
+  Metrics.observe m "lat" 1.5;
+  Metrics.observe m "lat" 2.0;
+  Metrics.observe m "lat" 0.0;
+  (* nonpositive: counted, not bucketed *)
+  Alcotest.(check (list (pair int int)))
+    "two samples in bucket 0, one in bucket 1"
+    [ (0, 2); (1, 1) ]
+    (Metrics.buckets m "lat");
+  match Metrics.histogram_stats m "lat" with
+  | None -> Alcotest.fail "histogram stats missing"
+  | Some s ->
+      Alcotest.(check int) "stats count all four samples" 4 (Repro_util.Stats.count s);
+      Alcotest.(check (list string)) "histogram listed" [ "lat" ] (Metrics.histogram_names m)
+
+(* --- Metrics: merge -------------------------------------------------- *)
+
+let test_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a "c";
+  Metrics.add a "c" 2;
+  Metrics.incr b "c";
+  Metrics.incr b "only-b";
+  Metrics.set_gauge a "g" 1.0;
+  Metrics.set_gauge b "g" 9.0;
+  Metrics.observe a "h" 1.0;
+  Metrics.observe b "h" 4.0;
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "counters sum" 4 (Metrics.counter a "c");
+  Alcotest.(check int) "src-only counter copied" 1 (Metrics.counter a "only-b");
+  Alcotest.(check int) "untouched counter reads 0" 0 (Metrics.counter a "nope");
+  (match Metrics.gauge a "g" with
+  | Some v -> Alcotest.(check (float 0.0)) "gauge: last write wins" 9.0 v
+  | None -> Alcotest.fail "gauge missing after merge");
+  Alcotest.(check (list (pair int int)))
+    "histograms merge bucket-exactly"
+    [ (0, 1); (2, 1) ]
+    (Metrics.buckets a "h")
+
+(* --- Probe: capability semantics ------------------------------------- *)
+
+let test_probe_disabled_and_enabled () =
+  Alcotest.(check bool) "none is disabled" false (Probe.enabled Probe.none);
+  Alcotest.(check bool) "none has no trace" true (Option.is_none (Probe.trace_of Probe.none));
+  Alcotest.(check bool) "none has no metrics" true (Option.is_none (Probe.metrics_of Probe.none));
+  (* Disabled emitters are no-ops. *)
+  Probe.incr Probe.none "c";
+  Probe.instant Probe.none ~time:0.0 ~cat:"t" ~node:"n" "e";
+  let trace = Trace.create () and metrics = Metrics.create () in
+  let p = Probe.make ~trace ~metrics in
+  Alcotest.(check bool) "made probe is enabled" true (Probe.enabled p);
+  Probe.incr p "c";
+  Probe.add p "c" 4;
+  Probe.observe p "h" 0.5;
+  Probe.set_gauge p "g" 2.0;
+  Probe.instant p ~time:1.0 ~cat:"t" ~node:"n" "e";
+  Probe.span p ~time:1.0 ~dur:0.5 ~cat:"t" ~node:"n" "s";
+  Probe.counter_sample p ~time:2.0 ~node:"n" "depth" 3.0;
+  (match Probe.trace_of p with
+  | Some t -> Alcotest.(check int) "three trace events" 3 (Trace.length t)
+  | None -> Alcotest.fail "enabled probe lost its trace");
+  match Probe.metrics_of p with
+  | Some m -> Alcotest.(check int) "counter went through" 5 (Metrics.counter m "c")
+  | None -> Alcotest.fail "enabled probe lost its metrics"
+
+(* --- Hub: idempotent registration, sorted dumps ---------------------- *)
+
+let test_hub () =
+  let hub = Hub.create () in
+  let p1 = Hub.probe hub "b-run" in
+  let p2 = Hub.probe hub "b-run" in
+  let pa = Hub.probe hub "a-run" in
+  Probe.incr p1 "c";
+  Probe.incr p2 "c";
+  Probe.incr pa "c";
+  Alcotest.(check (list string)) "names sorted" [ "a-run"; "b-run" ] (Hub.names hub);
+  (match Hub.find_metrics hub "b-run" with
+  | Some m -> Alcotest.(check int) "same name, same registry" 2 (Metrics.counter m "c")
+  | None -> Alcotest.fail "registered name not found");
+  Alcotest.(check bool) "unknown name absent" true (Option.is_none (Hub.find_metrics hub "zzz"));
+  Alcotest.(check int) "merged counters sum across runs" 3
+    (Metrics.counter (Hub.merged_metrics hub) "c");
+  Alcotest.(check int) "traces keyed like names" 2 (List.length (Hub.traces hub))
+
+(* --- Sinks: Chrome JSON well-formedness ------------------------------ *)
+
+(* Minimal JSON recognizer: objects/arrays/strings with escapes, numbers,
+   true/false/null.  Enough to reject any unbalanced or unquoted output. *)
+let json_ok s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with Some (' ' | '\n' | '\t' | '\r') -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c = if peek () = Some c then advance () else raise Exit in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string ()
+    | Some ('t' | 'f' | 'n') -> literal ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise Exit
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); members ()
+        | Some '}' -> advance ()
+        | _ -> raise Exit
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); elements ()
+        | Some ']' -> advance ()
+        | _ -> raise Exit
+      in
+      elements ()
+  and string () =
+    expect '"';
+    let rec chars () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with Some _ -> advance () | None -> raise Exit);
+          chars ()
+      | Some _ -> advance (); chars ()
+      | None -> raise Exit
+    in
+    chars ()
+  and literal () =
+    List.iter
+      (fun w ->
+        if !pos + String.length w <= n && String.equal (String.sub s !pos (String.length w)) w
+        then pos := !pos + String.length w)
+      [ "true"; "false"; "null" ];
+    ()
+  and number () =
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    if not (match peek () with Some c -> num_char c | None -> false) then raise Exit;
+    let rec go () = match peek () with Some c when num_char c -> advance (); go () | _ -> () in
+    go ()
+  in
+  match
+    value ();
+    skip_ws ()
+  with
+  | () -> !pos = n || String.trim (String.sub s !pos (n - !pos)) = ""
+  | exception Exit -> false
+
+let sample_traces () =
+  let t = Trace.create () in
+  Trace.instant t ~time:0.25 ~cat:"pbft" ~node:"r0"
+    ~args:[ ("view", Event.I 1); ("why", Event.S "time\"out"); ("lat", Event.F 0.5) ]
+    "view_change";
+  Trace.span t ~time:1.0 ~dur:0.5 ~cat:"2pc" ~node:"coord" "prepare";
+  Trace.counter t ~time:2.0 ~node:"r1" "inbox_depth" 3.0;
+  [ ("run-a", t); ("run-b", Trace.create ()) ]
+
+let test_chrome_json_well_formed () =
+  let named = sample_traces () in
+  let js = Sink.chrome_json named in
+  Alcotest.(check bool) "chrome trace parses as JSON" true (json_ok js);
+  Alcotest.(check bool) "has a span" true (contains js "\"ph\":\"X\"");
+  Alcotest.(check bool) "has an instant" true (contains js "\"ph\":\"i\"");
+  Alcotest.(check bool) "has a counter" true (contains js "\"ph\":\"C\"");
+  Alcotest.(check bool) "names the processes" true (contains js "process_name");
+  Alcotest.(check bool) "timestamps are microseconds" true (contains js "\"ts\":250000");
+  Alcotest.(check bool) "escapes embedded quotes" true (contains js "time\\\"out");
+  (* Every JSONL line parses too. *)
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' (Sink.jsonl named))
+  in
+  Alcotest.(check bool) "jsonl nonempty" true (lines <> []);
+  List.iter
+    (fun l -> Alcotest.(check bool) ("jsonl line parses: " ^ l) true (json_ok l))
+    lines
+
+let test_metrics_sinks () =
+  let m = Metrics.create () in
+  Metrics.incr m "2pc.committed";
+  Metrics.set_gauge m "net.sent" 42.0;
+  Metrics.observe m "lat" 0.125;
+  let named = [ ("run", m) ] in
+  Alcotest.(check bool) "metrics json parses" true (json_ok (Sink.metrics_json named));
+  let text = Sink.summary named in
+  Alcotest.(check bool) "summary names the counter" true (contains text "2pc.committed");
+  Alcotest.(check bool) "summary names the histogram" true (contains text "lat")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket index edges" `Quick test_bucket_index_edges;
+          Alcotest.test_case "observe and buckets" `Quick test_histogram_observe_and_buckets;
+          Alcotest.test_case "merge" `Quick test_merge;
+        ] );
+      ( "probe",
+        [ Alcotest.test_case "disabled vs enabled" `Quick test_probe_disabled_and_enabled ] );
+      ("hub", [ Alcotest.test_case "registration and dumps" `Quick test_hub ]);
+      ( "sinks",
+        [
+          Alcotest.test_case "chrome json well-formed" `Quick test_chrome_json_well_formed;
+          Alcotest.test_case "metrics sinks" `Quick test_metrics_sinks;
+        ] );
+    ]

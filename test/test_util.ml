@@ -277,8 +277,13 @@ let test_stats_percentile () =
   check_float "p100" 100.0 (Stats.percentile s 100.0);
   check_float "p0 clamps to min rank" 1.0 (Stats.percentile s 0.0)
 
+let series_exn ~bin =
+  match Stats.Series.create ~bin with
+  | Ok s -> s
+  | Error msg -> Alcotest.fail msg
+
 let test_series_binning () =
-  let s = Stats.Series.create ~bin:1.0 in
+  let s = series_exn ~bin:1.0 in
   Stats.Series.record s 0.2 1.0;
   Stats.Series.record s 0.8 1.0;
   Stats.Series.record s 2.5 4.0;
@@ -295,7 +300,7 @@ let test_series_binning () =
   | _ -> Alcotest.fail "unexpected bin structure"
 
 let test_series_rate () =
-  let s = Stats.Series.create ~bin:2.0 in
+  let s = series_exn ~bin:2.0 in
   Stats.Series.record s 1.0 10.0;
   match Stats.Series.rate_bins s with
   | [ (_, r) ] -> check_float "rate = sum / width" 5.0 r

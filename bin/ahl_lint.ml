@@ -1,7 +1,8 @@
 (* ahl_lint: project-invariant static analyzer for the AHL reproduction.
 
-   Usage: ahl_lint [--json] [--baseline FILE] [--update-baseline]
-                   [--exclude SUBSTR]... [roots...]
+   Usage: ahl_lint [--json|--sarif] [--baseline FILE] [--update-baseline]
+                   [--base PREFIX] [--exclude SUBSTR]... [--no-default-excludes]
+                   [roots...]
 
    Exit codes: 0 clean, 1 violations, 2 usage/baseline errors. *)
 
@@ -13,6 +14,8 @@ let default_excludes = [ "_build"; "analysis_fixtures"; ".git" ]
 
 let () =
   let json = ref false in
+  let sarif = ref false in
+  let base = ref "" in
   let baseline_path = ref "lint.baseline" in
   let update = ref false in
   let excludes = ref default_excludes in
@@ -20,15 +23,22 @@ let () =
   let spec =
     [
       ("--json", Arg.Set json, " emit findings as a JSON array on stdout");
+      ("--sarif", Arg.Set sarif, " emit findings as a SARIF 2.1.0 log on stdout");
+      ( "--base",
+        Arg.Set_string base,
+        "PREFIX strip PREFIX from scanned paths before rule scoping (fixture trees)" );
       ( "--baseline",
         Arg.Set_string baseline_path,
         "FILE tolerated-violation baseline (default: lint.baseline)" );
       ( "--update-baseline",
         Arg.Set update,
-        " rewrite the baseline from current findings (R1/R2 are never written)" );
+        " rewrite the baseline from current findings (R1/R2/R6/R7 are never written)" );
       ( "--exclude",
         Arg.String (fun s -> excludes := s :: !excludes),
         "SUBSTR additionally skip paths containing SUBSTR" );
+      ( "--no-default-excludes",
+        Arg.Unit (fun () -> excludes := List.filter (fun e -> not (List.mem e default_excludes)) !excludes),
+        " drop the built-in excludes (needed to scan fixture trees)" );
     ]
   in
   Arg.parse (Arg.align spec)
@@ -42,7 +52,7 @@ let () =
         exit 2
       end)
     roots;
-  let all = Lint.scan ~roots ~excludes:!excludes () in
+  let all = Lint.scan ~base:!base ~roots ~excludes:!excludes () in
   let active = List.filter (fun f -> not f.Lint_types.suppressed) all in
   let inline_allowed = List.length all - List.length active in
   if !update then begin
@@ -55,7 +65,7 @@ let () =
         if unbaselinable <> [] then begin
           List.iter (fun f -> print_endline (Lint_types.to_human f)) unbaselinable;
           Printf.eprintf
-            "ahl_lint: %d R1/R2 violations cannot be baselined; fix them\n"
+            "ahl_lint: %d R1/R2/R6/R7 violations cannot be baselined; fix them\n"
             (List.length unbaselinable);
           exit 1
         end
@@ -67,7 +77,8 @@ let () =
         exit 2
     | Ok baseline ->
         let final = Lint.apply_baseline ~baseline active in
-        if !json then print_string (Lint_types.to_json final)
+        if !sarif then print_string (Lint_types.to_sarif final)
+        else if !json then print_string (Lint_types.to_json final)
         else begin
           List.iter (fun f -> print_endline (Lint_types.to_human f)) final;
           let errors, warnings =

@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | Parse_error
 
 type severity = Error | Warning
 
@@ -19,6 +19,8 @@ let rule_id = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
   | Parse_error -> "parse"
 
 let rule_of_id = function
@@ -28,6 +30,8 @@ let rule_of_id = function
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
   | "parse" -> Some Parse_error
   | _ -> None
 
@@ -73,3 +77,43 @@ let to_json findings =
       (json_escape f.message)
   in
   "[" ^ String.concat "," (List.map one findings) ^ "]"
+
+let rule_description = function
+  | R1 -> "Determinism: no wall-clock, self-seeded randomness, or hash-order iteration"
+  | R2 -> "Comparison safety: no polymorphic compare in message/state paths"
+  | R3 -> "Exception hygiene: no failwith/invalid_arg/assert-false in library code"
+  | R4 -> "Interface coverage: every lib module has an .mli with no unused exports"
+  | R5 -> "Quorum hygiene: quorum and committee sizes come from Config"
+  | R6 -> "Console hygiene: no direct console printing in library code"
+  | R7 -> "Domain safety: no unguarded shared mutable state reachable from domain tasks"
+  | R8 -> "Nondeterminism sources: no ambient entropy reaching traces or consensus state"
+  | Parse_error -> "File failed to parse"
+
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; Parse_error ]
+
+let to_sarif findings =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",";
+  Buffer.add_string buf "\"runs\":[{\"tool\":{\"driver\":{\"name\":\"ahl_lint\",\"rules\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}" (rule_id r)
+           (json_escape (rule_description r))))
+    all_rules;
+  Buffer.add_string buf "]}},\"results\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      (* SARIF regions are 1-based; whole-file findings carry line 0 here. *)
+      let line = max 1 f.line and col = max 1 f.col in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ruleId\":\"%s\",\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+           (rule_id f.rule) (severity_id f.severity) (json_escape f.message) (json_escape f.file)
+           line col))
+    findings;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf

@@ -16,9 +16,17 @@
     - R6 console hygiene: no direct console printing
       ([Printf.printf]/[eprintf], [print_string] and friends) in [lib/]
       outside the rendering allowlist ([Sink]/[Table]); library code
-      reports through [Repro_obs] probes or returns strings. *)
+      reports through [Repro_obs] probes or returns strings.
+    - R7 domain safety: no unguarded access to toplevel mutable state
+      reachable from a [Pool.submit]/[Domain.spawn] task, and no unguarded
+      mutation inside a module that hand-rolls synchronization
+      (cross-module, via {!Summary} + {!Propagate}).
+    - R8 nondeterminism sources: no ambient [Random] draws,
+      [Domain.self], [Gc] statistics, or polymorphic [Hashtbl.hash]
+      reachable from trace-, metric-, artifact-, or consensus-producing
+      code (cross-module). *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | Parse_error
 
 type severity = Error | Warning
 
@@ -33,7 +41,7 @@ type finding = {
 }
 
 val rule_id : rule -> string
-(** "R1".."R6", or "parse" for unparseable files. *)
+(** "R1".."R8", or "parse" for unparseable files. *)
 
 val rule_of_id : string -> rule option
 
@@ -51,3 +59,11 @@ val to_human : finding -> string
 
 val to_json : finding list -> string
 (** Machine-readable JSON array of findings. *)
+
+val rule_description : rule -> string
+(** One-line rule summary, embedded in the SARIF tool metadata. *)
+
+val to_sarif : finding list -> string
+(** SARIF 2.1.0 log: one run, driver [ahl_lint] with static rule
+    metadata, one result per finding.  Whole-file findings (line 0) are
+    clamped to line 1 as SARIF regions are 1-based. *)

@@ -1,0 +1,278 @@
+(* Pass 2 of the cross-module analysis: stitch per-module summaries into a
+   call graph and emit the two reachability rules.
+
+   R7 (domain-safety) — an unguarded access to toplevel raw mutable state
+   that is reachable from a domain-submitted task is a static race:
+   - task roots are the closures lexically handed to
+     Pool.submit/Pool.map/Domain.spawn, plus (coarsely) every toplevel
+     binding of a module that submits tasks, since submitted thunks are
+     usually built in the same module and flow through lists the
+     syntactic pass cannot follow;
+   - guard tracking is path-sensitive at function granularity: an access
+     reached only through Mutex.protect (or a local lock-holding wrapper)
+     is not reported, and neither is an access whose enclosing function
+     takes a lock itself;
+   - additionally, inside modules that hand-roll synchronization (they
+     reference Mutex/Condition/Domain), every syntactic mutation outside
+     a lock-aware context is reported — such modules claim domain-safety,
+     so an unguarded store needs a lock or an explicit annotation.
+
+   R8 (nondeterminism sources) — a call to worker-identity / GC /
+   ambient-Random / polymorphic-hash primitives is reported when the
+   enclosing function is reachable from state-and-artifact-producing code
+   (consensus, ledger, shard, obs, core, the executables, or any module's
+   initialisation), i.e. when its value can plausibly flow into traces,
+   metrics, artifacts, or consensus state.
+
+   Soundness caveats are documented in DESIGN.md §14: the pass is
+   flow-insensitive, resolves calls by module-name suffix (over-
+   approximate on name collisions), cannot follow closures through data
+   structures beyond the coarse same-module root rule, and treats any
+   lexical Mutex use in a function as guarding the whole body. *)
+
+open Lint_types
+
+(* ------------------------------------------------------------------ *)
+(* Indexing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type graph = {
+  summaries : Summary.t array;
+  by_module : (string, int list) Hashtbl.t;  (* module name -> summary indices *)
+  funcs : (int * string, Summary.func) Hashtbl.t;  (* (summary idx, fn name) -> fn *)
+}
+
+let build summaries =
+  let summaries = Array.of_list summaries in
+  let by_module = Hashtbl.create 64 in
+  let funcs = Hashtbl.create 256 in
+  Array.iteri
+    (fun i (s : Summary.t) ->
+      let prev = Option.value (Hashtbl.find_opt by_module s.sm_module) ~default:[] in
+      Hashtbl.replace by_module s.sm_module (i :: prev);
+      List.iter (fun (f : Summary.func) -> Hashtbl.replace funcs (i, f.fn_name) f) s.sm_funs)
+    summaries;
+  { summaries; by_module; funcs }
+
+let modules_named g name = Option.value (Hashtbl.find_opt g.by_module name) ~default:[]
+
+(* Resolve a reference path to candidate (summary index, function) pairs:
+   a bare [f] is a same-module binding; a qualified [...M.f] matches every
+   scanned module named [M] (over-approximate on collisions). *)
+let resolve_funcs g ~from_idx parts =
+  match parts with
+  | [ f ] -> (
+      match Hashtbl.find_opt g.funcs (from_idx, f) with
+      | Some fn -> [ (from_idx, fn) ]
+      | None -> [])
+  | _ -> (
+      match Summary.last2 parts with
+      | None -> []
+      | Some (m, f) ->
+          List.filter_map
+            (fun i ->
+              match Hashtbl.find_opt g.funcs (i, f) with
+              | Some fn -> Some (i, fn)
+              | None -> None)
+            (modules_named g m))
+
+let resolve_cells g ~from_idx parts =
+  let cell_in i name =
+    List.filter_map
+      (fun (c : Summary.cell) -> if String.equal c.c_name name then Some (i, c) else None)
+      g.summaries.(i).Summary.sm_cells
+  in
+  match parts with
+  | [ x ] -> cell_in from_idx x
+  | _ -> (
+      match Summary.last2 parts with
+      | None -> []
+      | Some (m, x) -> List.concat_map (fun i -> cell_in i x) (modules_named g m))
+
+let in_finding_scope path =
+  Lint_rules.starts_with ~prefix:"lib/" path || Lint_rules.starts_with ~prefix:"bin/" path
+
+(* ------------------------------------------------------------------ *)
+(* R7: domain-safety                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let r7_cell_message (owner : Summary.t) (cell : Summary.cell) =
+  Printf.sprintf
+    "%s.%s is toplevel mutable state (%s at %s:%d) accessed without a guard from code reachable \
+     from a domain-submitted task; use Mutex.protect/Atomic, or make the state task-private"
+    owner.Summary.sm_module cell.Summary.c_name cell.Summary.c_ctor owner.Summary.sm_path
+    cell.Summary.c_line
+
+let r7_mutation_message (s : Summary.t) (m : Summary.mutation) =
+  Printf.sprintf
+    "unguarded %s in %s, which hand-rolls synchronization (references Mutex/Condition/Domain); \
+     perform the mutation while holding the lock, or annotate why it is domain-safe"
+    m.Summary.mut_what s.Summary.sm_module
+
+let r7 g =
+  let findings = Hashtbl.create 32 in
+  let add ~file ~line ~col msg =
+    let key = (file, line, col, msg) in
+    if not (Hashtbl.mem findings key) then
+      Hashtbl.replace findings key (make ~rule:R7 ~file ~line ~col msg)
+  in
+  (* Flag unguarded Raw-cell references made by [fn] of summary [i] when
+     the effective guard state is [guarded = false]. *)
+  let flag_accesses i (fn : Summary.func) ~guarded =
+    let s = g.summaries.(i) in
+    if in_finding_scope s.Summary.sm_path then
+      List.iter
+        (fun (r : Summary.reference) ->
+          if not (guarded || r.Summary.r_guarded || fn.Summary.fn_lock_aware) then
+            List.iter
+              (fun (owner_idx, (cell : Summary.cell)) ->
+                if cell.Summary.c_kind = Summary.Raw then
+                  add ~file:s.Summary.sm_path ~line:r.Summary.r_line ~col:r.Summary.r_col
+                    (r7_cell_message g.summaries.(owner_idx) cell))
+              (resolve_cells g ~from_idx:i r.Summary.r_path))
+        fn.Summary.fn_refs
+  in
+  (* Reachability from task roots, tracking the guard state per path. *)
+  let visited = Hashtbl.create 256 in
+  (* (idx, fn, guarded) *)
+  let queue = Queue.create () in
+  let push i fn_name ~guarded =
+    match Hashtbl.find_opt g.funcs (i, fn_name) with
+    | None -> ()
+    | Some _ ->
+        if not (Hashtbl.mem visited (i, fn_name, guarded)) then begin
+          Hashtbl.replace visited (i, fn_name, guarded) ();
+          Queue.add (i, fn_name, guarded) queue
+        end
+  in
+  Array.iteri
+    (fun i (s : Summary.t) ->
+      List.iter
+        (fun (fn : Summary.func) ->
+          (* Accesses lexically inside a submitted closure are task context
+             on their own, whatever the enclosing binding is. *)
+          List.iter
+            (fun (r : Summary.reference) ->
+              if r.Summary.r_in_task then begin
+                (if in_finding_scope s.Summary.sm_path
+                    && not (r.Summary.r_guarded || fn.Summary.fn_lock_aware) then
+                   List.iter
+                     (fun (owner_idx, (cell : Summary.cell)) ->
+                       if cell.Summary.c_kind = Summary.Raw then
+                         add ~file:s.Summary.sm_path ~line:r.Summary.r_line ~col:r.Summary.r_col
+                           (r7_cell_message g.summaries.(owner_idx) cell))
+                     (resolve_cells g ~from_idx:i r.Summary.r_path));
+                List.iter
+                  (fun (j, (callee : Summary.func)) ->
+                    push j callee.Summary.fn_name ~guarded:r.Summary.r_guarded)
+                  (resolve_funcs g ~from_idx:i r.Summary.r_path)
+              end)
+            fn.Summary.fn_refs;
+          (* Coarse rule: every toplevel binding of a submitting module is a
+             potential task body (thunks flow through data structures the
+             syntactic pass cannot follow). *)
+          if s.Summary.sm_submits then push i fn.Summary.fn_name ~guarded:false)
+        s.Summary.sm_funs)
+    g.summaries;
+  while not (Queue.is_empty queue) do
+    let i, fn_name, guarded = Queue.take queue in
+    match Hashtbl.find_opt g.funcs (i, fn_name) with
+    | None -> ()
+    | Some fn ->
+        flag_accesses i fn ~guarded;
+        List.iter
+          (fun (r : Summary.reference) ->
+            let g' = guarded || r.Summary.r_guarded || fn.Summary.fn_lock_aware in
+            List.iter
+              (fun (j, (callee : Summary.func)) -> push j callee.Summary.fn_name ~guarded:g')
+              (resolve_funcs g ~from_idx:i r.Summary.r_path))
+          fn.Summary.fn_refs
+  done;
+  (* Concurrency-claiming modules: unguarded syntactic mutations. *)
+  Array.iter
+    (fun (s : Summary.t) ->
+      if s.Summary.sm_concurrent && Lint_rules.starts_with ~prefix:"lib/" s.Summary.sm_path then
+        List.iter
+          (fun (fn : Summary.func) ->
+            List.iter
+              (fun (m : Summary.mutation) ->
+                if not (m.Summary.mut_guarded || fn.Summary.fn_lock_aware) then
+                  add ~file:s.Summary.sm_path ~line:m.Summary.mut_line ~col:m.Summary.mut_col
+                    (r7_mutation_message s m))
+              fn.Summary.fn_mutations)
+          s.Summary.sm_funs)
+    g.summaries;
+  (* ahl_lint: allow R1 — the sort below erases the fold's bucket order. *)
+  Hashtbl.fold (fun _ f acc -> f :: acc) findings []
+  |> List.sort compare_finding
+
+(* ------------------------------------------------------------------ *)
+(* R8: nondeterminism sources                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Code whose outputs are traces, metrics, artifacts, or consensus state:
+   nondeterminism reachable from here can corrupt the byte-identity bar. *)
+let sink_scope path =
+  Lint_rules.starts_with ~prefix:"lib/consensus/" path
+  || Lint_rules.starts_with ~prefix:"lib/ledger/" path
+  || Lint_rules.starts_with ~prefix:"lib/shard/" path
+  || Lint_rules.starts_with ~prefix:"lib/obs/" path
+  || Lint_rules.starts_with ~prefix:"lib/core/" path
+  || Lint_rules.starts_with ~prefix:"bin/" path
+
+let r8 g =
+  let visited = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let push i fn_name =
+    if Hashtbl.mem g.funcs (i, fn_name) && not (Hashtbl.mem visited (i, fn_name)) then begin
+      Hashtbl.replace visited (i, fn_name) ();
+      Queue.add (i, fn_name) queue
+    end
+  in
+  Array.iteri
+    (fun i (s : Summary.t) ->
+      List.iter
+        (fun (fn : Summary.func) ->
+          (* Module initialisation runs in every program that links the
+             module, artifact producers included. *)
+          if sink_scope s.Summary.sm_path || String.equal fn.Summary.fn_name "" then
+            push i fn.Summary.fn_name)
+        s.Summary.sm_funs)
+    g.summaries;
+  while not (Queue.is_empty queue) do
+    let i, fn_name = Queue.take queue in
+    match Hashtbl.find_opt g.funcs (i, fn_name) with
+    | None -> ()
+    | Some fn ->
+        List.iter
+          (fun (r : Summary.reference) ->
+            List.iter
+              (fun (j, (callee : Summary.func)) -> push j callee.Summary.fn_name)
+              (resolve_funcs g ~from_idx:i r.Summary.r_path))
+          fn.Summary.fn_refs
+  done;
+  let findings = ref [] in
+  Array.iteri
+    (fun i (s : Summary.t) ->
+      if in_finding_scope s.Summary.sm_path then
+        List.iter
+          (fun (fn : Summary.func) ->
+            if Hashtbl.mem visited (i, fn.Summary.fn_name) then
+              List.iter
+                (fun (nd : Summary.nondet) ->
+                  findings :=
+                    make ~rule:R8 ~file:s.Summary.sm_path ~line:nd.Summary.nd_line
+                      ~col:nd.Summary.nd_col
+                      (Printf.sprintf
+                         "%s, and the value can reach traces, metrics, artifacts, or consensus \
+                          state; %s"
+                         nd.Summary.nd_what nd.Summary.nd_hint)
+                    :: !findings)
+                fn.Summary.fn_nondet)
+          s.Summary.sm_funs)
+    g.summaries;
+  List.sort compare_finding !findings
+
+let analyze summaries =
+  let g = build summaries in
+  List.sort compare_finding (r7 g @ r8 g)

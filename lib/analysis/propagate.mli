@@ -1,0 +1,11 @@
+(** Pass 2 of the cross-module analysis: reachability over the call
+    graph assembled from {!Summary.t} values.
+
+    Emits R7 (unguarded toplevel mutable state reachable from a
+    domain-submitted task, plus unguarded mutations inside modules that
+    hand-roll synchronization) and R8 (nondeterminism sources reachable
+    from artifact-, trace-, or consensus-producing code).  Findings are
+    deduplicated and sorted with {!Lint_types.compare_finding}; inline
+    suppression is applied by the caller, which owns the source text. *)
+
+val analyze : Summary.t list -> Lint_types.finding list

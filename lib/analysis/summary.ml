@@ -1,0 +1,371 @@
+(* Pass 1 of the cross-module analysis behind rules R7 and R8.
+
+   One summary per implementation file: the toplevel mutable cells it
+   defines, and — for every toplevel binding — the identifiers it
+   references, the mutations it performs, and the nondeterminism sources
+   it calls, each annotated with the lexical context that matters to the
+   later propagation (inside a [Mutex.protect]-style guard, inside a
+   closure handed to [Pool.submit]/[Domain.spawn]).  Everything here is
+   purely syntactic; {!Propagate} stitches the summaries into a call
+   graph and decides what is actually reachable from a domain-submitted
+   task or from state-and-artifact-producing code. *)
+
+type cell_kind = Raw | Sync
+
+type cell = {
+  c_name : string;
+  c_line : int;
+  c_col : int;
+  c_ctor : string;  (* constructor expression head, e.g. "ref", "Hashtbl.create" *)
+  c_kind : cell_kind;
+}
+
+type reference = {
+  r_path : string list;
+  r_line : int;
+  r_col : int;
+  r_guarded : bool;
+  r_in_task : bool;
+}
+
+type mutation = { mut_what : string; mut_line : int; mut_col : int; mut_guarded : bool }
+
+type nondet = { nd_what : string; nd_hint : string; nd_line : int; nd_col : int }
+
+type func = {
+  fn_name : string;  (* "" groups module-initialisation code *)
+  fn_line : int;
+  fn_lock_aware : bool;
+  fn_refs : reference list;
+  fn_mutations : mutation list;
+  fn_nondet : nondet list;
+}
+
+type t = {
+  sm_path : string;
+  sm_module : string;
+  sm_cells : cell list;
+  sm_funs : func list;
+  sm_concurrent : bool;  (* references Mutex/Condition/Domain: hand-rolled synchronization *)
+  sm_submits : bool;  (* contains a Pool.submit/Pool.map/Domain.spawn call *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Vocabulary: constructors, guards, spawn points, nondet sources      *)
+(* ------------------------------------------------------------------ *)
+
+let last2 parts = match List.rev parts with b :: a :: _ -> Some (a, b) | _ -> None
+
+let last1 parts = match List.rev parts with b :: _ -> Some b | _ -> None
+
+(* Heads that allocate raw shared-mutable state when bound at toplevel. *)
+let raw_ctor = function
+  | Some ("Hashtbl", "create")
+  | Some ("Queue", "create")
+  | Some ("Stack", "create")
+  | Some ("Buffer", "create")
+  | Some ("Array", ("make" | "init" | "create_float"))
+  | Some ("Bytes", ("create" | "make")) ->
+      true
+  | _ -> false
+
+(* Heads that allocate internally synchronized state: safe to share. *)
+let sync_ctor = function
+  | Some ("Atomic", "make")
+  | Some ("Mutex", "create")
+  | Some ("Condition", "create")
+  | Some ("Semaphore", "make")
+  | Some ("Memo", "create")
+  | Some ("Pool", "create")
+  | Some ("Hub", "create") ->
+      true
+  | _ -> false
+
+(* Callees whose function arguments run on another domain. *)
+let is_spawn_callee parts =
+  match last2 parts with
+  | Some ("Pool", ("submit" | "map")) | Some ("Domain", "spawn") -> true
+  | _ -> false
+
+(* Callees whose function arguments run under a lock. *)
+let is_guard_callee parts =
+  match last2 parts with Some ("Mutex", "protect") -> true | _ -> false
+
+let is_lock_primitive parts =
+  match last2 parts with Some ("Mutex", ("lock" | "protect")) -> true | _ -> false
+
+let concurrency_module parts =
+  match parts with
+  | "Mutex" :: _ :: _ | "Condition" :: _ :: _ | "Domain" :: _ :: _ -> true
+  | _ -> (
+      match last2 parts with
+      | Some (("Mutex" | "Condition" | "Domain"), _) -> true
+      | _ -> false)
+
+(* Syntactic mutations policed by R7 inside concurrency-claiming modules. *)
+let mutation_callee parts =
+  match parts with
+  | [ ":=" ] -> Some "ref assignment (:=)"
+  | [ "incr" ] | [ "Stdlib"; "incr" ] -> Some "ref increment (incr)"
+  | [ "decr" ] | [ "Stdlib"; "decr" ] -> Some "ref decrement (decr)"
+  | _ -> (
+      match last2 parts with
+      | Some (("Hashtbl" as m), (("replace" | "add" | "remove" | "reset" | "clear") as v))
+      | Some (("Queue" as m), (("add" | "push" | "pop" | "take" | "clear" | "transfer") as v))
+      | Some
+          ( ("Buffer" as m),
+            (("add_string" | "add_char" | "add_bytes" | "add_subbytes" | "clear" | "reset") as v)
+          ) ->
+          Some (m ^ "." ^ v)
+      | _ -> None)
+
+(* Nondeterminism sources invisible to the per-file R1 rule: worker
+   identity, GC state, the ambient self-seeded [Random] generator, and
+   the polymorphic (layout- and version-dependent) [Hashtbl.hash]. *)
+let nondet_source parts =
+  match parts with
+  | [ "Random";
+      (( "int" | "full_int" | "int32" | "int64" | "nativeint" | "float" | "bool" | "char"
+       | "bits" | "bits32" | "bits64" ) as v)
+    ] ->
+      Some
+        ( "Random." ^ v ^ " draws from the ambient self-seeded generator",
+          "draw from the run's seeded Repro_util.Rng instead" )
+  | _ -> (
+      match last2 parts with
+      | Some ("Domain", "self") ->
+          Some
+            ( "Domain.self exposes scheduling-dependent worker identity",
+              "derive run identity from task parameters, never from the executing domain" )
+      | Some ("Gc", (("stat" | "quick_stat" | "minor_words" | "allocated_bytes" | "counters") as v))
+        ->
+          Some
+            ( "Gc." ^ v ^ " exposes allocation history, which differs across runs and workers",
+              "measure simulated cost through the engine, not the collector" )
+      | Some ("Hashtbl", (("hash" | "seeded_hash" | "hash_param") as v)) ->
+          Some
+            ( "Hashtbl." ^ v ^ " is polymorphic and depends on value layout and OCaml version",
+              "derive stable tags with Repro_util.Det.stable_hash over an explicit rendering" )
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let loc_pos (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol + 1)
+
+let module_name_of path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let rec pat_name (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (inner, _) -> pat_name inner
+  | _ -> None
+
+let rec fun_body (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> fun_body body
+  | Pexp_newtype (_, body) -> fun_body body
+  | _ -> e
+
+let is_function (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
+  | _ -> false
+
+let rec strip_constraint (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _) -> strip_constraint inner
+  | _ -> e
+
+let classify_cell (e : Parsetree.expression) =
+  let e = strip_constraint e in
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      let parts = Lint_rules.flatten txt in
+      match parts with
+      | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some ("ref", Raw)
+      | _ ->
+          let pair = last2 parts in
+          if raw_ctor pair then
+            Some ((match pair with Some (m, v) -> m ^ "." ^ v | None -> "?"), Raw)
+          else if sync_ctor pair then
+            Some ((match pair with Some (m, v) -> m ^ "." ^ v | None -> "?"), Sync)
+          else None)
+  | _ -> None
+
+(* Per-binding accumulator threaded through the iterator via mutable
+   context: the enclosing toplevel binding, whether the current subtree is
+   under a lock or inside a domain-submitted closure. *)
+type ctx = {
+  mutable cur : string;
+  mutable guarded : bool;
+  mutable in_task : bool;
+  mutable refs : reference list;
+  mutable muts : mutation list;
+  mutable nds : nondet list;
+  mutable submits : bool;
+  mutable concurrent : bool;
+  lock_aware : (string, unit) Hashtbl.t;
+}
+
+(* First micro-pass: which toplevel bindings mention Mutex.lock/protect
+   anywhere in their body (the lock-aware set used to bless mutations and
+   to infer guard wrappers like Hub's [locked]). *)
+let lock_aware_set (structure : Parsetree.structure) =
+  let set = Hashtbl.create 8 in
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let expr this (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> if is_lock_primitive (Lint_rules.flatten txt) then found := true
+    | _ -> ());
+    super.expr this e
+  in
+  let it = { super with expr } in
+  List.iter
+    (fun (si : Parsetree.structure_item) ->
+      match si.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.iter
+            (fun (vb : Parsetree.value_binding) ->
+              found := false;
+              it.expr it vb.pvb_expr;
+              if !found then
+                match pat_name vb.pvb_pat with
+                | Some name -> Hashtbl.replace set name ()
+                | None -> ())
+            bindings
+      | _ -> ())
+    structure;
+  set
+
+let of_structure ~path (structure : Parsetree.structure) =
+  let ctx =
+    {
+      cur = "";
+      guarded = false;
+      in_task = false;
+      refs = [];
+      muts = [];
+      nds = [];
+      submits = false;
+      concurrent = false;
+      lock_aware = lock_aware_set structure;
+    }
+  in
+  let cells = ref [] in
+  let funs = ref [] in
+  let record_ref parts loc =
+    let line, col = loc_pos loc in
+    ctx.refs <-
+      { r_path = parts; r_line = line; r_col = col; r_guarded = ctx.guarded; r_in_task = ctx.in_task }
+      :: ctx.refs;
+    if concurrency_module parts then ctx.concurrent <- true;
+    if is_spawn_callee parts then ctx.submits <- true
+  in
+  let record_mut what loc =
+    let line, col = loc_pos loc in
+    ctx.muts <- { mut_what = what; mut_line = line; mut_col = col; mut_guarded = ctx.guarded } :: ctx.muts
+  in
+  let record_nd (what, hint) loc =
+    let line, col = loc_pos loc in
+    ctx.nds <- { nd_what = what; nd_hint = hint; nd_line = line; nd_col = col } :: ctx.nds
+  in
+  let super = Ast_iterator.default_iterator in
+  let rec expr this (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } ->
+        let parts = Lint_rules.flatten txt in
+        record_ref parts loc;
+        (match nondet_source parts with Some nd -> record_nd nd loc | None -> ());
+        super.expr this e
+    | Pexp_setfield (_, { txt; _ }, _) ->
+        let field = match last1 (Lint_rules.flatten txt) with Some f -> f | None -> "?" in
+        record_mut (Printf.sprintf "mutable-field store (.%s <-)" field) e.pexp_loc;
+        super.expr this e
+    | Pexp_apply (({ pexp_desc = Pexp_ident { txt; _ }; _ } as callee), args) ->
+        let parts = Lint_rules.flatten txt in
+        (match mutation_callee parts with
+        | Some what -> record_mut what e.pexp_loc
+        | None -> ());
+        (* Visit the callee normally, then the arguments under whichever
+           context the callee imposes on them. *)
+        expr this callee;
+        let local_lock_aware =
+          match parts with [ v ] -> Hashtbl.mem ctx.lock_aware v | _ -> false
+        in
+        let guards_args = is_guard_callee parts || local_lock_aware in
+        let spawns_args = is_spawn_callee parts in
+        let saved_guard = ctx.guarded and saved_task = ctx.in_task in
+        if guards_args then ctx.guarded <- true;
+        if spawns_args then ctx.in_task <- true;
+        List.iter (fun (_, a) -> expr this a) args;
+        ctx.guarded <- saved_guard;
+        ctx.in_task <- saved_task
+    | _ -> super.expr this e
+  in
+  let it = { super with expr } in
+  List.iter
+    (fun (si : Parsetree.structure_item) ->
+      match si.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.iter
+            (fun (vb : Parsetree.value_binding) ->
+              let name = pat_name vb.pvb_pat in
+              let line, col = loc_pos vb.pvb_loc in
+              match (name, classify_cell vb.pvb_expr) with
+              | Some n, Some (ctor, kind) when not (is_function vb.pvb_expr) ->
+                  cells := { c_name = n; c_line = line; c_col = col; c_ctor = ctor; c_kind = kind } :: !cells
+              | _ ->
+                  let fn_name = Option.value name ~default:"" in
+                  ctx.cur <- fn_name;
+                  ctx.refs <- [];
+                  ctx.muts <- [];
+                  ctx.nds <- [];
+                  ctx.guarded <- false;
+                  ctx.in_task <- false;
+                  it.expr it (fun_body vb.pvb_expr);
+                  funs :=
+                    {
+                      fn_name;
+                      fn_line = line;
+                      fn_lock_aware =
+                        (match name with Some n -> Hashtbl.mem ctx.lock_aware n | None -> false);
+                      fn_refs = List.rev ctx.refs;
+                      fn_mutations = List.rev ctx.muts;
+                      fn_nondet = List.rev ctx.nds;
+                    }
+                    :: !funs)
+            bindings
+      | _ -> ())
+    structure;
+  (* Merge the module-initialisation fragments into one "" pseudo-function
+     so propagation sees a single init entry per module. *)
+  let named, init = List.partition (fun f -> f.fn_name <> "") (List.rev !funs) in
+  let init_merged =
+    match init with
+    | [] -> []
+    | first :: _ ->
+        [
+          {
+            fn_name = "";
+            fn_line = first.fn_line;
+            fn_lock_aware = false;
+            fn_refs = List.concat_map (fun f -> f.fn_refs) init;
+            fn_mutations = List.concat_map (fun f -> f.fn_mutations) init;
+            fn_nondet = List.concat_map (fun f -> f.fn_nondet) init;
+          };
+        ]
+  in
+  {
+    sm_path = path;
+    sm_module = module_name_of path;
+    sm_cells = List.rev !cells;
+    sm_funs = named @ init_merged;
+    sm_concurrent = ctx.concurrent;
+    sm_submits = ctx.submits;
+  }

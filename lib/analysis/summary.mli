@@ -1,0 +1,60 @@
+(** Pass 1 of the cross-module analysis behind rules R7 and R8.
+
+    One summary per implementation file, extracted purely syntactically:
+    toplevel mutable cells (raw [ref]/[Hashtbl]/[Buffer]/... versus
+    internally synchronized [Atomic]/[Mutex]/[Memo]/[Pool]/[Hub]), and
+    per-toplevel-binding reference/mutation/nondeterminism records, each
+    annotated with the lexical context the propagation pass needs: was the
+    site under a [Mutex.protect]-style guard, was it inside a closure
+    handed to [Pool.submit]/[Pool.map]/[Domain.spawn].  {!Propagate}
+    turns a set of summaries into R7/R8 findings. *)
+
+type cell_kind =
+  | Raw  (** shared-mutable with no internal synchronization *)
+  | Sync  (** internally synchronized; safe to share across domains *)
+
+type cell = {
+  c_name : string;
+  c_line : int;
+  c_col : int;
+  c_ctor : string;  (** allocating head, e.g. ["ref"], ["Hashtbl.create"] *)
+  c_kind : cell_kind;
+}
+
+type reference = {
+  r_path : string list;  (** identifier path as written, e.g. [["Gstate"; "bump"]] *)
+  r_line : int;
+  r_col : int;
+  r_guarded : bool;  (** lexically inside a lock-holding wrapper's argument *)
+  r_in_task : bool;  (** lexically inside a domain-submitted closure *)
+}
+
+type mutation = { mut_what : string; mut_line : int; mut_col : int; mut_guarded : bool }
+
+type nondet = { nd_what : string; nd_hint : string; nd_line : int; nd_col : int }
+
+type func = {
+  fn_name : string;  (** [""] groups module-initialisation code *)
+  fn_line : int;
+  fn_lock_aware : bool;  (** body mentions [Mutex.lock]/[Mutex.protect] *)
+  fn_refs : reference list;
+  fn_mutations : mutation list;
+  fn_nondet : nondet list;
+}
+
+type t = {
+  sm_path : string;
+  sm_module : string;
+  sm_cells : cell list;
+  sm_funs : func list;
+  sm_concurrent : bool;  (** references [Mutex]/[Condition]/[Domain] *)
+  sm_submits : bool;  (** contains a [Pool.submit]/[Pool.map]/[Domain.spawn] call *)
+}
+
+val of_structure : path:string -> Parsetree.structure -> t
+(** Summarize one parsed implementation.  [path] is the logical path used
+    for scoping and recorded in findings that point into this file. *)
+
+val last2 : string list -> (string * string) option
+(** Last two components of an identifier path, i.e. the (module, value)
+    pair {!Propagate} resolves cross-module references with. *)

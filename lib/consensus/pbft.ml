@@ -130,7 +130,9 @@ let phase_index = function Prepare_phase -> 1 | Commit_phase -> 2
    legitimately re-propose a sequence number. *)
 let a2m_log ~phase_idx ~view = (view * 4) + phase_idx
 
-let vote_tag ~phase ~view ~seq ~digest = Hashtbl.hash ("rvote", phase_index phase, view, seq, digest)
+let vote_tag ~phase ~view ~seq ~digest =
+  Repro_util.Det.stable_hash
+    (Printf.sprintf "rvote:%d:%d:%d:%d" (phase_index phase) view seq digest)
 
 let bytes_of_msg (cfg : Config.t) = function
   | Request { req; _ } | Forward req -> cfg.request_overhead_bytes + req.size

@@ -16,36 +16,36 @@ open Repro_shard
 (* worker count.                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let jobs_override = ref None
+let jobs_override = Atomic.make None
 
 let jobs_in_use () =
-  match !jobs_override with Some j -> j | None -> Pool.default_jobs ()
+  match Atomic.get jobs_override with Some j -> j | None -> Pool.default_jobs ()
 
-let the_pool : Pool.t option ref = ref None
+let the_pool : Pool.t option Atomic.t = Atomic.make None
 
 let set_jobs j =
-  (match !the_pool with Some p -> Pool.shutdown p | None -> ());
-  the_pool := None;
-  jobs_override := Some (if j < 1 then 1 else j)
+  (match Atomic.get the_pool with Some p -> Pool.shutdown p | None -> ());
+  Atomic.set the_pool None;
+  Atomic.set jobs_override (Some (if j < 1 then 1 else j))
 
 let pool () =
-  match !the_pool with
+  match Atomic.get the_pool with
   | Some p -> p
   | None ->
       let p = Pool.create ~jobs:(jobs_in_use ()) in
-      the_pool := Some p;
+      Atomic.set the_pool (Some p);
       p
 
 (* Optional observability hub: when installed, the shared runners request
    probes under names derived purely from their run parameters (the memo
    keys), never from scheduling — so hub dumps, which are sorted by name,
    stay byte-identical for any worker count. *)
-let the_hub : Repro_obs.Hub.t option ref = ref None
+let the_hub : Repro_obs.Hub.t option Atomic.t = Atomic.make None
 
-let set_hub h = the_hub := h
+let set_hub h = Atomic.set the_hub h
 
 let hub_probe name =
-  match !the_hub with
+  match Atomic.get the_hub with
   | None -> Repro_obs.Probe.none
   | Some h -> Repro_obs.Hub.probe h name
 

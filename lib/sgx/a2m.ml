@@ -33,7 +33,8 @@ let create enclave ~watermark_window =
 
 let enclave t = t.enclave
 
-let proof_tag ~signer ~log ~slot ~digest_tag = Hashtbl.hash ("a2m", signer, log, slot, digest_tag)
+let proof_tag ~signer ~log ~slot ~digest_tag =
+  Repro_util.Det.stable_hash (Printf.sprintf "a2m:%d:%d:%d:%d" signer log slot digest_tag)
 
 let append t ~log ~slot ~digest_tag =
   let costs = Enclave.costs t.enclave in

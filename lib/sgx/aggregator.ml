@@ -7,7 +7,10 @@ type quorum_proof = {
   signature : Keys.signature;
 }
 
-let proof_tag ~aggregator ~stmt_tag ~voters = Hashtbl.hash ("ahlr-agg", aggregator, stmt_tag, voters)
+let proof_tag ~aggregator ~stmt_tag ~voters =
+  Repro_util.Det.stable_hash
+    (Printf.sprintf "ahlr-agg:%d:%d:%s" aggregator stmt_tag
+       (String.concat "," (List.map string_of_int voters)))
 
 let aggregate enclave ~f ~stmt_tag ~votes =
   let costs = Enclave.costs enclave in

@@ -7,7 +7,8 @@ type quote = {
 }
 
 let msg_tag_of ~enclave_id ~measurement =
-  Hashtbl.hash ("attest", enclave_id, Sha256.to_raw measurement)
+  Repro_util.Det.stable_hash
+    (Printf.sprintf "attest:%d:%s" enclave_id (Sha256.to_raw measurement))
 
 let quote enclave =
   let costs = Enclave.costs enclave in

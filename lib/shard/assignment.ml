@@ -4,7 +4,8 @@ type t = { epoch : int; committees : int array array }
 
 let derive ~seed ~epoch ~nodes ~committees =
   if nodes <= 0 || committees <= 0 || committees > nodes then
-    invalid_arg "Assignment.derive: bad sizes";
+    Repro_sim.Sim_error.invalid "Assignment.derive: bad sizes (nodes %d, committees %d)" nodes
+      committees;
   let rng = Rng.split_named (Rng.create seed) (Printf.sprintf "epoch-%d" epoch) in
   let perm = Rng.permutation rng nodes in
   (* Chunk the permutation into k nearly-equal committees. *)
@@ -23,7 +24,7 @@ let committee_of t node =
   Array.iteri
     (fun c members -> if Array.exists (fun m -> m = node) members then found := c)
     t.committees;
-  if !found < 0 then invalid_arg "Assignment.committee_of: unknown node";
+  if !found < 0 then Repro_sim.Sim_error.invalid "Assignment.committee_of: unknown node %d" node;
   !found
 
 let transitioning ~from_ ~to_ =
@@ -40,7 +41,8 @@ let transitioning ~from_ ~to_ =
 type step = { node : int; from_committee : int; to_committee : int }
 
 let transition_plan ~from_ ~to_ ~batch =
-  if batch <= 0 then invalid_arg "Assignment.transition_plan: batch must be positive";
+  if batch <= 0 then
+    Repro_sim.Sim_error.invalid "Assignment.transition_plan: batch %d not positive" batch;
   let pending =
     List.map
       (fun node ->

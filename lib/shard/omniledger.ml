@@ -12,7 +12,8 @@ type client_behaviour = Honest | Crash_after_locks
 type t = { states : State.t array }
 
 let create ~shards =
-  if shards <= 0 then invalid_arg "Omniledger.create: shards must be positive";
+  if shards <= 0 then
+    Repro_sim.Sim_error.invalid "Omniledger.create: shards %d not positive" shards;
   { states = Array.init shards (fun _ -> State.create ()) }
 
 let state_of_shard t shard = t.states.(shard)

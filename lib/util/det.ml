@@ -29,3 +29,18 @@ let int_triple (a1, b1, c1) (a2, b2, c2) =
   else
     let c = Int.compare b1 b2 in
     if c <> 0 then c else Int.compare c1 c2
+
+(* FNV-1a over the bytes of an explicit rendering: unlike the polymorphic
+   [Hashtbl.hash] it replaces (ahl_lint rule R8), the result depends only
+   on the string, never on value layout or the OCaml version. *)
+let stable_hash s =
+  let prime = 0x100000001b3L and basis = 0xcbf29ce484222325L in
+  let h = ref basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  (* Fold to a non-negative OCaml int so it slots in anywhere a
+     [Hashtbl.hash] result did. *)
+  Int64.to_int (Int64.logand !h 0x3fffffffffffffffL)

@@ -23,3 +23,10 @@ val int_pair : int * int -> int * int -> int
 
 val int_triple : int * int * int -> int * int * int -> int
 (** Lexicographic comparator for [int * int * int] keys. *)
+
+val stable_hash : string -> int
+(** FNV-1a over the bytes of an explicit rendering, folded to a
+    non-negative [int].  The deterministic replacement for polymorphic
+    [Hashtbl.hash] in tag derivation (ahl_lint rule R8): the result is a
+    pure function of the string across runs, layouts, and OCaml
+    versions. *)

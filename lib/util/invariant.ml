@@ -1,0 +1,3 @@
+exception Violation of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Violation msg)) fmt

@@ -1,0 +1,11 @@
+(** Typed precondition failures for [Repro_util] (which cannot see
+    [Repro_sim.Sim_error] without a dependency cycle).
+
+    Raised instead of the anonymous [Invalid_argument]/[Failure] that
+    ahl_lint rule R3 bans: a named exception states which layer rejected
+    the input, and callers can match on it without string-matching. *)
+
+exception Violation of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Violation} with the formatted message. *)

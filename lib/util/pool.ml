@@ -61,6 +61,8 @@ let create ~jobs =
     }
   in
   if n_jobs > 1 then
+    (* Workers are spawned before the pool escapes [create] and the list is
+       read again only by the creating domain in [shutdown].  ahl_lint: allow R7 *)
     pool.workers <- List.init n_jobs (fun _ -> Domain.spawn (worker_loop pool));
   pool
 

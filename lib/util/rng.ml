@@ -31,12 +31,12 @@ let split_named t label =
   create (mix64 (Int64.logxor t.state !h))
 
 let bits t k =
-  if k < 0 || k > 62 then invalid_arg "Rng.bits";
+  if k < 0 || k > 62 then Invariant.fail "Rng.bits: k = %d out of [0, 62]" k;
   if k = 0 then 0
   else Int64.to_int (Int64.shift_right_logical (next_int64 t) (64 - k)) land ((1 lsl k) - 1)
 
 let int t n =
-  if n <= 0 then invalid_arg "Rng.int";
+  if n <= 0 then Invariant.fail "Rng.int: bound %d not positive" n;
   (* Rejection sampling on the top bits to avoid modulo bias. *)
   let k =
     let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
@@ -51,7 +51,7 @@ let int t n =
     draw ()
 
 let int_in t lo hi =
-  if hi < lo then invalid_arg "Rng.int_in";
+  if hi < lo then Invariant.fail "Rng.int_in: empty range [%d, %d]" lo hi;
   lo + int t (hi - lo + 1)
 
 let float t x =
@@ -90,7 +90,7 @@ let permutation t n =
   a
 
 let pick t a =
-  if Array.length a = 0 then invalid_arg "Rng.pick";
+  if Array.length a = 0 then Invariant.fail "Rng.pick: empty array";
   a.(int t (Array.length a))
 
 let bytes t n =

@@ -1,0 +1,14 @@
+(* R7 fixture: a module that hand-rolls synchronization must mutate under
+   the lock. *)
+type t = { m : Mutex.t; mutable value : int; pending : int Queue.t }
+
+let create () = { m = Mutex.create (); value = 0; pending = Queue.create () }
+
+let set_locked t v =
+  Mutex.lock t.m;
+  t.value <- v;
+  Mutex.unlock t.m
+
+let set_racy t v = t.value <- v
+
+let push_racy t v = Queue.add v t.pending

@@ -1,0 +1,19 @@
+(* R7 fixture: an unguarded task-reachable access (fires), a directly
+   guarded one, a wrapper-guarded one (the false-positive case), and a
+   synchronized cell (quiet). *)
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  let v = f () in
+  Mutex.unlock lock;
+  v
+
+let unguarded pool = Pool.submit pool (fun () -> Gstate.bump 1)
+
+let guarded_direct pool =
+  Pool.submit pool (fun () -> Mutex.protect lock (fun () -> Gstate.record_error ()))
+
+let guarded_wrapper pool = Pool.submit pool (fun () -> with_lock (fun () -> Gstate.record_error ()))
+
+let synchronized pool = Pool.submit pool (fun () -> Gstate.bump_total 2)

@@ -1,0 +1,12 @@
+(* R7 fixture: raw vs synchronized toplevel state, touched from Driver. *)
+let hits = ref 0
+
+let errors = ref 0
+
+let total = Atomic.make 0
+
+let bump n = hits := !hits + n
+
+let record_error () = incr errors
+
+let bump_total n = ignore (Atomic.fetch_and_add total n)

@@ -1,0 +1,8 @@
+(* R8 fixture: consensus code reaches into Entropy, so its sources fire. *)
+let tag x = Entropy.source_tag x
+
+let tick () = Entropy.jitter ()
+
+let ident () = Entropy.who ()
+
+let mem () = Entropy.pressure ()

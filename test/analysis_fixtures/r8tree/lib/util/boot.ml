@@ -1,0 +1,5 @@
+(* R8 fixture: module initialisation runs in every linked program, so it
+   is a sink root even outside the sink directories. *)
+let seed = ref 0
+
+let () = seed := Random.bits ()

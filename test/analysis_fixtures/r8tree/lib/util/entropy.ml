@@ -1,0 +1,11 @@
+(* R8 fixture: every nondeterminism source, plus one the sinks never
+   reach. *)
+let source_tag x = Hashtbl.hash x
+
+let jitter () = Random.int 1000
+
+let who () = Domain.self ()
+
+let pressure () = Gc.minor_words ()
+
+let unreachable_entropy () = Random.bool ()

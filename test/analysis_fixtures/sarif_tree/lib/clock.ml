@@ -1,0 +1,2 @@
+(* Snapshot fixture: one R1 finding plus the missing-interface R4. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,89 @@
+(* Minimal JSON recognizer shared by the obs-sink and lint-emitter tests:
+   objects/arrays/strings with escapes, numbers, true/false/null.  Enough
+   to reject any unbalanced or unquoted output without pulling in a JSON
+   dependency. *)
+let ok s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with Some (' ' | '\n' | '\t' | '\r') -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c = if peek () = Some c then advance () else raise Exit in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string ()
+    | Some ('t' | 'f' | 'n') -> literal ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise Exit
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); members ()
+        | Some '}' -> advance ()
+        | _ -> raise Exit
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); elements ()
+        | Some ']' -> advance ()
+        | _ -> raise Exit
+      in
+      elements ()
+  and string () =
+    expect '"';
+    let rec chars () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with Some _ -> advance () | None -> raise Exit);
+          chars ()
+      | Some _ -> advance (); chars ()
+      | None -> raise Exit
+    in
+    chars ()
+  and literal () =
+    List.iter
+      (fun w ->
+        if !pos + String.length w <= n && String.equal (String.sub s !pos (String.length w)) w
+        then pos := !pos + String.length w)
+      [ "true"; "false"; "null" ];
+    ()
+  and number () =
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    if not (match peek () with Some c -> num_char c | None -> false) then raise Exit;
+    let rec go () = match peek () with Some c when num_char c -> advance (); go () | _ -> () in
+    go ()
+  in
+  match
+    value ();
+    skip_ws ()
+  with
+  | () -> !pos = n || String.trim (String.sub s !pos (n - !pos)) = ""
+  | exception Exit -> false

@@ -189,6 +189,152 @@ let test_r4_scan () =
   in
   Alcotest.(check bool) "Widget.used not flagged" false used_flagged
 
+(* --- R7: domain safety (cross-module scan) -------------------------- *)
+
+let scan_tree name =
+  active
+    (Lint.scan
+       ~base:(fixture (name ^ "/"))
+       ~roots:[ fixture name ]
+       ~excludes:[] ())
+
+let rule_findings rule fs = List.filter (fun f -> f.Lint_types.rule = rule) fs
+
+let some_message_contains needle fs =
+  List.exists
+    (fun f ->
+      let msg = f.Lint_types.message in
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length msg && (String.equal (String.sub msg i n) needle || go (i + 1))
+      in
+      go 0)
+    fs
+
+let test_r7_scan () =
+  let r7 = rule_findings Lint_types.R7 (scan_tree "r7tree") in
+  Alcotest.(check bool) "unguarded cell flagged" true (some_message_contains "Gstate.hits" r7);
+  Alcotest.(check bool) "flagged at the access site" true
+    (List.exists (fun f -> String.equal f.Lint_types.file "lib/gstate.ml") r7);
+  Alcotest.(check bool) "guarded-only cell quiet" false
+    (some_message_contains "Gstate.errors" r7);
+  Alcotest.(check bool) "atomic cell quiet" false (some_message_contains "Gstate.total" r7)
+
+let test_r7_concurrent_mutations () =
+  let r7 =
+    rule_findings Lint_types.R7
+      (List.filter
+         (fun f -> String.equal f.Lint_types.file "lib/chan.ml")
+         (scan_tree "r7tree"))
+  in
+  Alcotest.(check int) "both unguarded mutations flagged" 2 (List.length r7);
+  Alcotest.(check bool) "field store named" true (some_message_contains ".value <-" r7);
+  Alcotest.(check bool) "queue mutation named" true (some_message_contains "Queue.add" r7);
+  Alcotest.(check bool) "locked store quiet" true
+    (List.for_all (fun f -> f.Lint_types.line > 11) r7)
+
+let test_r8_scan () =
+  let fs = scan_tree "r8tree" in
+  let r8 = rule_findings Lint_types.R8 fs in
+  let r8_in file = List.filter (fun f -> String.equal f.Lint_types.file file) r8 in
+  let entropy = r8_in "lib/util/entropy.ml" in
+  Alcotest.(check int) "four reachable sources flagged" 4 (List.length entropy);
+  Alcotest.(check bool) "polymorphic hash" true (some_message_contains "Hashtbl.hash" entropy);
+  Alcotest.(check bool) "ambient random" true (some_message_contains "Random.int" entropy);
+  Alcotest.(check bool) "worker identity" true (some_message_contains "Domain.self" entropy);
+  Alcotest.(check bool) "gc statistics" true (some_message_contains "Gc.minor_words" entropy);
+  Alcotest.(check bool) "unreachable source quiet" false
+    (some_message_contains "Random.bool" entropy);
+  Alcotest.(check bool) "module init is a root" true
+    (some_message_contains "Random.bits" (r8_in "lib/util/boot.ml"))
+
+(* --- Summary pass ---------------------------------------------------- *)
+
+let summarize ~path src =
+  match Lint.parse_impl ~logical:path src with
+  | Error f -> Alcotest.failf "summary source did not parse: %s" (Lint_types.to_human f)
+  | Ok structure -> Summary.of_structure ~path structure
+
+let test_summary_cells () =
+  let s =
+    summarize ~path:"lib/m.ml"
+      "let a = ref 0\nlet b = Hashtbl.create 16\nlet c = Atomic.make 0\nlet f x = x + 1\n"
+  in
+  let cell name =
+    match List.find_opt (fun (c : Summary.cell) -> String.equal c.c_name name) s.Summary.sm_cells with
+    | Some c -> c
+    | None -> Alcotest.failf "cell %s not summarized" name
+  in
+  Alcotest.(check int) "three cells" 3 (List.length s.Summary.sm_cells);
+  Alcotest.(check bool) "ref is raw" true ((cell "a").Summary.c_kind = Summary.Raw);
+  Alcotest.(check bool) "hashtbl is raw" true ((cell "b").Summary.c_kind = Summary.Raw);
+  Alcotest.(check bool) "atomic is sync" true ((cell "c").Summary.c_kind = Summary.Sync);
+  Alcotest.(check bool) "function is not a cell" true
+    (List.exists (fun (f : Summary.func) -> String.equal f.Summary.fn_name "f") s.Summary.sm_funs)
+
+let test_summary_contexts () =
+  let s =
+    summarize ~path:"lib/m.ml"
+      "let cell = ref 0\n\
+       let m = Mutex.create ()\n\
+       let locked f = Mutex.lock m; f ()\n\
+       let spawn pool = Pool.submit pool (fun () -> cell := 1)\n\
+       let safe pool = Pool.submit pool (fun () -> Mutex.protect m (fun () -> cell := 2))\n"
+  in
+  let fn name =
+    match List.find_opt (fun (f : Summary.func) -> String.equal f.Summary.fn_name name) s.Summary.sm_funs with
+    | Some f -> f
+    | None -> Alcotest.failf "function %s not summarized" name
+  in
+  Alcotest.(check bool) "module submits" true s.Summary.sm_submits;
+  Alcotest.(check bool) "module is concurrency-claiming" true s.Summary.sm_concurrent;
+  Alcotest.(check bool) "locked is lock-aware" true (fn "locked").Summary.fn_lock_aware;
+  let cell_refs f =
+    List.filter (fun (r : Summary.reference) -> r.Summary.r_path = [ "cell" ]) f.Summary.fn_refs
+  in
+  Alcotest.(check bool) "submit closure ref is in-task and unguarded" true
+    (List.exists
+       (fun (r : Summary.reference) -> r.Summary.r_in_task && not r.Summary.r_guarded)
+       (cell_refs (fn "spawn")));
+  Alcotest.(check bool) "protected closure ref is guarded" true
+    (List.for_all (fun (r : Summary.reference) -> r.Summary.r_guarded) (cell_refs (fn "safe")))
+
+(* --- Emitters: JSON and SARIF ---------------------------------------- *)
+
+let sample_findings () =
+  [
+    Lint_types.make ~rule:Lint_types.R7 ~file:"lib/a.ml" ~line:3 ~col:5 "race on \"cell\"";
+    Lint_types.make ~severity:Lint_types.Warning ~rule:Lint_types.R8 ~file:"bin/b.ml" ~line:0
+      ~col:0 "entropy\nwith newline";
+  ]
+
+let test_json_emitter () =
+  let js = Lint_types.to_json (sample_findings ()) in
+  Alcotest.(check bool) "parses as JSON" true (Mini_json.ok js);
+  Alcotest.(check bool) "empty list is valid" true (Mini_json.ok (Lint_types.to_json []))
+
+let test_sarif_emitter () =
+  let sarif = Lint_types.to_sarif (sample_findings ()) in
+  Alcotest.(check bool) "parses as JSON" true (Mini_json.ok sarif);
+  let has needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length sarif
+      && (String.equal (String.sub sarif i n) needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "declares 2.1.0" true (has "\"version\":\"2.1.0\"");
+  Alcotest.(check bool) "names the driver" true (has "\"name\":\"ahl_lint\"");
+  Alcotest.(check bool) "carries rule metadata" true (has "\"id\":\"R7\"");
+  Alcotest.(check bool) "describes every rule" true
+    (List.for_all
+       (fun r -> not (String.equal (Lint_types.rule_description r) ""))
+       [ Lint_types.R7; Lint_types.R8 ]);
+  Alcotest.(check bool) "results carry locations" true (has "physicalLocation");
+  Alcotest.(check bool) "line 0 clamped to 1" true (has "\"startLine\":1");
+  Alcotest.(check bool) "empty log still valid" true (Mini_json.ok (Lint_types.to_sarif []))
+
 (* --- Baseline ratchet ----------------------------------------------- *)
 
 let with_baseline contents k =
@@ -216,10 +362,12 @@ let test_baseline_exceeded () =
       Alcotest.(check int) "growth reports the whole group" 2 (List.length remaining))
 
 let test_baseline_rejects_r1_r2 () =
-  with_baseline "R1 lib/sim/engine.ml 1\nR2 lib/consensus/pbft.ml 3\nR6 lib/core/results.ml 1\n"
+  with_baseline
+    "R1 lib/sim/engine.ml 1\nR2 lib/consensus/pbft.ml 3\nR6 lib/core/results.ml 1\n\
+     R7 lib/core/experiment.ml 2\n"
     (fun b ->
       let remaining = Lint.apply_baseline ~baseline:b [] in
-      Alcotest.(check int) "all three entries rejected" 3 (List.length remaining);
+      Alcotest.(check int) "all four entries rejected" 4 (List.length remaining);
       List.iter
         (fun f ->
           Alcotest.(check string) "rejection is an error" "error"
@@ -278,11 +426,28 @@ let () =
           Alcotest.test_case "scope predicate" `Quick test_r6_scope_predicate;
         ] );
       ("r4-interfaces", [ Alcotest.test_case "tree scan" `Quick test_r4_scan ]);
+      ( "r7-domain-safety",
+        [
+          Alcotest.test_case "tree scan: task-reachable access" `Quick test_r7_scan;
+          Alcotest.test_case "tree scan: hand-rolled sync mutations" `Quick
+            test_r7_concurrent_mutations;
+        ] );
+      ("r8-nondeterminism", [ Alcotest.test_case "tree scan" `Quick test_r8_scan ]);
+      ( "summary-pass",
+        [
+          Alcotest.test_case "cell classification" `Quick test_summary_cells;
+          Alcotest.test_case "guard and task contexts" `Quick test_summary_contexts;
+        ] );
+      ( "emitters",
+        [
+          Alcotest.test_case "json well-formed" `Quick test_json_emitter;
+          Alcotest.test_case "sarif 2.1.0 shape" `Quick test_sarif_emitter;
+        ] );
       ( "baseline",
         [
           Alcotest.test_case "within allowance" `Quick test_baseline_within_allowance;
           Alcotest.test_case "exceeded reports group" `Quick test_baseline_exceeded;
-          Alcotest.test_case "R1/R2/R6 never baselined" `Quick test_baseline_rejects_r1_r2;
+          Alcotest.test_case "R1/R2/R6/R7 never baselined" `Quick test_baseline_rejects_r1_r2;
           Alcotest.test_case "missing file is empty" `Quick test_baseline_missing_file_is_empty;
         ] );
     ]

@@ -44,7 +44,8 @@ let test_rng_int_range () =
 
 let test_rng_int_rejects_nonpositive () =
   let rng = Rng.create 1L in
-  Alcotest.check_raises "n = 0" (Invalid_argument "Rng.int") (fun () -> ignore (Rng.int rng 0))
+  Alcotest.check_raises "n = 0" (Invariant.Violation "Rng.int: bound 0 not positive") (fun () ->
+      ignore (Rng.int rng 0))
 
 let test_rng_int_uniform () =
   let rng = Rng.create 5L in
@@ -129,7 +130,7 @@ let test_rng_pick () =
   for _ = 1 to 100 do
     Alcotest.(check bool) "picked element" true (Array.mem (Rng.pick rng arr) arr)
   done;
-  Alcotest.check_raises "empty array" (Invalid_argument "Rng.pick") (fun () ->
+  Alcotest.check_raises "empty array" (Invariant.Violation "Rng.pick: empty array") (fun () ->
       ignore (Rng.pick rng [||]))
 
 (* ------------------------------------------------------------------ *)

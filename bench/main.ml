@@ -47,6 +47,19 @@ let micro_tests () =
   let live_probe =
     Probe.make ~trace:(Repro_obs.Trace.create ()) ~metrics:(Repro_obs.Metrics.create ())
   in
+  (* 16 two-shard transactions, 4 coordinator steps each (Begin, both
+     votes, one duplicate vote) — the slot payload a full batch carries. *)
+  let ref_steps =
+    List.concat_map
+      (fun txid ->
+        [
+          (txid, Repro_shard.Reference.Begin { participants = [ 0; 1 ] });
+          (txid, Repro_shard.Reference.Prepare_ok { shard = 0 });
+          (txid, Repro_shard.Reference.Prepare_ok { shard = 1 });
+          (txid, Repro_shard.Reference.Prepare_ok { shard = 1 });
+        ])
+      (List.init 16 Fun.id)
+  in
   [
     Test.make ~name:"sha256/256B" (Staged.stage (fun () -> Sha256.digest_string payload));
     Test.make ~name:"hmac-sha256/256B"
@@ -66,6 +79,20 @@ let micro_tests () =
            Repro_shard.Sizing.min_committee_size ~total:2000 ~fraction:0.25
              ~rule:Repro_shard.Sizing.Ahl_half ~security_bits:20));
     Test.make ~name:"zipf-sample" (Staged.stage (fun () -> Zipf.sample zipf zrng));
+    (* The batched-commit pair: one slot applying 64 coordinator steps in
+       a single pass vs the same steps as 64 separate slot executions.
+       Both recreate the state machine per iteration so the comparison is
+       creation + application on each side. *)
+    Test.make ~name:"ref-step/seq64"
+      (Staged.stage (fun () ->
+           let t = Repro_shard.Reference.create () in
+           List.iter
+             (fun (txid, ev) -> ignore (Repro_shard.Reference.step t ~txid ev))
+             ref_steps));
+    Test.make ~name:"ref-step-batch/64"
+      (Staged.stage (fun () ->
+           let t = Repro_shard.Reference.create () in
+           ignore (Repro_shard.Reference.step_batch t ref_steps)));
     (* The two probe entries bound the cost of the permanent instrumentation:
        disabled emitters must be branch-cheap, enabled ones a hashtable op. *)
     Test.make ~name:"probe-off/incr" (Staged.stage (fun () -> Probe.incr Probe.none "bench.ctr"));

@@ -3,8 +3,8 @@
 
    Usage: ahl_check [--variant NAME] [--n N] [--f F] [--trials T]
                     [--seed S] [--budget B] [--json]
-          ahl_check --cross-shard [--mode diff|ref|client]
-                    [--concurrency 2pl|waitdie] [--shards K]
+          ahl_check --cross-shard [--mode diff|ref|client|flat]
+                    [--concurrency 2pl|waitdie] [--batching] [--shards K]
                     [--committee N] [--trials T] [--seed S] [--budget B]
                     [--json]
 
@@ -18,7 +18,9 @@
    atomicity / durable-decision / conservation / stuck-lock / liveness
    oracles.  --mode diff runs the silent-client differential
    (With_reference survives, Client_driven leaves locks stuck); --mode
-   ref or client explores that coordination mode.
+   ref, client, or flat explores that coordination mode.  --batching runs
+   the system under test on the batched + pipelined commit path (the
+   witness line is unchanged: batching is a run parameter).
 
    Exit codes: 0 property holds / no violation, 1 otherwise, 2 usage
    errors.  Every reported witness is replayable from
@@ -36,6 +38,7 @@ let () =
   let budget = ref 32 in
   let json = ref false in
   let cross = ref false in
+  let batching = ref false in
   let mode = ref "diff" in
   let concurrency = ref "2pl" in
   let shards = ref 3 in
@@ -52,9 +55,13 @@ let () =
       ("--budget", Arg.Set_int budget, "B max shrink replays per violation (default: 32)");
       ("--json", Arg.Set json, " emit a machine-readable summary on stdout");
       ("--cross-shard", Arg.Set cross, " explore whole-system cross-shard schedules");
+      ( "--batching",
+        Arg.Set batching,
+        " run the cross-shard system on the batched + pipelined commit path" );
       ( "--mode",
         Arg.Set_string mode,
-        "M cross-shard mode: diff|ref|client (default: diff, the silent-client differential)" );
+        "M cross-shard mode: diff|ref|client|flat (default: diff, the silent-client \
+         differential)" );
       ( "--concurrency",
         Arg.Set_string concurrency,
         "C cross-shard concurrency control: 2pl|waitdie (default: 2pl)" );
@@ -102,7 +109,10 @@ let () =
     in
     match !mode with
     | "diff" | "differential" ->
-        let d = Xexplore.differential ~shards:!shards ~committee_size:!committee ~seed in
+        let d =
+          Xexplore.differential ~batching:!batching ~shards:!shards ~committee_size:!committee
+            ~seed ()
+        in
         if !json then print_endline (Xexplore.json_of_differential d)
         else Format.printf "%a" Xexplore.pp_differential d;
         exit (if d.Xexplore.holds then 0 else 1)
@@ -113,8 +123,8 @@ let () =
             exit 2
         | Some mode ->
             let r =
-              Xexplore.run ~mode ~concurrency ~shards:!shards ~committee_size:!committee
-                ~trials:!trials ~seed ~budget:!budget
+              Xexplore.run ~batching:!batching ~mode ~concurrency ~shards:!shards
+                ~committee_size:!committee ~trials:!trials ~seed ~budget:!budget ()
             in
             if !json then print_endline (Xexplore.json_of_report r)
             else Format.printf "%a" Xexplore.pp_report r;

@@ -142,17 +142,28 @@ let beacon_cmd =
 (* ------------------------------------------------------------------ *)
 
 let shards_cmd =
-  let run shards committee duration no_reference theta =
-    let mode = if no_reference then System.Client_driven else System.With_reference in
-    let sys = System.create { (System.default_config ~shards ~committee_size:committee) with System.mode } in
+  let run shards committee duration no_reference coordination batching theta =
+    let mode =
+      match coordination with
+      | Some m -> m
+      | None -> if no_reference then System.Client_driven else System.With_reference
+    in
+    let mode_tag =
+      match mode with
+      | System.With_reference -> "with-reference"
+      | System.Client_driven -> "client-driven"
+      | System.Flattened -> "flattened"
+    in
+    let base = System.default_config ~shards ~committee_size:committee in
+    let batching = if batching then base.System.batching else None in
+    let sys = System.create { base with System.mode; batching } in
     let wl = Workload.create Workload.Smallbank ~keyspace:20_000 ~theta ~rng:(Rng.create 4L) in
     Workload.setup wl sys ~initial_balance:5000;
     Workload.start_closed_loop wl sys ~clients:(4 * shards) ~outstanding:32;
     System.run sys ~until:duration;
     Printf.printf
       "shards=%d n=%d %s: %.0f tx/s, %d committed, %.1f%% aborts, cross-shard %.0f%%, R busy %.0f%%\n"
-      shards committee
-      (if no_reference then "client-driven" else "with-reference")
+      shards committee mode_tag
       (System.throughput sys ~warmup:(duration /. 5.0))
       (System.committed sys)
       (100.0 *. System.abort_rate sys)
@@ -163,11 +174,39 @@ let shards_cmd =
   let shards = Arg.(value & opt int 4 & info [ "shards"; "k" ] ~doc:"Number of shards") in
   let committee = Arg.(value & opt int 3 & info [ "committee" ] ~doc:"Committee size") in
   let duration = Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Virtual seconds") in
-  let no_ref = Arg.(value & flag & info [ "no-reference" ] ~doc:"Client-driven coordination") in
+  let no_ref =
+    Arg.(
+      value & flag
+      & info [ "no-reference" ] ~doc:"Client-driven coordination (alias for $(b,--coordination client))")
+  in
+  let coordination =
+    let mode_conv =
+      Arg.enum
+        [
+          ("ref", System.With_reference);
+          ("client", System.Client_driven);
+          ("flattened", System.Flattened);
+        ]
+    in
+    Arg.(
+      value
+      & opt (some mode_conv) None
+      & info [ "coordination" ]
+          ~doc:
+            "Cross-shard coordination: $(b,ref) (dedicated reference committee), $(b,client) \
+             (client-driven, no fallback), or $(b,flattened) (SharPer-style, the 2PC state \
+             machine rides the coordinator shard's own committee)")
+  in
+  let batching =
+    Arg.(
+      value & opt bool true
+      & info [ "batching" ]
+          ~doc:"Batched + pipelined cross-shard commit (use $(b,--batching=false) for the legacy path)")
+  in
   let theta = Arg.(value & opt float 0.2 & info [ "zipf" ] ~doc:"Zipf skew of the workload") in
   Cmd.v
     (Cmd.info "shards" ~doc:"Run the full sharded blockchain under SmallBank")
-    Term.(const run $ shards $ committee $ duration $ no_ref $ theta)
+    Term.(const run $ shards $ committee $ duration $ no_ref $ coordination $ batching $ theta)
 
 (* ------------------------------------------------------------------ *)
 (* contract                                                            *)

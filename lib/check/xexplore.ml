@@ -4,11 +4,13 @@ open Repro_core
 let mode_of_name = function
   | "ref" | "with-reference" -> Some System.With_reference
   | "client" | "client-driven" -> Some System.Client_driven
+  | "flat" | "flattened" -> Some System.Flattened
   | _ -> None
 
 let mode_name = function
   | System.With_reference -> "with-reference"
   | System.Client_driven -> "client-driven"
+  | System.Flattened -> "flattened"
 
 let concurrency_of_name = function
   | "2pl" -> Some System.Two_phase_locking
@@ -26,6 +28,7 @@ type trial = {
 
 type report = {
   mode : System.coordination_mode;
+  batching : bool;
   shards : int;
   committee_size : int;
   trials : trial list;
@@ -33,8 +36,10 @@ type report = {
   liveness_violations : int;
 }
 
-let replay ~mode ~concurrency ~shards ~committee_size ~engine_seed schedule =
-  Xoracle.check (Xtestbed.run ~engine_seed ~mode ~concurrency ~shards ~committee_size schedule)
+let replay ?(batching = false) ~mode ~concurrency ~shards ~committee_size ~engine_seed schedule
+    =
+  Xoracle.check
+    (Xtestbed.run ~batching ~engine_seed ~mode ~concurrency ~shards ~committee_size schedule)
 
 let schedule_for ~seed ~shards ~committee_size index =
   Xschedule.generate
@@ -43,11 +48,14 @@ let schedule_for ~seed ~shards ~committee_size index =
 
 let engine_seed_for ~seed index = Int64.add seed (Int64.of_int index)
 
-let run ~mode ~concurrency ~shards ~committee_size ~trials ~seed ~budget =
+let run ?(batching = false) ~mode ~concurrency ~shards ~committee_size ~trials ~seed ~budget ()
+    =
   let run_trial index =
     let schedule = schedule_for ~seed ~shards ~committee_size index in
     let engine_seed = engine_seed_for ~seed index in
-    let violations = replay ~mode ~concurrency ~shards ~committee_size ~engine_seed schedule in
+    let violations =
+      replay ~batching ~mode ~concurrency ~shards ~committee_size ~engine_seed schedule
+    in
     (* Unlike the single-committee explorer, liveness-class findings
        (stuck locks) are first-class bugs here, so any violation is worth
        a minimal witness. *)
@@ -56,7 +64,7 @@ let run ~mode ~concurrency ~shards ~committee_size ~trials ~seed ~budget =
       | [] -> (None, 0)
       | first :: _ ->
           let replay_one s =
-            match replay ~mode ~concurrency ~shards ~committee_size ~engine_seed s with
+            match replay ~batching ~mode ~concurrency ~shards ~committee_size ~engine_seed s with
             | [] -> None
             | v :: _ -> Some v
           in
@@ -69,6 +77,7 @@ let run ~mode ~concurrency ~shards ~committee_size ~trials ~seed ~budget =
   let count p = List.length (List.filter p all) in
   {
     mode;
+    batching;
     shards;
     committee_size;
     trials = all;
@@ -100,9 +109,9 @@ type differential = {
   holds : bool;
 }
 
-let differential ~shards ~committee_size ~seed =
+let differential ?(batching = false) ~shards ~committee_size ~seed () =
   let go mode =
-    replay ~mode ~concurrency:System.Two_phase_locking ~shards ~committee_size
+    replay ~batching ~mode ~concurrency:System.Two_phase_locking ~shards ~committee_size
       ~engine_seed:seed silent_client_schedule
   in
   let with_ref = go System.With_reference in
@@ -131,9 +140,10 @@ let pp_trial fmt t =
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "cross-shard %s shards=%d committee=%d: %d/%d trials with safety violations, %d liveness@."
-    (mode_name r.mode) r.shards r.committee_size r.safety_violations (List.length r.trials)
-    r.liveness_violations;
+    "cross-shard %s%s shards=%d committee=%d: %d/%d trials with safety violations, %d liveness@."
+    (mode_name r.mode)
+    (if r.batching then " (batched)" else "")
+    r.shards r.committee_size r.safety_violations (List.length r.trials) r.liveness_violations;
   List.iter (pp_trial fmt) r.trials
 
 let pp_differential fmt d =
@@ -176,9 +186,9 @@ let json_of_report r =
       t.shrink_reruns
   in
   Printf.sprintf
-    "{\"mode\":\"%s\",\"shards\":%d,\"committee_size\":%d,\"trials\":%d,\"safety_violations\":%d,\"liveness_violations\":%d,\"results\":[%s]}"
-    (mode_name r.mode) r.shards r.committee_size (List.length r.trials) r.safety_violations
-    r.liveness_violations
+    "{\"mode\":\"%s\",\"batching\":%b,\"shards\":%d,\"committee_size\":%d,\"trials\":%d,\"safety_violations\":%d,\"liveness_violations\":%d,\"results\":[%s]}"
+    (mode_name r.mode) r.batching r.shards r.committee_size (List.length r.trials)
+    r.safety_violations r.liveness_violations
     (String.concat "," (List.map trial_json r.trials))
 
 let json_of_differential d =

@@ -7,7 +7,7 @@
     fixed run parameters. *)
 
 val mode_of_name : string -> Repro_core.System.coordination_mode option
-(** CLI names: [ref], [client]. *)
+(** CLI names: [ref], [client], [flat]. *)
 
 val mode_name : Repro_core.System.coordination_mode -> string
 
@@ -25,6 +25,7 @@ type trial = {
 
 type report = {
   mode : Repro_core.System.coordination_mode;
+  batching : bool;  (** true when the trials ran the batched commit path *)
   shards : int;
   committee_size : int;
   trials : trial list;
@@ -33,6 +34,7 @@ type report = {
 }
 
 val replay :
+  ?batching:bool ->
   mode:Repro_core.System.coordination_mode ->
   concurrency:Repro_core.System.concurrency_control ->
   shards:int ->
@@ -40,7 +42,9 @@ val replay :
   engine_seed:int64 ->
   Xschedule.t ->
   Xoracle.violation list
-(** Deterministically re-run one witness and re-check the oracles. *)
+(** Deterministically re-run one witness and re-check the oracles.
+    [batching] (default false) replays over the batched commit path; it is
+    a run parameter, not part of the witness line. *)
 
 val schedule_for : seed:int64 -> shards:int -> committee_size:int -> int -> Xschedule.t
 (** The schedule trial [i] uses (exposed for replay tests). *)
@@ -48,6 +52,7 @@ val schedule_for : seed:int64 -> shards:int -> committee_size:int -> int -> Xsch
 val engine_seed_for : seed:int64 -> int -> int64
 
 val run :
+  ?batching:bool ->
   mode:Repro_core.System.coordination_mode ->
   concurrency:Repro_core.System.concurrency_control ->
   shards:int ->
@@ -55,10 +60,12 @@ val run :
   trials:int ->
   seed:int64 ->
   budget:int ->
+  unit ->
   report
 (** Explore [trials] seeded schedules; every violation (stuck locks
     included — they are first-class bugs here) is shrunk with at most
-    [budget] replays. *)
+    [budget] replays.  [batching] (default false) explores the batched +
+    pipelined commit path on the same schedules. *)
 
 val silent_client_schedule : Xschedule.t
 (** Two cross-shard transfers, the first from a silent client, no
@@ -73,7 +80,11 @@ type differential = {
           while client-driven coordination leaves its locks stuck *)
 }
 
-val differential : shards:int -> committee_size:int -> seed:int64 -> differential
+val differential :
+  ?batching:bool -> shards:int -> committee_size:int -> seed:int64 -> unit -> differential
+(** [batching] (default false) runs both sides of the differential over
+    the batched commit path — the Figure-14 argument must survive the
+    optimization. *)
 
 val pp_report : Format.formatter -> report -> unit
 

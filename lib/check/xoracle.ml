@@ -112,9 +112,10 @@ let check (o : Xtestbed.outcome) =
   | _ :: _ -> safety
   | [] ->
       (* Liveness-class checks only mean something on safe runs.  With a
-         reference committee every transaction must eventually decide —
-         defeating silent clients is the point of R's fallback; client-
-         driven coordination is only accountable for honest clients. *)
+         coordinator committee — R, or the flattened per-shard machines —
+         every transaction must eventually decide: defeating silent
+         clients is the point of the fallback; client-driven coordination
+         is only accountable for honest clients. *)
       let stuck =
         if o.Xtestbed.stuck_locks > 0 then [ Stuck_locks { count = o.Xtestbed.stuck_locks } ]
         else []
@@ -123,7 +124,7 @@ let check (o : Xtestbed.outcome) =
         List.filter
           (fun (i : Xtestbed.tx_info) ->
             i.Xtestbed.outcome = None
-            && (i.Xtestbed.honest || o.Xtestbed.mode = System.With_reference))
+            && (i.Xtestbed.honest || o.Xtestbed.mode <> System.Client_driven))
           o.Xtestbed.infos
       in
       let liveness =

@@ -31,6 +31,10 @@ let leg_of_op = function
   (* Submissions and BeginTx are the workload, not the adversary's to
      touch — dropping them reads as a liveness bug that is not one. *)
   | Coordination.Single _ | Coordination.Begin_tx _ -> None
+  (* Never seen here: System filters a batch's constituent steps
+     individually before sealing the carrier, so fault probabilities act
+     per leg no matter how legs are grouped. *)
+  | Coordination.Batch _ -> None
 
 (* Deterministic key living on a given shard under hash partitioning. *)
 let key_on ~shards ~prefix shard =
@@ -40,15 +44,20 @@ let key_on ~shards ~prefix shard =
   in
   find 0
 
-let run ?(probe = Repro_obs.Probe.none) ~engine_seed ~mode ~concurrency ~shards
-    ~committee_size (sched : Xschedule.t) =
+let run ?(probe = Repro_obs.Probe.none) ?(batching = false) ~engine_seed ~mode ~concurrency
+    ~shards ~committee_size (sched : Xschedule.t) =
+  let base = System.default_config ~shards ~committee_size in
   let sys =
     System.create
       {
-        (System.default_config ~shards ~committee_size) with
+        base with
         System.mode;
         concurrency;
         seed = engine_seed;
+        (* Default off: legacy witnesses replay bit-identically on the
+           one-request-per-leg path; [batching:true] explores the batched
+           commit path instead. *)
+        batching = (if batching then base.System.batching else None);
       }
   in
   System.set_probe sys probe;
@@ -98,20 +107,25 @@ let run ?(probe = Repro_obs.Probe.none) ~engine_seed ~mode ~concurrency ~shards
                else if !delay > 0.0 then Network.Delay !delay
                else if !dup then Network.Duplicate { copies = 2; spacing = 0.5 }
                else Network.Deliver));
-  (* Crash faults against R's replicas (never the observer: member 0 is
-     pinned measurement infrastructure). *)
-  if mode = System.With_reference then
-    List.iter
-      (fun (f : Xschedule.fault) ->
-        match f.Xschedule.kind with
-        | Xschedule.Crash_ref { member } ->
-            let member = Int.max 1 (Int.min member (committee_size - 1)) in
-            Engine.schedule_at engine ~time:f.Xschedule.start (fun () ->
-                System.crash_member sys ~committee:shards ~member);
-            Engine.schedule_at engine ~time:f.Xschedule.stop (fun () ->
-                System.recover_member sys ~committee:shards ~member)
-        | _ -> ())
-      sched.Xschedule.faults;
+  (* Crash faults against the coordinator committee's replicas (never the
+     observer: member 0 is pinned measurement infrastructure).  Under
+     [Flattened] there is no R, so the fault lands on shard 0 — the
+     committee most transactions' 2PC machines hash to in small runs. *)
+  (match mode with
+  | System.With_reference | System.Flattened ->
+      let committee = if mode = System.With_reference then shards else 0 in
+      List.iter
+        (fun (f : Xschedule.fault) ->
+          match f.Xschedule.kind with
+          | Xschedule.Crash_ref { member } ->
+              let member = Int.max 1 (Int.min member (committee_size - 1)) in
+              Engine.schedule_at engine ~time:f.Xschedule.start (fun () ->
+                  System.crash_member sys ~committee ~member);
+              Engine.schedule_at engine ~time:f.Xschedule.stop (fun () ->
+                  System.recover_member sys ~committee ~member)
+          | _ -> ())
+        sched.Xschedule.faults
+  | System.Client_driven -> ());
   (* Shard-side crash faults and epoch transitions apply in every mode. *)
   List.iter
     (fun (f : Xschedule.fault) ->
@@ -189,15 +203,23 @@ let run ?(probe = Repro_obs.Probe.none) ~engine_seed ~mode ~concurrency ~shards
       txs
   in
   let ref_decisions =
-    match System.reference_machine sys with
-    | None -> []
-    | Some r ->
+    (* At most one hosted machine carries each txid (R's single machine,
+       or the transaction's coordinator shard when flattened). *)
+    match System.coordination_machines sys with
+    | [] -> []
+    | machines ->
         List.filter_map
           (fun (txid, _, _) ->
-            match Repro_shard.Reference.state_of r ~txid with
-            | Some Repro_shard.Reference.Committed -> Some (txid, true)
-            | Some Repro_shard.Reference.Aborted -> Some (txid, false)
-            | Some _ | None -> None)
+            List.fold_left
+              (fun acc m ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                    match Repro_shard.Reference.state_of m ~txid with
+                    | Some Repro_shard.Reference.Committed -> Some (txid, true)
+                    | Some Repro_shard.Reference.Aborted -> Some (txid, false)
+                    | Some _ | None -> None))
+              None machines)
           txs
   in
   {

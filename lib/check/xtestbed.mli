@@ -28,14 +28,16 @@ type outcome = {
   total_before : int;  (** sum of account balances after funding *)
   total_after : int;  (** the same sum at the horizon *)
   ref_decisions : (int * bool) list;
-      (** R's recorded decision per txid ([true] = committed); empty in
-          [Client_driven] mode *)
+      (** the coordinator machines' recorded decision per txid ([true] =
+          committed): R's machine, or the per-shard machines when
+          flattened; empty in [Client_driven] mode *)
   horizon : float;
   registry_size : int;  (** live coordination-registry entries at the horizon *)
 }
 
 val run :
   ?probe:Repro_obs.Probe.t ->
+  ?batching:bool ->
   engine_seed:int64 ->
   mode:Repro_core.System.coordination_mode ->
   concurrency:Repro_core.System.concurrency_control ->
@@ -46,4 +48,11 @@ val run :
 (** [probe] (default disabled) threads observability through the whole
     system under test — 2PC leg timing, vote/abort causes, PBFT phase and
     view-change events, epoch-transition waves — so a shrunk witness can
-    be replayed with [--trace] and read in Perfetto. *)
+    be replayed with [--trace] and read in Perfetto.
+
+    [batching] (default [false], keeping every legacy witness
+    bit-replayable on the one-request-per-leg path) runs the system with
+    {!Repro_core.System.default_batching} instead, so the adversary
+    exercises the batched + pipelined commit path; a schedule's fault
+    probabilities apply per constituent leg either way, and it is a run
+    parameter — deliberately not part of the witness line. *)

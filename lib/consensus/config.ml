@@ -59,7 +59,7 @@ let n_for_f variant ~f =
   match variant.quorum_rule with `Third -> (3 * f) + 1 | `Half -> (2 * f) + 1
 
 let default variant ~n =
-  if n < 1 then invalid_arg "Config.default: n must be positive";
+  if n < 1 then Repro_sim.Sim_error.invalid "Config.default: n must be positive";
   {
     variant;
     n;

@@ -5,8 +5,9 @@ type op =
   | Vote of { txid : int; shard : int; ok : bool }
   | Commit_tx of { txid : int; ops : Repro_ledger.Tx.op list }
   | Abort_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Batch of { batch : int; steps : op list }
 
-let txid_of_op = function
+let rec txid_of_op = function
   | Single { txid; _ }
   | Begin_tx { txid; _ }
   | Prepare_tx { txid; _ }
@@ -14,6 +15,38 @@ let txid_of_op = function
   | Commit_tx { txid; _ }
   | Abort_tx { txid; _ } ->
       txid
+  (* Batches carry steps of many transactions; registry compaction keys
+     them by a synthetic id disjoint from real (non-negative) txids. *)
+  | Batch { batch; steps = _ } -> batch_txid batch
+
+and batch_txid batch = -batch - 1
+
+(* Canonical slot order: all Begins land before any Vote of the same slot,
+   so a transaction whose Begin and first Votes share a batch starts before
+   it counts votes; within a kind, (txid, shard, ok) breaks ties.  The
+   order is a pure function of the step (never of arrival), which is what
+   makes a batch's effect independent of submission interleaving. *)
+let step_rank = function
+  | Begin_tx _ -> 0
+  | Vote _ -> 1
+  | Single _ -> 2
+  | Prepare_tx _ -> 3
+  | Commit_tx _ -> 4
+  | Abort_tx _ -> 5
+  | Batch _ -> 6
+
+let batch_order a b =
+  let c = Int.compare (step_rank a) (step_rank b) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (txid_of_op a) (txid_of_op b) in
+    if c <> 0 then c
+    else
+      match (a, b) with
+      | Vote { shard = sa; ok = oka; _ }, Vote { shard = sb; ok = okb; _ } ->
+          let c = Int.compare sa sb in
+          if c <> 0 then c else Bool.compare oka okb
+      | _ -> 0
 
 (* Tags are handed out once per distinct operation: a client retry (or an
    adversarial duplicate) re-registering the same op gets the original tag
@@ -61,7 +94,7 @@ let release r ~txid =
 
 let length r = Hashtbl.length r.ops
 
-let op_cost (costs : Repro_crypto.Cost_model.t) op =
+let rec op_cost (costs : Repro_crypto.Cost_model.t) op =
   let per_op = costs.Repro_crypto.Cost_model.tx_execute in
   match op with
   | Single { ops; _ } -> float_of_int (List.length ops) *. per_op
@@ -69,3 +102,11 @@ let op_cost (costs : Repro_crypto.Cost_model.t) op =
       (* Lock-tuple reads/writes double the state touches. *)
       2.0 *. float_of_int (List.length ops) *. per_op
   | Begin_tx _ | Vote _ -> per_op
+  | Batch { steps; _ } -> List.fold_left (fun acc s -> acc +. op_cost costs s) 0.0 steps
+
+let rec op_bytes op =
+  match op with
+  | Single { ops; _ } | Prepare_tx { ops; _ } | Commit_tx { ops; _ } | Abort_tx { ops; _ } ->
+      40 * List.length ops
+  | Begin_tx _ | Vote _ -> 40
+  | Batch { steps; _ } -> List.fold_left (fun acc s -> acc + op_bytes s) 16 steps

@@ -3,9 +3,11 @@
     to its operation.
 
     Single-shard transactions execute directly; a cross-shard transaction
-    becomes a [Begin_tx] on the reference committee, one [Prepare_tx] per
-    participant shard, [Vote]s back on R, and finally [Commit_tx] /
-    [Abort_tx] on the participants (Figure 5). *)
+    becomes a [Begin_tx] on the coordinating committee, one [Prepare_tx]
+    per participant shard, [Vote]s back to the coordinator, and finally
+    [Commit_tx] / [Abort_tx] on the participants (Figure 5).  Under the
+    batched commit path many coordinator-bound steps ride one [Batch]
+    carrier, so a single consensus slot orders them all. *)
 
 type op =
   | Single of { txid : int; ops : Repro_ledger.Tx.op list }
@@ -14,9 +16,26 @@ type op =
   | Vote of { txid : int; shard : int; ok : bool }
   | Commit_tx of { txid : int; ops : Repro_ledger.Tx.op list }
   | Abort_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Batch of { batch : int; steps : op list }
+      (** One consensus slot carrying many coordination steps (Begin/Vote);
+          [batch] is a per-system unique id, [steps] are canonically ordered
+          by {!batch_order} before submission. *)
 
 val txid_of_op : op -> int
-(** The transaction every operation belongs to. *)
+(** The transaction every operation belongs to; a [Batch] answers with the
+    synthetic {!batch_txid} of its id (negative, disjoint from real
+    transactions) so registry compaction can release it as a unit. *)
+
+val batch_txid : int -> int
+(** The synthetic registry key of batch [id]: negative, so it can never
+    collide with a real transaction id. *)
+
+val batch_order : op -> op -> int
+(** Canonical deterministic order of steps within one consensus slot:
+    [Begin_tx] before [Vote], then by txid, then (for votes) by shard and
+    outcome.  A pure function of the steps themselves, so any submission
+    interleaving sorts to the same slot content — the determinism argument
+    for the batched commit path (DESIGN §15). *)
 
 type registry
 
@@ -33,9 +52,10 @@ val lookup : registry -> int -> op option
 (** [None] for unknown tags and for tags already {!release}d. *)
 
 val release : registry -> txid:int -> unit
-(** Compaction hook: drop every entry belonging to a finished transaction.
-    Late retries or duplicates carrying a released tag fail [lookup] and
-    are ignored by the executors — the decision is already applied. *)
+(** Compaction hook: drop every entry belonging to a finished transaction
+    (or, via {!batch_txid}, an executed batch).  Late retries or duplicates
+    carrying a released tag fail [lookup] and are ignored by the executors
+    — the decision is already applied. *)
 
 val length : registry -> int
 (** Live entries; regression surface for the retry-leak bound. *)
@@ -43,4 +63,9 @@ val length : registry -> int
 val op_cost : Repro_crypto.Cost_model.t -> op -> float
 (** Execution cost charged per replica when the operation runs: prepares
     and commits touch the lock tuples and state, begin/vote only the
-    reference chaincode's bookkeeping. *)
+    coordinator chaincode's bookkeeping; a batch costs the sum of its
+    steps. *)
+
+val op_bytes : op -> int
+(** Wire-size contribution of the operation's payload (beyond the fixed
+    request envelope); batches grow with their step count. *)

@@ -214,30 +214,35 @@ let run_shards ?(quick = false) ?(site = Cluster) ?(mode = System.With_reference
     }
   in
   let sys = System.create cfg in
-  (let mode_tag =
-     match mode with System.With_reference -> "ref" | System.Client_driven -> "client"
-   in
-   let cc_tag =
-     match concurrency with System.Two_phase_locking -> "2pl" | System.Wait_die -> "waitdie"
-   in
-   let wl_tag =
-     match workload with
-     | Workload.Smallbank -> "sb"
-     | Workload.Kvstore { updates_per_tx } -> Printf.sprintf "kvs%d" updates_per_tx
-   in
-   let reshard_tag =
-     match reshard with
-     | None -> "none"
-     | Some `Swap_all -> "swapall"
-     | Some (`Batched b) -> "batched" ^ string_of_int b
-   in
-   System.set_probe sys
-     (hub_probe
-        (Printf.sprintf
-           "shards:%s:k=%d:n=%d:mode=%s:cc=%s:site=%d:theta=%g:wl=%s:out=%d:reshard=%s:dur=%g:quick=%b"
-           cfg.System.variant.Config.name shards committee_size mode_tag cc_tag
-           (match site with Cluster -> 0 | Gcp4 -> 4 | Gcp8 -> 8)
-           theta wl_tag outstanding reshard_tag dur quick)));
+  let probe =
+    let mode_tag =
+      match mode with
+      | System.With_reference -> "ref"
+      | System.Client_driven -> "client"
+      | System.Flattened -> "flat"
+    in
+    let cc_tag =
+      match concurrency with System.Two_phase_locking -> "2pl" | System.Wait_die -> "waitdie"
+    in
+    let wl_tag =
+      match workload with
+      | Workload.Smallbank -> "sb"
+      | Workload.Kvstore { updates_per_tx } -> Printf.sprintf "kvs%d" updates_per_tx
+    in
+    let reshard_tag =
+      match reshard with
+      | None -> "none"
+      | Some `Swap_all -> "swapall"
+      | Some (`Batched b) -> "batched" ^ string_of_int b
+    in
+    hub_probe
+      (Printf.sprintf
+         "shards:%s:k=%d:n=%d:mode=%s:cc=%s:site=%d:theta=%g:wl=%s:out=%d:reshard=%s:dur=%g:quick=%b"
+         cfg.System.variant.Config.name shards committee_size mode_tag cc_tag
+         (match site with Cluster -> 0 | Gcp4 -> 4 | Gcp8 -> 8)
+         theta wl_tag outstanding reshard_tag dur quick)
+  in
+  System.set_probe sys probe;
   (* Keyspace grows with the deployment (more shards serve more users), so
      contention reflects skew rather than an artificially small universe. *)
   let wl =
@@ -252,6 +257,10 @@ let run_shards ?(quick = false) ?(site = Cluster) ?(mode = System.With_reference
       System.schedule_reshard sys ~at:(dur /. 3.0) ~strategy ~fetch_time:8.0;
       System.schedule_reshard sys ~at:(2.0 *. dur /. 3.0) ~strategy ~fetch_time:8.0);
   System.run sys ~until:dur;
+  (* The Fig.-13 bottleneck measure, exported next to the batch-size and
+     pipeline-depth histograms so METRICS_fig13.json tells the whole
+     plateau story. *)
+  Repro_obs.Probe.set_gauge probe "2pc.ref_busy_fraction" (System.reference_busy_fraction sys);
   {
     tps = System.throughput sys ~warmup;
     s_abort_rate = System.abort_rate sys;
@@ -618,6 +627,7 @@ let fig13 ?(quick = false) () =
                run ~variant:Config.hl ~csize:4 ~mode:System.With_reference;
                run ~variant:Config.ahl_plus ~csize:3 ~mode:System.Client_driven;
                run ~variant:Config.hl ~csize:4 ~mode:System.Client_driven;
+               run ~variant:Config.ahl_plus ~csize:3 ~mode:System.Flattened;
              ] ))
          ns)
   in
@@ -638,7 +648,7 @@ let fig13 ?(quick = false) () =
     ~caption:"Sharding on the local cluster, with and without the reference committee"
     [
       Results.panel ~title:"Throughput (SmallBank)" ~x_label:"N"
-        ~columns:[ "AHL+;w R"; "HL;w R"; "AHL+;w/o R"; "HL;w/o R" ]
+        ~columns:[ "AHL+;w R"; "HL;w R"; "AHL+;w/o R"; "HL;w/o R"; "AHL+;flat" ]
         ~rows:tps_rows;
       Results.panel ~title:"Abort rate vs Zipf" ~x_label:"zipf"
         ~columns:(List.map (fun n -> Printf.sprintf "N=%d" n) (if quick then [ 18; 36 ] else [ 8; 18; 36 ]))

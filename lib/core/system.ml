@@ -7,7 +7,7 @@ open Repro_shard
 module Probe = Repro_obs.Probe
 module Ev = Repro_obs.Event
 
-type coordination_mode = With_reference | Client_driven
+type coordination_mode = With_reference | Client_driven | Flattened
 
 type concurrency_control =
   | Two_phase_locking  (** the paper's 2PL: conflicting prepares vote NotOK *)
@@ -15,6 +15,8 @@ type concurrency_control =
       (** Section 6.4's optimization opportunity: an older transaction
           whose prepare hits a lock parks and retries when the lock frees
           (younger ones still die, so no deadlocks) *)
+
+type batching = { window : float; max_steps : int; pipeline : bool }
 
 type config = {
   shards : int;
@@ -27,7 +29,10 @@ type config = {
   seed : int64;
   tune : Config.t -> Config.t;
   client_fallback_timeout : float;
+  batching : batching option;
 }
+
+let default_batching = { window = 0.02; max_steps = 128; pipeline = true }
 
 let default_config ~shards ~committee_size =
   {
@@ -41,6 +46,7 @@ let default_config ~shards ~committee_size =
     seed = 1L;
     tune = Fun.id;
     client_fallback_timeout = 5.0;
+    batching = Some default_batching;
   }
 
 type tx_outcome = Committed | Aborted
@@ -49,10 +55,16 @@ type committee_ctx = {
   index : int; (* 0..shards-1, or [shards] for R *)
   base : int; (* global node id of member 0 *)
   pbft : Pbft.committee;
+  pcfg : Config.t;
   nodes : Pbft.msg Node.t array;
   state : State.t;
   chain : Block.Chain.chain;
   cmetrics : Metrics.t;
+  coordsm : Reference.t option;
+      (* the Fig.-6 2PC chaincode: hosted by R in [With_reference] mode,
+         by every shard committee in [Flattened] mode (the coordinator
+         shard of a transaction runs its machine), by nobody when the
+         client coordinates *)
   applied : (int * int, unit) Hashtbl.t;
       (* (txid, phase) pairs already executed — client retries after
          request loss make re-delivery possible, execution must be
@@ -85,13 +97,21 @@ type tx_record = {
 
 type decision_event = { at : float; txid : int; shard : int; commit : bool }
 
+(* Per-destination accumulator of coordinator-bound steps: one consensus
+   slot then carries the whole batch instead of one request per leg. *)
+type batcher = {
+  mutable steps : Coordination.op list; (* newest first *)
+  mutable count : int;
+  mutable bclient : int; (* client of the carrier request *)
+  mutable armed : bool; (* a window-flush timer is pending *)
+}
+
 type t = {
   cfg : config;
   engine : Engine.t;
   network : Pbft.msg Network.t;
   registry : Coordination.registry;
   mutable committees : committee_ctx array; (* shards, then optionally R last *)
-  refsm : Reference.t option;
   metrics : Metrics.t; (* transaction-level *)
   inflight : (int, tx_record) Hashtbl.t;
   client_votes : (int, (int, bool) Hashtbl.t) Hashtbl.t;
@@ -102,6 +122,10 @@ type t = {
       (* adversarial hook over coordination legs (see set_leg_filter) *)
   mutable decisions : decision_event list; (* reverse chronological *)
   mutable probe : Probe.t;
+  batchers : (int, batcher) Hashtbl.t; (* destination committee -> pending *)
+  mutable next_batch : int;
+  mutable batches_inflight : int; (* sent, not yet executed *)
+  live_batches : (int, unit) Hashtbl.t;
 }
 
 let ref_index t = t.cfg.shards
@@ -118,7 +142,24 @@ let shard_state t s = t.committees.(s).state
 
 let shard_chain t s = t.committees.(s).chain
 
-let reference_machine t = t.refsm
+let reference_machine t = if has_reference t then t.committees.(ref_index t).coordsm else None
+
+let coordination_machines t =
+  Array.to_list t.committees |> List.filter_map (fun ctx -> ctx.coordsm)
+
+(* The committee that runs a transaction's 2PC machine. *)
+let coordinator_of t (rec_ : tx_record) =
+  match t.cfg.mode with
+  | With_reference -> ref_index t
+  | Flattened ->
+      (* SharPer-style: an involved shard coordinates; spread the role over
+         participants by txid so no shard becomes the de-facto R. *)
+      let ps = rec_.participant_shards in
+      List.nth ps (rec_.tx.Tx.txid mod List.length ps)
+  | Client_driven ->
+      Sim_error.invalid "System.coordinator_of: no coordinator committee in client-driven mode"
+
+let pipelining t = match t.cfg.batching with Some b -> b.pipeline | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Request plumbing                                                    *)
@@ -129,40 +170,50 @@ let fresh_req t ~client ~op_tag =
   t.next_req <- req_id + 1;
   Types.request ~req_id ~client ~submitted:(Engine.now t.engine) ~op_tag ()
 
+(* Hand one coordination step (or a batch carrier) to a committee's entry
+   replica, unconditionally — leg filtering happens in the callers. *)
+let deliver_op t ~committee ~client op =
+  let ctx = t.committees.(committee) in
+  let op_tag = Coordination.register t.registry op in
+  let req = fresh_req t ~client ~op_tag in
+  (* Clients notice an unresponsive peer (dead TCP connection) and try the
+     next one, so entry requests go to a live member. *)
+  let n = Array.length ctx.nodes in
+  let member =
+    let start = req.Types.req_id mod n in
+    let rec probe i =
+      if i >= n then start
+      else
+        let m = (start + i) mod n in
+        if Node.is_crashed ctx.nodes.(m) then probe (i + 1) else m
+    in
+    probe 0
+  in
+  (match op with
+  | Coordination.Batch { steps; _ } ->
+      (* The entry replica's enclave verifies every inner step's client
+         signature and its peers accept the attested carrier, so the
+         per-step verification cost is paid once — at a rotating member,
+         off the replicated pre-prepare path (the amortization DESIGN §15
+         justifies; without it each step would cost every replica
+         [client_sig_verify]). *)
+      Node.charge ctx.nodes.(member)
+        (float_of_int (List.length steps)
+        *. ctx.pcfg.Config.client_sig_verify *. t.cfg.cpu_scale)
+  | _ -> ());
+  let dst = ctx.base + member in
+  let msg = Pbft.submit_via ctx.pbft ~member req in
+  let region = Topology.region_of_node t.cfg.topology dst in
+  Network.send_external t.network ~src_region:region ~dst ~channel:Pbft.request_channel
+    ~bytes:(240 + Coordination.op_bytes op)
+    msg
+
 (* Submit a coordination step as a consensus request to a committee, via a
    deterministic entry replica (clients talk to one peer, AHL+ forwards).
    An installed leg filter can drop, delay, or duplicate the whole step —
    the adversarial knob the cross-shard checker drives. *)
 let send_to_committee t ~committee ~client op =
-  let deliver () =
-    let ctx = t.committees.(committee) in
-    let op_tag = Coordination.register t.registry op in
-    let req = fresh_req t ~client ~op_tag in
-    (* Clients notice an unresponsive peer (dead TCP connection) and try the
-       next one, so entry requests go to a live member. *)
-    let n = Array.length ctx.nodes in
-    let member =
-      let start = req.Types.req_id mod n in
-      let rec probe i =
-        if i >= n then start
-        else
-          let m = (start + i) mod n in
-          if Node.is_crashed ctx.nodes.(m) then probe (i + 1) else m
-      in
-      probe 0
-    in
-    let dst = ctx.base + member in
-    let msg = Pbft.submit_via ctx.pbft ~member req in
-    let region = Topology.region_of_node t.cfg.topology dst in
-    Network.send_external t.network ~src_region:region ~dst ~channel:Pbft.request_channel
-      ~bytes:(240 + (40 * match op with
-                          | Coordination.Single { ops; _ }
-                          | Coordination.Prepare_tx { ops; _ }
-                          | Coordination.Commit_tx { ops; _ }
-                          | Coordination.Abort_tx { ops; _ } -> List.length ops
-                          | Coordination.Begin_tx _ | Coordination.Vote _ -> 1))
-      msg
-  in
+  let deliver () = deliver_op t ~committee ~client op in
   match t.leg_filter with
   | None -> deliver ()
   | Some filter -> (
@@ -177,7 +228,115 @@ let send_to_committee t ~committee ~client op =
           done)
 
 (* ------------------------------------------------------------------ *)
-(* Coordination driver (the client relay + R fallback)                 *)
+(* The step batcher (DESIGN §15)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A batch the executing committee never sees (entry replica crashed,
+   consensus stalled past the horizon) would pin its registry entries
+   forever; release them after a generous grace period instead. *)
+let batch_gc_period = 120.0
+
+let send_batch t ~committee ~client steps =
+  match steps with
+  | [] -> ()
+  | steps ->
+      let id = t.next_batch in
+      t.next_batch <- id + 1;
+      Probe.observe t.probe "2pc.batch.size" (float_of_int (List.length steps));
+      Hashtbl.replace t.live_batches id ();
+      t.batches_inflight <- t.batches_inflight + 1;
+      Probe.observe t.probe "2pc.batch.pipeline_depth" (float_of_int t.batches_inflight);
+      deliver_op t ~committee ~client (Coordination.Batch { batch = id; steps });
+      Engine.schedule t.engine ~delay:batch_gc_period (fun () ->
+          if Hashtbl.mem t.live_batches id then begin
+            Hashtbl.remove t.live_batches id;
+            t.batches_inflight <- t.batches_inflight - 1;
+            Coordination.release t.registry ~txid:(Coordination.batch_txid id)
+          end)
+
+(* Seal the pending steps into canonical order and ship them.  The leg
+   filter is applied per *constituent* step — an adversary that drops Vote
+   legs with probability p must see the same per-leg semantics whether the
+   legs travel alone or batched — and the surviving steps are regrouped
+   into sub-batches (delivered now / after each distinct delay / duplicated
+   as singletons), each with its own carrier id. *)
+let flush_batcher t ~committee b =
+  match b.steps with
+  | [] -> ()
+  | rev_steps ->
+      b.steps <- [];
+      b.count <- 0;
+      let client = b.bclient in
+      (* [List.rev] restores enqueue order so the stable sort resolves
+         batch_order ties (structurally identical duplicates) the same way
+         for any flush size. *)
+      let steps = List.sort Coordination.batch_order (List.rev rev_steps) in
+      (match t.leg_filter with
+      | None -> send_batch t ~committee ~client steps
+      | Some filter ->
+          let now_ = ref [] and delayed = ref [] in
+          List.iter
+            (fun s ->
+              match filter ~dst:committee s with
+              | Network.Deliver -> now_ := s :: !now_
+              | Network.Drop -> Probe.incr t.probe "2pc.batch.step_dropped"
+              | Network.Delay d -> delayed := (d, s) :: !delayed
+              | Network.Duplicate { copies; spacing } ->
+                  now_ := s :: !now_;
+                  for k = 1 to copies - 1 do
+                    Engine.schedule t.engine ~delay:(float_of_int k *. spacing) (fun () ->
+                        send_batch t ~committee ~client [ s ])
+                  done)
+            steps;
+          send_batch t ~committee ~client (List.rev !now_);
+          let delayed =
+            List.stable_sort (fun (d1, _) (d2, _) -> Float.compare d1 d2) (List.rev !delayed)
+          in
+          let rec groups = function
+            | [] -> []
+            | (d, s) :: rest ->
+                let same, others = List.partition (fun (d2, _) -> Float.equal d d2) rest in
+                (d, s :: List.map snd same) :: groups others
+          in
+          List.iter
+            (fun (d, ss) ->
+              Engine.schedule t.engine ~delay:d (fun () -> send_batch t ~committee ~client ss))
+            (groups delayed))
+
+(* Coordinator-bound steps (Begin/Vote) ride batches when batching is on;
+   everything else keeps the one-request-per-step path. *)
+let enqueue_step t ~committee ~client op =
+  match t.cfg.batching with
+  | None -> send_to_committee t ~committee ~client op
+  | Some bcfg ->
+      let b =
+        match Hashtbl.find_opt t.batchers committee with
+        | Some b -> b
+        | None ->
+            let b = { steps = []; count = 0; bclient = client; armed = false } in
+            Hashtbl.replace t.batchers committee b;
+            b
+      in
+      if b.count = 0 then b.bclient <- client;
+      b.steps <- op :: b.steps;
+      b.count <- b.count + 1;
+      if b.count >= bcfg.max_steps then begin
+        Probe.incr t.probe "2pc.batch.flush.full";
+        flush_batcher t ~committee b
+      end
+      else if not b.armed then begin
+        b.armed <- true;
+        Engine.schedule t.engine ~delay:bcfg.window (fun () ->
+            b.armed <- false;
+            match b.steps with
+            | [] -> ()
+            | _ :: _ ->
+                Probe.incr t.probe "2pc.batch.flush.window";
+                flush_batcher t ~committee b)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Coordination driver (the client relay + coordinator fallback)       *)
 (* ------------------------------------------------------------------ *)
 
 let finish_leg t txid shard =
@@ -285,13 +444,14 @@ let record_block t ctx batch =
 (* Deliver a shard's quorum answer for a prepare to whoever coordinates. *)
 let emit_vote t ctx (req : Types.request) ~txid ~ok =
   match t.cfg.mode with
-  | With_reference -> (
+  | With_reference | Flattened -> (
       match Hashtbl.find_opt t.inflight txid with
       | Some rec_ when rec_.relaying ->
-          send_to_committee t ~committee:(ref_index t) ~client:req.Types.client
+          enqueue_step t ~committee:(coordinator_of t rec_) ~client:req.Types.client
             (Coordination.Vote { txid; shard = ctx.index; ok })
       | Some _ | None ->
-          (* Silent client: R's fallback sweep reads the chain instead. *)
+          (* Silent client: the coordinator's fallback sweep reads the
+             chain instead. *)
           ())
   | Client_driven -> on_client_vote t txid ctx.index ok
 
@@ -419,60 +579,126 @@ let execute_on_shard t ctx (req : Types.request) =
             { at = Engine.now t.engine; txid; shard = ctx.index; commit = false } :: t.decisions;
           finish_leg t txid ctx.index;
           if t.cfg.concurrency = Wait_die then retry_parked t ctx
-      | Coordination.Begin_tx _ | Coordination.Vote _ -> () (* reference-only ops *))
+      | Coordination.Begin_tx _ | Coordination.Vote _ | Coordination.Batch _ ->
+          () (* coordinator-only ops *))
 
-let rec execute_on_reference t (req : Types.request) =
-  let refsm = Option.get t.refsm in
-  match Coordination.lookup t.registry req.Types.op_tag with
+let observe_vote_leg t txid =
+  if Probe.enabled t.probe then
+    match Hashtbl.find_opt t.inflight txid with
+    | Some rec_ when rec_.prepare_started >= 0.0 && not rec_.decided ->
+        Probe.observe t.probe "2pc.vote_leg_s" (Engine.now t.engine -. rec_.prepare_started)
+    | Some _ | None -> ()
+
+let rec react_begin t txid decision =
+  match decision with
+  | Reference.Now_started -> (
+      match Hashtbl.find_opt t.inflight txid with
+      | None -> ()
+      | Some rec_ ->
+          if rec_.relaying then begin
+            (* Under the pipelined path the submitting client already
+               dispatched prepares alongside BeginTx; the coordinator only
+               dispatches here on the legacy (unpipelined) path. *)
+            if not (pipelining t) then dispatch_prepares t txid
+          end
+          else
+            (* Fallback: the coordinator's nodes dispatch PrepareTx
+               themselves if the client relay stays silent, then sweep for
+               the shards' prepare evidence until the tx is done. *)
+            Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout (fun () ->
+                (match coord_state t rec_ ~txid with
+                | Some (Reference.Preparing _) | Some Reference.Started ->
+                    dispatch_prepares t txid
+                | Some Reference.Committed | Some Reference.Aborted | None -> ());
+                Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout (fun () ->
+                    fallback_collect t txid)))
+  | Reference.Now_committed ->
+      (* Buffered early votes completed the machine inside BeginTx. *)
+      dispatch_decision t txid true
+  | Reference.Now_aborted -> dispatch_decision t txid false
+  | Reference.No_change -> ()
+
+and react_vote t txid decision =
+  match decision with
+  | Reference.Now_committed -> dispatch_decision t txid true
+  | Reference.Now_aborted -> dispatch_decision t txid false
+  | Reference.No_change | Reference.Now_started -> ()
+
+and coord_state t rec_ ~txid =
+  match t.committees.(coordinator_of t rec_).coordsm with
+  | None -> None
+  | Some sm -> Reference.state_of sm ~txid
+
+(* Run coordinator chaincode steps at the hosting committee's observer.
+   One [Batch] carrier applies a whole consensus slot's worth of legs via
+   [Reference.step_batch], reacting to each step's decision exactly as the
+   per-request path would. *)
+and execute_coord t ctx (req : Types.request) =
+  match ctx.coordsm with
   | None -> ()
-  | Some op -> (
-      match op with
-      | Coordination.Begin_tx { txid; participants } -> (
-          match Reference.step refsm ~txid (Reference.Begin { participants }) with
-          | Reference.Now_started -> (
-              match Hashtbl.find_opt t.inflight txid with
-              | None -> ()
-              | Some rec_ ->
-                  if rec_.relaying then dispatch_prepares t txid
-                  else
-                    (* Fallback: R's nodes dispatch PrepareTx themselves if
-                       the client relay stays silent, then sweep for the
-                       shards' prepare evidence until the tx is done. *)
-                    Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout (fun () ->
-                        (match Reference.state_of refsm ~txid with
-                        | Some (Reference.Preparing _) | Some Reference.Started ->
-                            dispatch_prepares t txid
-                        | Some Reference.Committed | Some Reference.Aborted | None -> ());
-                        Engine.schedule t.engine ~delay:t.cfg.client_fallback_timeout
-                          (fun () -> fallback_collect t txid)))
-          | Reference.No_change | Reference.Now_committed | Reference.Now_aborted -> ())
-      | Coordination.Vote { txid; shard; ok } -> (
-          (if Probe.enabled t.probe then
-             match Hashtbl.find_opt t.inflight txid with
-             | Some rec_ when rec_.prepare_started >= 0.0 && not rec_.decided ->
-                 Probe.observe t.probe "2pc.vote_leg_s"
-                   (Engine.now t.engine -. rec_.prepare_started)
-             | Some _ | None -> ());
-          let event =
-            if ok then Reference.Prepare_ok { shard } else Reference.Prepare_not_ok { shard }
-          in
-          match Reference.step refsm ~txid event with
-          | Reference.Now_committed -> dispatch_decision t txid true
-          | Reference.Now_aborted -> dispatch_decision t txid false
-          | Reference.No_change | Reference.Now_started -> ())
-      | Coordination.Single _ | Coordination.Prepare_tx _ | Coordination.Commit_tx _
-      | Coordination.Abort_tx _ ->
-          ())
+  | Some refsm -> (
+      match Coordination.lookup t.registry req.Types.op_tag with
+      | None -> ()
+      | Some op -> (
+          match op with
+          | Coordination.Begin_tx { txid; participants } ->
+              react_begin t txid (Reference.step refsm ~txid (Reference.Begin { participants }))
+          | Coordination.Vote { txid; shard; ok } ->
+              observe_vote_leg t txid;
+              let event =
+                if ok then Reference.Prepare_ok { shard } else Reference.Prepare_not_ok { shard }
+              in
+              react_vote t txid (Reference.step refsm ~txid event)
+          | Coordination.Batch { batch; steps } ->
+              Probe.observe t.probe "2pc.slot_steps" (float_of_int (List.length steps));
+              let events =
+                List.filter_map
+                  (fun s ->
+                    match s with
+                    | Coordination.Begin_tx { txid; participants } ->
+                        Some (s, (txid, Reference.Begin { participants }))
+                    | Coordination.Vote { txid; shard; ok } ->
+                        Some
+                          ( s,
+                            ( txid,
+                              if ok then Reference.Prepare_ok { shard }
+                              else Reference.Prepare_not_ok { shard } ) )
+                    | Coordination.Single _ | Coordination.Prepare_tx _
+                    | Coordination.Commit_tx _ | Coordination.Abort_tx _
+                    | Coordination.Batch _ ->
+                        None)
+                  steps
+              in
+              List.iter
+                (fun (s, (txid, _)) ->
+                  match s with Coordination.Vote _ -> observe_vote_leg t txid | _ -> ())
+                events;
+              let decisions = Reference.step_batch refsm (List.map snd events) in
+              List.iter2
+                (fun (s, _) (txid, d) ->
+                  match s with
+                  | Coordination.Begin_tx _ -> react_begin t txid d
+                  | _ -> react_vote t txid d)
+                events decisions;
+              if Hashtbl.mem t.live_batches batch then begin
+                Hashtbl.remove t.live_batches batch;
+                t.batches_inflight <- t.batches_inflight - 1
+              end;
+              Coordination.release t.registry ~txid:(Coordination.batch_txid batch)
+          | Coordination.Single _ | Coordination.Prepare_tx _ | Coordination.Commit_tx _
+          | Coordination.Abort_tx _ ->
+              ()))
 
-(* When the client never relays votes, R's members sweep the participants:
-   each shard observer keeps the quorum outcome of every prepare it ran
-   ([ctx.prepared]), and the sweep relays exactly that evidence.  A shard
-   with no evidence yet (prepare lost or still in flight) gets its prepare
-   re-dispatched instead of a guessed vote — inferring NotOK from the lock
-   table here is what used to abort transactions that would have committed,
-   and a single-shot sweep left locks stuck when a leg was lost.  The sweep
-   re-arms every [client_fallback_timeout] until the transaction is done,
-   re-driving undelivered decision legs too (the client will not). *)
+(* When the client never relays votes, the coordinator's members sweep the
+   participants: each shard observer keeps the quorum outcome of every
+   prepare it ran ([ctx.prepared]), and the sweep relays exactly that
+   evidence.  A shard with no evidence yet (prepare lost or still in
+   flight) gets its prepare re-dispatched instead of a guessed vote —
+   inferring NotOK from the lock table here is what used to abort
+   transactions that would have committed, and a single-shot sweep left
+   locks stuck when a leg was lost.  The sweep re-arms every
+   [client_fallback_timeout] until the transaction is done, re-driving
+   undelivered decision legs too (the client will not). *)
 and fallback_collect t txid =
   match Hashtbl.find_opt t.inflight txid with
   | None -> ()
@@ -498,7 +724,7 @@ and fallback_collect t txid =
            (fun shard ->
              match Hashtbl.find_opt t.committees.(shard).prepared txid with
              | Some ok ->
-                 send_to_committee t ~committee:(ref_index t) ~client:rec_.tx.Tx.client
+                 enqueue_step t ~committee:(coordinator_of t rec_) ~client:rec_.tx.Tx.client
                    (Coordination.Vote { txid; shard; ok })
              | None ->
                  let ops = Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard in
@@ -526,7 +752,6 @@ let create cfg =
       network;
       registry;
       committees = [||];
-      refsm = (if cfg.mode = With_reference then Some (Reference.create ()) else None);
       metrics;
       inflight = Hashtbl.create 1024;
       client_votes = Hashtbl.create 64;
@@ -535,6 +760,10 @@ let create cfg =
       leg_filter = None;
       decisions = [];
       probe = Probe.none;
+      batchers = Hashtbl.create 8;
+      next_batch = 0;
+      batches_inflight = 0;
+      live_batches = Hashtbl.create 64;
     }
   in
   let make_committee index =
@@ -565,8 +794,11 @@ let create cfg =
           if member = Pbft.observer ctx.pbft && batch <> [] then begin
             List.iter
               (fun req ->
-                if ctx.index = cfg.shards then execute_on_reference t req
-                else execute_on_shard t ctx req)
+                match Coordination.lookup t.registry req.Types.op_tag with
+                | Some (Coordination.Begin_tx _ | Coordination.Vote _ | Coordination.Batch _)
+                  ->
+                    execute_coord t ctx req
+                | Some _ | None -> execute_on_shard t ctx req)
               batch;
             record_block t ctx batch
           end
@@ -575,15 +807,23 @@ let create cfg =
       Pbft.create ~engine ~keystore ~costs:Cost_model.default ~config:pbft_cfg
         ~faults:(Faults.honest n) ~metrics:cmetrics ~enclave_base_id:base ~send ~charge ~execute
     in
+    let coordsm =
+      match cfg.mode with
+      | With_reference -> if index = cfg.shards then Some (Reference.create ()) else None
+      | Flattened -> Some (Reference.create ())
+      | Client_driven -> None
+    in
     let ctx =
       {
         index;
         base;
         pbft;
+        pcfg = pbft_cfg;
         nodes;
         state;
         chain;
         cmetrics;
+        coordsm;
         applied = Hashtbl.create 1024;
         parked = Hashtbl.create 64;
         prepared = Hashtbl.create 64;
@@ -632,8 +872,8 @@ let rec arm_retry t txid =
                 rec_.participant_shards
           | _ -> (
               match t.cfg.mode with
-              | With_reference ->
-                  send_to_committee t ~committee:(ref_index t) ~client:rec_.tx.Tx.client
+              | With_reference | Flattened ->
+                  enqueue_step t ~committee:(coordinator_of t rec_) ~client:rec_.tx.Tx.client
                     (Coordination.Begin_tx { txid; participants = rec_.participant_shards });
                   dispatch_prepares t txid
               | Client_driven -> dispatch_prepares t txid));
@@ -678,9 +918,14 @@ let submit t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
       in
       Hashtbl.replace t.inflight txid rec_;
       (match t.cfg.mode with
-      | With_reference ->
-          send_to_committee t ~committee:(ref_index t) ~client:tx.Tx.client
-            (Coordination.Begin_tx { txid; participants = touched })
+      | With_reference | Flattened ->
+          enqueue_step t ~committee:(coordinator_of t rec_) ~client:tx.Tx.client
+            (Coordination.Begin_tx { txid; participants = touched });
+          (* Pipelining (DESIGN §15): don't round-trip BeginTx through the
+             coordinator's consensus before preparing — dispatch prepares
+             immediately and let the coordinator's machine buffer any vote
+             that outruns its Begin. *)
+          if pipelining t && rec_.relaying then dispatch_prepares t txid
       | Client_driven -> dispatch_prepares t txid);
       arm_retry t txid
 

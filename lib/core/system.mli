@@ -7,12 +7,24 @@
     and hash chain.  Cross-shard transactions follow Figure 5, with the
     client relaying messages between R and the tx-committees (Section 6.3's
     optimization) and R's own nodes falling back to direct dispatch when a
-    client goes silent, which is what defeats malicious coordinators. *)
+    client goes silent, which is what defeats malicious coordinators.
+
+    The batched + pipelined commit path (DESIGN §15) lifts the Fig.-13
+    reference-committee plateau: coordinator-bound Begin/Vote steps are
+    accumulated into per-slot {!Coordination.op.Batch} carriers so one
+    consensus slot orders many transactions, and prepares are dispatched
+    at submit time so the coordinator's consensus on BeginTx overlaps the
+    shards' prepare work. *)
 
 type coordination_mode =
   | With_reference            (** 2PC state machine on a BFT committee R *)
   | Client_driven             (** OmniLedger-style: the client decides —
                                   unsafe under malicious clients *)
+  | Flattened
+      (** SharPer-style: no dedicated committee — an involved shard
+          (chosen by txid among the participants) hosts the transaction's
+          2PC machine, so coordination capacity grows with the shard
+          count instead of bottlenecking on one committee *)
 
 type concurrency_control =
   | Two_phase_locking  (** the paper's 2PL: conflicting prepares vote NotOK *)
@@ -20,6 +32,17 @@ type concurrency_control =
       (** the Section 6.4 extension: an older transaction whose prepare
           hits a lock parks (bounded wait) and retries on release; younger
           transactions still die, so no deadlocks *)
+
+type batching = {
+  window : float;  (** seconds a pending step may wait for co-travellers *)
+  max_steps : int;  (** flush immediately at this many pending steps *)
+  pipeline : bool;
+      (** dispatch prepares at submit time instead of waiting for BeginTx
+          to clear the coordinator's consensus (the coordinator buffers
+          votes that outrun their Begin) *)
+}
+(** Knobs of the batched commit path; [None] in {!config.batching}
+    restores the legacy one-consensus-request-per-leg protocol. *)
 
 type config = {
   shards : int;
@@ -34,7 +57,14 @@ type config = {
   client_fallback_timeout : float;
       (** how long R waits for the client relay before its nodes dispatch
           PrepareTx/CommitTx themselves *)
+  batching : batching option;
+      (** [Some] batches coordinator-bound steps per destination
+          committee; {!default_config} turns it on *)
 }
+
+val default_batching : batching
+(** 20 ms window, 128-step flush, pipelining on — the configuration the
+    fig13 batched curves run with. *)
 
 val default_config : shards:int -> committee_size:int -> config
 
@@ -56,6 +86,14 @@ val shard_state : t -> int -> Repro_ledger.State.t
 val shard_chain : t -> int -> Repro_ledger.Block.Chain.chain
 
 val reference_machine : t -> Repro_shard.Reference.t option
+(** R's 2PC chaincode instance ([With_reference] mode only; [None] in the
+    other modes — see {!coordination_machines} for the flattened ones). *)
+
+val coordination_machines : t -> Repro_shard.Reference.t list
+(** Every hosted 2PC machine in committee order: R's single machine under
+    [With_reference], one per shard under [Flattened], empty when the
+    client coordinates.  Checkers sum their stats to count decided
+    transactions regardless of mode. *)
 
 val submit :
   t ->
@@ -66,8 +104,9 @@ val submit :
 (** Inject a transaction.  Single-shard transactions execute directly on
     their committee; cross-shard ones run the coordination protocol.
     [malicious_client] makes the submitting client stop relaying after
-    BeginTx — with a reference committee the fallback completes the
-    transaction anyway; in [Client_driven] mode its locks dangle forever. *)
+    BeginTx — with a coordinator committee ([With_reference] or
+    [Flattened]) the fallback completes the transaction anyway; in
+    [Client_driven] mode its locks dangle forever. *)
 
 val run : t -> until:float -> unit
 
@@ -100,16 +139,21 @@ val set_leg_filter :
 (** Install (or clear) an adversarial filter over coordination legs: every
     client/R-initiated step headed for committee [dst] (a shard index, or
     [shards t] for R) passes through it and can be dropped, delayed, or
-    duplicated before it reaches consensus.  This is the cross-shard
-    checker's fault-injection surface; [None] restores normal delivery. *)
+    duplicated before it reaches consensus.  Batched legs are filtered per
+    {e constituent} step — dropping a Vote drops that vote out of its
+    carrier, not the whole batch — so fault semantics are independent of
+    how steps are grouped.  This is the cross-shard checker's
+    fault-injection surface; [None] restores normal delivery. *)
 
 val set_probe : t -> Repro_obs.Probe.t -> unit
 (** Thread an observability probe through the whole system: 2PC leg
     timing histograms ([2pc.vote_leg_s], [2pc.decision_leg_s],
     [2pc.tx_total_s]), vote/abort cause counters ([2pc.vote_nok.*],
-    [2pc.waitdie.*]), fallback-sweep firings, epoch-transition wave
-    events, plus every committee's PBFT probe points and the shared
-    network's delivery/drop instrumentation.  Call before {!run}. *)
+    [2pc.waitdie.*]), fallback-sweep firings, batched-commit
+    instrumentation ([2pc.batch.size], [2pc.batch.pipeline_depth],
+    [2pc.slot_steps], [2pc.batch.flush.*]), epoch-transition wave events,
+    plus every committee's PBFT probe points and the shared network's
+    delivery/drop instrumentation.  Call before {!run}. *)
 
 val crash_member : t -> committee:int -> member:int -> unit
 (** Crash one replica of a committee ([shards t] addresses R).  Crashing
@@ -133,8 +177,9 @@ val prepare_evidence : t -> shard:int -> txid:int -> bool option
 
 val registry_size : t -> int
 (** Live entries in the coordination registry; bounded by the distinct
-    operations of in-flight transactions (regression surface for the
-    retry-leak fix). *)
+    operations of in-flight transactions plus the batches awaiting
+    execution (executed or stranded batches are released, the latter
+    after a grace period — regression surface for the retry-leak fix). *)
 
 val schedule_reshard :
   t -> at:float -> strategy:[ `Swap_all | `Batched of int ] -> fetch_time:float -> unit

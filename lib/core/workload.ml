@@ -69,7 +69,7 @@ let next_tx t system ~client =
         | [ a; b ] ->
             let amount = 1 + Rng.int t.rng 10 in
             Smallbank_cc.send_payment_ops ~src:(account a) ~dst:(account b) ~amount
-        | _ -> assert false)
+        | ks -> Repro_sim.Sim_error.invalid "Workload.next_tx: expected 2 keys, got %d" (List.length ks))
   in
   let tx =
     Tx.make ~txid ~client ~submitted:(Repro_sim.Engine.now (System.engine system)) ops

@@ -16,13 +16,21 @@ type record = {
 
 type t = {
   txs : (int, record) Hashtbl.t;
+  early : (int, (int * bool) list) Hashtbl.t;
+      (* votes that arrived before the transaction's Begin (the pipelined
+         commit path dispatches prepares without waiting for Begin's
+         consensus slot), newest first; replayed in canonical shard order
+         when the Begin lands *)
   mutable committed : int;
   mutable aborted : int;
 }
 
-let create () = { txs = Hashtbl.create 256; committed = 0; aborted = 0 }
+let create () =
+  { txs = Hashtbl.create 256; early = Hashtbl.create 64; committed = 0; aborted = 0 }
 
 let state_of t ~txid = Option.map (fun r -> r.state) (Hashtbl.find_opt t.txs txid)
+
+let early_votes t = Hashtbl.length t.early
 
 let finish t r outcome =
   r.state <- outcome;
@@ -31,6 +39,24 @@ let finish t r outcome =
   | Aborted -> t.aborted <- t.aborted + 1
   | Started | Preparing _ -> ());
   match outcome with Committed -> Now_committed | _ -> Now_aborted
+
+let apply_vote t r ~shard ~ok =
+  match r.state with
+  | Preparing remaining when Hashtbl.mem r.participants shard && not (Hashtbl.mem r.voted shard)
+    ->
+      Hashtbl.replace r.voted shard ();
+      if not ok then finish t r Aborted
+      else if remaining <= 1 then finish t r Committed
+      else begin
+        r.state <- Preparing (remaining - 1);
+        No_change
+      end
+  | Preparing _ | Started | Committed | Aborted -> No_change
+
+let buffer_early t ~txid ~shard ~ok =
+  let prior = Option.value (Hashtbl.find_opt t.early txid) ~default:[] in
+  Hashtbl.replace t.early txid ((shard, ok) :: prior);
+  No_change
 
 let step t ~txid event =
   match (Hashtbl.find_opt t.txs txid, event) with
@@ -41,32 +67,41 @@ let step t ~txid event =
       | _ :: _ -> ());
       let table = Hashtbl.create 4 in
       List.iter (fun s -> Hashtbl.replace table s ()) distinct;
-      Hashtbl.replace t.txs txid
-        { state = Preparing (List.length distinct); participants = table; voted = Hashtbl.create 4 };
-      Now_started
-  | None, (Prepare_ok _ | Prepare_not_ok _ | Client_abort) -> No_change
+      let r =
+        { state = Preparing (List.length distinct); participants = table; voted = Hashtbl.create 4 }
+      in
+      Hashtbl.replace t.txs txid r;
+      (* Replay buffered early votes in canonical (shard, outcome) order so
+         the Begin's net transition is a pure function of the vote *set*;
+         the machine is idempotent per shard, so duplicates are inert. *)
+      let early = Option.value (Hashtbl.find_opt t.early txid) ~default:[] in
+      Hashtbl.remove t.early txid;
+      let early =
+        List.sort_uniq
+          (fun (s1, ok1) (s2, ok2) ->
+            let c = Int.compare s1 s2 in
+            if c <> 0 then c else Bool.compare ok1 ok2)
+          early
+      in
+      List.fold_left
+        (fun acc (shard, ok) ->
+          match acc with
+          | Now_committed | Now_aborted -> acc
+          | No_change | Now_started -> (
+              match apply_vote t r ~shard ~ok with No_change -> acc | d -> d))
+        Now_started early
+  | None, Prepare_ok { shard } -> buffer_early t ~txid ~shard ~ok:true
+  | None, Prepare_not_ok { shard } -> buffer_early t ~txid ~shard ~ok:false
+  | None, Client_abort -> No_change
   | Some _, Begin _ -> No_change
-  | Some r, Prepare_ok { shard } -> (
-      match r.state with
-      | Preparing remaining when Hashtbl.mem r.participants shard && not (Hashtbl.mem r.voted shard)
-        ->
-          Hashtbl.replace r.voted shard ();
-          if remaining <= 1 then finish t r Committed
-          else begin
-            r.state <- Preparing (remaining - 1);
-            No_change
-          end
-      | Preparing _ | Started | Committed | Aborted -> No_change)
-  | Some r, Prepare_not_ok { shard } -> (
-      match r.state with
-      | Preparing _ when Hashtbl.mem r.participants shard && not (Hashtbl.mem r.voted shard) ->
-          Hashtbl.replace r.voted shard ();
-          finish t r Aborted
-      | Preparing _ | Started | Committed | Aborted -> No_change)
+  | Some r, Prepare_ok { shard } -> apply_vote t r ~shard ~ok:true
+  | Some r, Prepare_not_ok { shard } -> apply_vote t r ~shard ~ok:false
   | Some r, Client_abort -> (
       match r.state with
       | Preparing _ | Started -> finish t r Aborted
       | Committed | Aborted -> No_change)
+
+let step_batch t steps = List.map (fun (txid, event) -> (txid, step t ~txid event)) steps
 
 let stats t =
   let in_flight =

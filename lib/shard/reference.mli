@@ -6,7 +6,14 @@
     reached when every participant voted OK, [Aborted] on the first NotOK
     (or an explicit client abort before completion).  The machine is pure
     and deterministic, so every replica of R computes identical
-    transitions — the module is exactly the chaincode of Section 6.3. *)
+    transitions — the module is exactly the chaincode of Section 6.3.
+
+    The batched/pipelined commit path (DESIGN §15) adds two capabilities:
+    votes may arrive {e before} their transaction's Begin (the coordinator
+    dispatches prepares without waiting for Begin's consensus slot) and are
+    buffered, then replayed in canonical shard order when the Begin lands;
+    and {!step_batch} applies one consensus slot's worth of steps in a
+    single pass. *)
 
 type state = Started | Preparing of int (** remaining OK votes *) | Committed | Aborted
 
@@ -26,11 +33,26 @@ val step : t -> txid:int -> event -> decision
 (** Applies one event; idempotent per (txid, shard) vote (duplicate quorum
     messages from the same shard do not double-count), and votes from
     shards that are not participants of the transaction are rejected.
-    Events for unknown or finished transactions return [No_change] (votes
-    arriving after the decision are ignored, as the blockchain already
-    records the outcome). *)
+    Votes for a transaction that has no record yet are {e buffered} and
+    replayed — sorted by (shard, outcome), so the result is a function of
+    the vote set, not its arrival order — when the [Begin] arrives; such a
+    Begin may therefore answer [Now_committed]/[Now_aborted] directly.
+    Events for finished transactions return [No_change] (the blockchain
+    already records the outcome). *)
+
+val step_batch : t -> (int * event) list -> (int * decision) list
+(** Applies one consensus slot's batch of (txid, event) steps in submission
+    order, returning each step's decision in the same order.  Because
+    {!step} is idempotent per vote and buffers early votes, the net state
+    after a batch is independent of how the same step set was split across
+    batches — the property the batched-commit determinism tests pin. *)
 
 val state_of : t -> txid:int -> state option
+
+val early_votes : t -> int
+(** Transactions with buffered votes whose Begin has not yet arrived;
+    should drain to zero at quiescence (regression surface for the
+    pipelined path). *)
 
 val stats : t -> int * int * int
 (** (in-flight, committed, aborted). *)

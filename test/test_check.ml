@@ -474,6 +474,32 @@ let test_fallback_sweep_regression () =
   Alcotest.(check (list string)) "fixed sweep survives the witness" []
     (List.map Xoracle.to_string vs)
 
+let test_fallback_sweep_witness_batched () =
+  (* Batching is a run parameter, not part of the witness line: the PR-4
+     regression witness must replay with the identical verdict over the
+     batched + pipelined commit path. *)
+  let vs =
+    Xexplore.replay ~batching:true ~mode:System.With_reference
+      ~concurrency:System.Two_phase_locking ~shards:2 ~committee_size:4 ~engine_seed:58L
+      (Xschedule.of_string prefix_bug_witness)
+  in
+  Alcotest.(check (list string)) "batched replay stays clean" []
+    (List.map Xoracle.to_string vs)
+
+let test_flattened_silent_client_clean () =
+  (* The flattened variant keeps a coordinator machine on the shard
+     committees, so it owes silent clients the same fallback R does. *)
+  let vs =
+    Xexplore.replay ~mode:System.Flattened ~concurrency:System.Two_phase_locking ~shards:2
+      ~committee_size:3 ~engine_seed:21L Xexplore.silent_client_schedule
+  in
+  Alcotest.(check (list string)) "flattened finishes the silent client" []
+    (List.map Xoracle.to_string vs)
+
+let test_differential_holds_batched () =
+  let d = Xexplore.differential ~batching:true ~shards:2 ~committee_size:3 ~seed:21L () in
+  Alcotest.(check bool) "figure-14 argument survives batching" true d.Xexplore.holds
+
 let test_xshrink_candidates_and_minimize () =
   let s =
     xsched ~txs:8 ~malicious:[ 0; 2 ] ~overdraft:[ 1 ] ~contended:true
@@ -498,7 +524,7 @@ let test_xshrink_candidates_and_minimize () =
     (Xschedule.to_string kept)
 
 let test_xexplore_differential_and_json () =
-  let d = Xexplore.differential ~shards:2 ~committee_size:3 ~seed:21L in
+  let d = Xexplore.differential ~shards:2 ~committee_size:3 ~seed:21L () in
   Alcotest.(check bool) "differential holds" true d.Xexplore.holds;
   Alcotest.(check int) "fallback leaves nothing behind" 0 (List.length d.Xexplore.with_ref);
   Alcotest.(check bool) "client-driven leaves stuck locks" true
@@ -513,7 +539,7 @@ let test_xexplore_differential_and_json () =
      deterministically. *)
   let r =
     Xexplore.run ~mode:System.With_reference ~concurrency:System.Two_phase_locking ~shards:2
-      ~committee_size:3 ~trials:2 ~seed:11L ~budget:8
+      ~committee_size:3 ~trials:2 ~seed:11L ~budget:8 ()
   in
   Alcotest.(check int) "no safety violations" 0 r.Xexplore.safety_violations;
   Alcotest.(check int) "no liveness violations" 0 r.Xexplore.liveness_violations;
@@ -589,6 +615,12 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_xtestbed_deterministic;
           Alcotest.test_case "fallback sweep regression" `Quick test_fallback_sweep_regression;
+          Alcotest.test_case "fallback sweep witness, batched" `Quick
+            test_fallback_sweep_witness_batched;
+          Alcotest.test_case "flattened silent client" `Quick
+            test_flattened_silent_client_clean;
+          Alcotest.test_case "differential holds batched" `Quick
+            test_differential_holds_batched;
         ] );
       ("xshrink", [ Alcotest.test_case "candidates and minimize" `Quick test_xshrink_candidates_and_minimize ]);
       ( "xexplore",

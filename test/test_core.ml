@@ -47,6 +47,35 @@ let test_op_cost_positive () =
     (Coordination.op_cost costs (Coordination.Prepare_tx { txid = 1; ops })
     > Coordination.op_cost costs (Coordination.Single { txid = 1; ops }) /. 2.0)
 
+(* The slot content of a batch is a pure function of its steps: any
+   submission interleaving must sort to the same canonical order. *)
+let test_batch_order_permutation_determinism () =
+  let steps =
+    [
+      Coordination.Vote { txid = 3; shard = 1; ok = true };
+      Coordination.Begin_tx { txid = 4; participants = [ 0; 1 ] };
+      Coordination.Vote { txid = 3; shard = 0; ok = false };
+      Coordination.Begin_tx { txid = 2; participants = [ 1; 2 ] };
+      Coordination.Vote { txid = 2; shard = 2; ok = true };
+      Coordination.Vote { txid = 3; shard = 1; ok = false };
+    ]
+  in
+  let canon = List.sort Coordination.batch_order steps in
+  let permutations =
+    [ List.rev steps; (match steps with a :: b :: rest -> b :: (rest @ [ a ]) | l -> l) ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "permutation sorts to the same slot" true
+        (List.sort Coordination.batch_order p = canon))
+    permutations;
+  (* Begins sort before votes, txids ascend within each rank. *)
+  (match canon with
+  | Coordination.Begin_tx { txid = 2; _ } :: Coordination.Begin_tx { txid = 4; _ } :: _ -> ()
+  | _ -> Alcotest.fail "begins must lead the slot in txid order");
+  Alcotest.(check int) "batch txids are negative and distinct" (-3)
+    (Coordination.batch_txid 2)
+
 (* ------------------------------------------------------------------ *)
 (* System fixtures                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -301,6 +330,104 @@ let test_malicious_client_fallback_commits () =
         (Repro_shard.Reference.state_of r ~txid:1 = Some Repro_shard.Reference.Committed)
   | None -> Alcotest.fail "reference expected"
 
+(* The batched commit path end to end: cross-shard transfers still commit,
+   the carrier slots leave their footprint in the batch histograms, and the
+   registry drains once the batches execute. *)
+let test_batched_commit_probes_and_registry () =
+  let sys =
+    System.create
+      {
+        (System.default_config ~shards:2 ~committee_size:3) with
+        System.batching = Some System.default_batching;
+      }
+  in
+  let metrics = Repro_obs.Metrics.create () in
+  System.set_probe sys (Repro_obs.Probe.make ~trace:(Repro_obs.Trace.create ()) ~metrics);
+  (* Distinct account pairs so no transfer lock-conflicts with another. *)
+  let pick shard n =
+    let rec go i acc =
+      if List.length acc = n then List.rev acc
+      else
+        let k = Printf.sprintf "user%d" i in
+        go (i + 1) (if Tx.shard_of_key ~shards:2 k = shard then k :: acc else acc)
+    in
+    go 0 []
+  in
+  let sources = pick 0 6 and dests = pick 1 6 in
+  List.iter (fun k -> fund sys k 100) sources;
+  List.iter (fun k -> fund sys k 0) dests;
+  let done_count = ref 0 in
+  List.iteri
+    (fun i (from_, to_) ->
+      System.submit sys ~on_done:(fun _ -> incr done_count)
+        (transfer_tx ~txid:(i + 1) sys ~from_ ~to_ ~amount:5))
+    (List.combine sources dests);
+  System.run sys ~until:40.0;
+  Alcotest.(check int) "all transfers decided" 6 !done_count;
+  Alcotest.(check int) "all committed" 6 (System.committed sys);
+  Alcotest.(check int) "balances moved" 30
+    (List.fold_left (fun acc k -> acc + Executor.balance (System.shard_state sys 1) k) 0 dests);
+  let hist_count name =
+    match Repro_obs.Metrics.histogram_stats metrics name with
+    | Some s -> Repro_util.Stats.count s
+    | None -> 0
+  in
+  Alcotest.(check bool) "batch-size histogram recorded" true (hist_count "2pc.batch.size" > 0);
+  Alcotest.(check bool) "pipeline-depth histogram recorded" true
+    (hist_count "2pc.batch.pipeline_depth" > 0);
+  Alcotest.(check int) "registry drained at quiescence" 0 (System.registry_size sys)
+
+let test_unbatched_legacy_path_commits () =
+  let sys =
+    System.create
+      { (System.default_config ~shards:2 ~committee_size:3) with System.batching = None }
+  in
+  let a = key_in sys 0 and b = key_in sys 1 in
+  fund sys a 100;
+  fund sys b 0;
+  let outcome = ref None in
+  System.submit sys ~on_done:(fun o -> outcome := Some o)
+    (transfer_tx ~txid:1 sys ~from_:a ~to_:b ~amount:30);
+  run_to_done sys;
+  Alcotest.(check bool) "committed" true (!outcome = Some System.Committed);
+  Alcotest.(check int) "credited" 30 (Executor.balance (System.shard_state sys 1) b)
+
+(* SharPer-style flattened coordination: no dedicated R, the coordinator
+   shard's own committee orders the 2PC machine. *)
+let test_flattened_cross_shard_commit () =
+  let sys = make_system ~mode:System.Flattened () in
+  let a = key_in sys 0 and b = key_in sys 1 in
+  fund sys a 100;
+  fund sys b 0;
+  let outcome = ref None in
+  System.submit sys ~on_done:(fun o -> outcome := Some o)
+    (transfer_tx ~txid:1 sys ~from_:a ~to_:b ~amount:30);
+  run_to_done sys;
+  Alcotest.(check bool) "committed" true (!outcome = Some System.Committed);
+  Alcotest.(check int) "debited" 70 (Executor.balance (System.shard_state sys 0) a);
+  Alcotest.(check int) "credited" 30 (Executor.balance (System.shard_state sys 1) b);
+  Alcotest.(check bool) "no dedicated reference committee" true
+    (System.reference_machine sys = None);
+  Alcotest.(check bool) "a shard-hosted machine recorded COMMIT" true
+    (List.exists
+       (fun r -> Repro_shard.Reference.state_of r ~txid:1 = Some Repro_shard.Reference.Committed)
+       (System.coordination_machines sys))
+
+let test_flattened_fallback_commits () =
+  (* The silent-client defense must survive flattening: the coordinator
+     shard's machine owes the same fallback sweep R would run. *)
+  let sys = make_system ~mode:System.Flattened () in
+  let a = key_in sys 0 and b = key_in sys 1 in
+  fund sys a 100;
+  fund sys b 0;
+  let outcome = ref None in
+  System.submit sys ~malicious_client:true ~on_done:(fun o -> outcome := Some o)
+    (transfer_tx ~txid:1 sys ~from_:a ~to_:b ~amount:30);
+  System.run sys ~until:60.0;
+  Alcotest.(check bool) "fallback commits" true (!outcome = Some System.Committed);
+  Alcotest.(check int) "credit applied" 30 (Executor.balance (System.shard_state sys 1) b);
+  Alcotest.(check int) "no stuck locks" 0 (System.stuck_locks sys)
+
 let test_wait_die_park_timeout_aborts () =
   (* An older transaction parks behind a lock that never frees (malicious
      client in client-driven mode); the 4s park timeout must convert the
@@ -468,6 +595,8 @@ let () =
           Alcotest.test_case "registry grows" `Quick test_registry_grows;
           Alcotest.test_case "registry release" `Quick test_registry_release;
           Alcotest.test_case "op cost" `Quick test_op_cost_positive;
+          Alcotest.test_case "batch order deterministic" `Quick
+            test_batch_order_permutation_determinism;
         ] );
       ( "system",
         [
@@ -483,6 +612,13 @@ let () =
             test_malicious_client_client_driven_blocks;
           Alcotest.test_case "lock conflict" `Quick test_lock_conflict_aborts_one;
           Alcotest.test_case "wait-die reduces aborts" `Quick test_wait_die_reduces_aborts;
+          Alcotest.test_case "batched commit + probes + registry" `Quick
+            test_batched_commit_probes_and_registry;
+          Alcotest.test_case "legacy unbatched path commits" `Quick
+            test_unbatched_legacy_path_commits;
+          Alcotest.test_case "flattened cross-shard commit" `Quick
+            test_flattened_cross_shard_commit;
+          Alcotest.test_case "flattened fallback commits" `Quick test_flattened_fallback_commits;
           Alcotest.test_case "malicious client fallback commits" `Quick
             test_malicious_client_fallback_commits;
           Alcotest.test_case "wait-die park timeout aborts" `Quick

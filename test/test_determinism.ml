@@ -67,6 +67,28 @@ let test_parallel_join_bit_identical () =
   Alcotest.(check bool) "jobs=4 metrics are byte-identical" true (String.equal metrics1 metrics4);
   Alcotest.(check bool) "trace is non-trivial" true (String.length trace1 > 10_000)
 
+(* Same contract for fig13, which now runs the batched + pipelined commit
+   path by default: batch ids, flush timing, and sub-batch scheduling must
+   all be pure functions of the seeded event order, so the rendered figure
+   is byte-identical for any worker count. *)
+let test_fig13_parallel_bit_identical () =
+  let open Repro_core in
+  let render jobs =
+    Experiment.set_jobs jobs;
+    Experiment.reset_caches ();
+    Results.render (Experiment.fig13 ~quick:true ())
+  in
+  let sequential = render 1 in
+  let parallel = render 4 in
+  Experiment.set_jobs 1;
+  Alcotest.(check string) "jobs=4 fig13 equals jobs=1" sequential parallel;
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "flattened variant is plotted" true (contains sequential "AHL+;flat")
+
 let () =
   Alcotest.run "determinism"
     [
@@ -79,5 +101,7 @@ let () =
         [
           Alcotest.test_case "worker count does not change output" `Slow
             test_parallel_join_bit_identical;
+          Alcotest.test_case "fig13 batched path is worker-count invariant" `Slow
+            test_fig13_parallel_bit_identical;
         ] );
     ]

@@ -245,6 +245,72 @@ let test_reference_stats () =
   Alcotest.(check (triple int int int)) "(inflight, committed, aborted)" (1, 1, 1)
     (Reference.stats r)
 
+(* One batched slot applying a mixed bag of transactions must return the
+   same per-step decisions the sequential path would. *)
+let test_reference_step_batch_mixed () =
+  let r = Reference.create () in
+  let steps =
+    [
+      (1, Reference.Begin { participants = [ 0; 1 ] });
+      (1, Reference.Prepare_ok { shard = 0 });
+      (1, Reference.Prepare_ok { shard = 1 });
+      (2, Reference.Begin { participants = [ 0; 1 ] });
+      (2, Reference.Prepare_not_ok { shard = 1 });
+      (3, Reference.Begin { participants = [ 0; 1; 2 ] });
+    ]
+  in
+  let out = Reference.step_batch r steps in
+  let expect =
+    [
+      (1, Reference.Now_started);
+      (1, Reference.No_change);
+      (1, Reference.Now_committed);
+      (2, Reference.Now_started);
+      (2, Reference.Now_aborted);
+      (3, Reference.Now_started);
+    ]
+  in
+  Alcotest.(check bool) "mixed batch decisions" true (out = expect);
+  Alcotest.(check bool) "tx1 committed" true (Reference.state_of r ~txid:1 = Some Reference.Committed);
+  Alcotest.(check bool) "tx2 aborted" true (Reference.state_of r ~txid:2 = Some Reference.Aborted)
+
+(* Replaying the identical batch (a duplicated carrier leg) must be a
+   complete no-op: every step answers No_change and no state moves. *)
+let test_reference_step_batch_duplicate_idempotent () =
+  let r = Reference.create () in
+  let steps =
+    [
+      (1, Reference.Begin { participants = [ 0; 1 ] });
+      (1, Reference.Prepare_ok { shard = 0 });
+      (1, Reference.Prepare_ok { shard = 1 });
+      (2, Reference.Begin { participants = [ 0; 1 ] });
+      (2, Reference.Prepare_not_ok { shard = 0 });
+    ]
+  in
+  ignore (Reference.step_batch r steps);
+  let again = Reference.step_batch r steps in
+  Alcotest.(check bool) "all no-ops on replay" true
+    (List.for_all (fun (_, d) -> d = Reference.No_change) again);
+  Alcotest.(check bool) "tx1 still committed" true
+    (Reference.state_of r ~txid:1 = Some Reference.Committed);
+  Alcotest.(check bool) "tx2 still aborted" true
+    (Reference.state_of r ~txid:2 = Some Reference.Aborted)
+
+(* Pipelining can deliver a participant's vote before the Begin it answers;
+   the machine buffers it and replays it at Begin, so the decision does not
+   depend on leg arrival order. *)
+let test_reference_early_votes_replayed_on_begin () =
+  let r = Reference.create () in
+  Alcotest.(check bool) "early vote buffers" true
+    (Reference.step r ~txid:5 (Reference.Prepare_ok { shard = 1 }) = Reference.No_change);
+  Alcotest.(check bool) "second early vote same tx" true
+    (Reference.step r ~txid:5 (Reference.Prepare_ok { shard = 0 }) = Reference.No_change);
+  Alcotest.(check int) "one tx buffered" 1 (Reference.early_votes r);
+  Alcotest.(check bool) "begin replays votes straight to commit" true
+    (Reference.step r ~txid:5 (Reference.Begin { participants = [ 0; 1 ] })
+    = Reference.Now_committed);
+  Alcotest.(check int) "buffer drained" 0 (Reference.early_votes r)
+
 (* ------------------------------------------------------------------ *)
 (* OmniLedger baseline                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -512,6 +578,11 @@ let () =
           Alcotest.test_case "client abort" `Quick test_reference_client_abort;
           Alcotest.test_case "duplicate begin" `Quick test_reference_duplicate_begin_ignored;
           Alcotest.test_case "stats" `Quick test_reference_stats;
+          Alcotest.test_case "step_batch mixed" `Quick test_reference_step_batch_mixed;
+          Alcotest.test_case "step_batch idempotent" `Quick
+            test_reference_step_batch_duplicate_idempotent;
+          Alcotest.test_case "early votes replayed" `Quick
+            test_reference_early_votes_replayed_on_begin;
         ] );
       ( "state_transfer",
         [

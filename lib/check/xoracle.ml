@@ -9,22 +9,31 @@ type violation =
     }
   | Divergence of { txid : int; ref_commit : bool; shard : int; shard_commit : bool }
   | Conservation of { before : int; after : int }
+  | Ckpt_divergence of { committee : int; seq : int; roots : int list }
   | Stuck_locks of { count : int }
   | Liveness of { missing : int; first : int }
+  | Stale_observer of { committee : int; lag : int }
+
+let convergence_bound = 16
 
 let is_safety = function
-  | Atomicity _ | Divergence _ | Conservation _ -> true
-  | Stuck_locks _ | Liveness _ -> false
+  | Atomicity _ | Divergence _ | Conservation _ | Ckpt_divergence _ -> true
+  | Stuck_locks _ | Liveness _ | Stale_observer _ -> false
 
 let same_kind a b =
   match (a, b) with
   | Atomicity _, Atomicity _
   | Divergence _, Divergence _
   | Conservation _, Conservation _
+  | Ckpt_divergence _, Ckpt_divergence _
   | Stuck_locks _, Stuck_locks _
-  | Liveness _, Liveness _ ->
+  | Liveness _, Liveness _
+  | Stale_observer _, Stale_observer _ ->
       true
-  | (Atomicity _ | Divergence _ | Conservation _ | Stuck_locks _ | Liveness _), _ -> false
+  | ( ( Atomicity _ | Divergence _ | Conservation _ | Ckpt_divergence _ | Stuck_locks _
+      | Liveness _ | Stale_observer _ ),
+      _ ) ->
+      false
 
 let ints ids = String.concat "," (List.map string_of_int ids)
 
@@ -41,11 +50,19 @@ let to_string = function
   | Conservation { before; after } ->
       Printf.sprintf "conservation: total balance drifted from %d to %d at quiescence" before
         after
+  | Ckpt_divergence { committee; seq; roots } ->
+      Printf.sprintf "ckpt-divergence: committee %d certified roots [%s] for checkpoint seq %d"
+        committee (ints roots) seq
   | Stuck_locks { count } ->
       Printf.sprintf "stuck-locks: %d lock tuples still held at quiescence" count
   | Liveness { missing; first } ->
       Printf.sprintf "liveness: %d transactions never decided by the horizon (first: tx %d)"
         missing first
+  | Stale_observer { committee; lag } ->
+      Printf.sprintf
+        "stale-observer: committee %d's observer trails by %d executed slots at quiescence \
+         (bound: %d)"
+        committee lag convergence_bound
 
 let check (o : Xtestbed.outcome) =
   (* At-most-one decision per (txid, shard): the executors guard with the
@@ -107,7 +124,30 @@ let check (o : Xtestbed.outcome) =
     if o.Xtestbed.total_before = o.Xtestbed.total_after then []
     else [ Conservation { before = o.Xtestbed.total_before; after = o.Xtestbed.total_after } ]
   in
-  let safety = atomicity @ divergence @ conservation in
+  (* Checkpoint agreement: no two members of a committee may hold
+     certificates binding the same sequence number to different roots —
+     a quorum of 2f+1 votes per cert means two such certs share a correct
+     voter, so divergence here is a broken execution chain, not noise. *)
+  let ckpt_divergence =
+    let by_slot = Hashtbl.create 16 in
+    List.iter
+      (fun (committee, _member, seq, root) ->
+        let key = (committee, seq) in
+        let roots = Option.value (Hashtbl.find_opt by_slot key) ~default:[] in
+        if not (List.mem root roots) then Hashtbl.replace by_slot key (root :: roots))
+      o.Xtestbed.ckpt_certs;
+    let compare_slot (c1, s1) (c2, s2) =
+      match Int.compare c1 c2 with 0 -> Int.compare s1 s2 | c -> c
+    in
+    Repro_util.Det.fold ~compare:compare_slot
+      (fun (committee, seq) roots acc ->
+        match roots with
+        | _ :: _ :: _ ->
+            Ckpt_divergence { committee; seq; roots = List.sort Int.compare roots } :: acc
+        | _ -> acc)
+      by_slot []
+  in
+  let safety = atomicity @ divergence @ conservation @ ckpt_divergence in
   match safety with
   | _ :: _ -> safety
   | [] ->
@@ -133,4 +173,15 @@ let check (o : Xtestbed.outcome) =
         | first :: _ ->
             [ Liveness { missing = List.length undecided; first = first.Xtestbed.txid } ]
       in
-      stuck @ liveness
+      (* Bounded convergence: a recovered observer must have caught up to
+         within one checkpoint interval of its committee by quiescence —
+         the grace window is far longer than a catch-up round trip, so a
+         larger lag means the fetch protocol stalled, not that it is
+         merely slow. *)
+      let stale =
+        List.filter_map
+          (fun (committee, lag) ->
+            if lag > convergence_bound then Some (Stale_observer { committee; lag }) else None)
+          o.Xtestbed.observer_lag
+      in
+      stuck @ liveness @ stale

@@ -19,11 +19,25 @@ type violation =
   | Conservation of { before : int; after : int }
       (** total account balance changed: a partial transfer minted or
           burned value *)
+  | Ckpt_divergence of { committee : int; seq : int; roots : int list }
+      (** two members of the same committee hold checkpoint certificates
+          binding the same sequence number to different execution roots —
+          impossible while quorum intersection holds *)
   | Stuck_locks of { count : int }
       (** lock tuples still held after quiescence — the OmniLedger
           blocking problem *)
   | Liveness of { missing : int; first : int }
       (** transactions the protocol owed a decision that never got one *)
+  | Stale_observer of { committee : int; lag : int }
+      (** an observer still trails its committee by more than
+          {!convergence_bound} executed slots at quiescence: checkpoint
+          catch-up stalled *)
+
+val convergence_bound : int
+(** Slots an observer may lag at quiescence before {!Stale_observer}
+    fires — one checkpoint interval: quiescence gives catch-up ample time,
+    and the fetch protocol closes any certified gap, so only the
+    sub-interval tail may legitimately remain. *)
 
 val is_safety : violation -> bool
 

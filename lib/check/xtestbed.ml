@@ -22,6 +22,8 @@ type outcome = {
   ref_decisions : (int * bool) list;
   horizon : float;
   registry_size : int;
+  ckpt_certs : (int * int * int * int) list;
+  observer_lag : (int * int) list;
 }
 
 let leg_of_op = function
@@ -232,4 +234,6 @@ let run ?(probe = Repro_obs.Probe.none) ?(batching = false) ~engine_seed ~mode ~
     ref_decisions;
     horizon;
     registry_size = System.registry_size sys;
+    ckpt_certs = System.committee_checkpoints sys;
+    observer_lag = System.observer_lag sys;
   }

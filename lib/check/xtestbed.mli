@@ -33,6 +33,16 @@ type outcome = {
           flattened; empty in [Client_driven] mode *)
   horizon : float;
   registry_size : int;  (** live coordination-registry entries at the horizon *)
+  ckpt_certs : (int * int * int * int) list;
+      (** every member's highest checkpoint certificate at the horizon, as
+          [(committee, member, seq, root)] rows
+          ({!Repro_core.System.committee_checkpoints}) — the
+          checkpoint-agreement oracle's record *)
+  observer_lag : (int * int) list;
+      (** per committee, how many executed slots the observer trails its
+          most advanced member by at the horizon
+          ({!Repro_core.System.observer_lag}) — the bounded-convergence
+          oracle's record *)
 }
 
 val run :

@@ -24,8 +24,9 @@ type result = {
 }
 
 let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crashes = [])
-    ?(cpu_scale = 1.0) ?(costs = Cost_model.default) ?(tune = fun (c : Config.t) -> c)
-    ?(probe = Repro_obs.Probe.none) ~variant ~n ~topology ~workload () =
+    ?(recovers = []) ?(cpu_scale = 1.0) ?(costs = Cost_model.default)
+    ?(tune = fun (c : Config.t) -> c) ?(probe = Repro_obs.Probe.none) ~variant ~n ~topology
+    ~workload () =
   let module Probe = Repro_obs.Probe in
   let engine = Engine.create ~seed in
   let cfg = tune (Config.default variant ~n) in
@@ -88,6 +89,18 @@ let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crash
             ~node:("r" ^ string_of_int m) "node_crash";
           Node.crash nodes.(m)))
     crashes;
+  (* Scheduled recoveries: the node's inbox reopens and the replica asks
+     its peers for the slots it missed (checkpoint catch-up). *)
+  List.iter
+    (fun (m, at) ->
+      Engine.schedule engine ~delay:at (fun () ->
+          if Node.is_crashed nodes.(m) then begin
+            Probe.instant probe ~time:(Engine.now engine) ~cat:"harness"
+              ~node:("r" ^ string_of_int m) "node_recover";
+            Node.recover nodes.(m);
+            Pbft.notify_recovered c ~member:m
+          end))
+    recovers;
   Pbft.start c;
   (* Inbox-depth counter series: sample twice a second while enabled, so
      queueing collapses (Fig. 9 saturation, flooding attacks) are visible

@@ -36,6 +36,7 @@ val run :
   ?warmup:float ->
   ?byzantine:int ->
   ?crashes:(int * float) list ->
+  ?recovers:(int * float) list ->
   ?cpu_scale:float ->
   ?costs:Repro_crypto.Cost_model.t ->
   ?tune:(Config.t -> Config.t) ->
@@ -49,8 +50,11 @@ val run :
 (** Defaults: seed 1, 20 s runs with 5 s warmup, no Byzantine nodes.
     [crashes] is a list of [(member, time)] crash-fault injections: the
     node stops at [time] seconds and stays down (its watchdog timers are
-    muted through {!Pbft.set_alive}); the metrics observer is moved to the
-    first member that stays honest and alive.  [cpu_scale] multiplies every
+    muted through {!Pbft.set_alive}) unless a matching [(member, time)]
+    entry in [recovers] revives it later: the inbox reopens and the replica
+    runs checkpoint catch-up ({!Pbft.notify_recovered}) for the slots it
+    missed; the metrics observer is moved to the first member that stays
+    honest and alive.  [cpu_scale] multiplies every
     CPU charge — 1.0 models the paper's 3.5 GHz Xeon cluster servers, 3.5
     the 2-vCPU GCP instances.  [tune] post-processes the default
     {!Config.t} (batch sizes, timeouts) for ablations.  [probe] (default

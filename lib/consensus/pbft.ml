@@ -12,6 +12,13 @@ type msg =
   | Prepare of { view : int; seq : int; digest : int; sender : int }
   | Commit of { view : int; seq : int; digest : int; sender : int }
   | Checkpoint of { seq : int; digest : int; sender : int }
+  | Fetch of { since : int; sender : int }
+  | Fetch_resp of {
+      sender : int;
+      view : int;
+      ckpt : (int * int * int list) option;
+      blocks : (int * int * int * request list) list;
+    }
   | View_change of {
       target : int;
       sender : int;
@@ -62,6 +69,17 @@ type replica = {
   prepared : (int, int) Hashtbl.t; (* seq -> digest *)
   committed : (int, int * int * request list) Hashtbl.t; (* seq -> view, digest, batch *)
   checkpoints : Quorum.t;
+  mutable exec_root : int;
+      (* chained digest of every batch executed so far: equal across honest
+         replicas at equal last_exec, so it doubles as the checkpoint root *)
+  roots : (int, int) Hashtbl.t; (* checkpoint seq -> my exec_root there *)
+  ckpt_certs : (int, int * int list) Hashtbl.t;
+      (* checkpoint seq -> (certified root, quorum of signers) *)
+  history : (int, int * int * request list) Hashtbl.t;
+      (* executed seq -> (view, digest, batch), a watermark_window-deep ring
+         kept past stabilization so recovering peers can replay, not skip *)
+  mutable fetching : bool; (* one outstanding catch-up request at a time *)
+  mutable gap_timer_armed : bool; (* a commit-above-a-hole check is pending *)
   vc_votes : Quorum.t; (* keyed: view=target, seq=0, digest=0 *)
   vc_prepared : (int, (int, int * int * request list) Hashtbl.t) Hashtbl.t;
       (* target -> seq -> (view, digest, batch), keeping highest view *)
@@ -107,6 +125,9 @@ type committee = {
   mutable stale_log : msg list;
   mutable commit_hook :
     member:int -> view:int -> seq:int -> digest:int -> batch:request list -> unit;
+  mutable snapshot_fetch : member:int -> seq:int -> digest:int -> k:(bool -> unit) -> unit;
+      (* embedding hook modelling Section 5.3 state transfer: fetch and
+         verify a snapshot certified at [seq]; [k true] on verified install *)
   mutable probe : Probe.t;
 }
 
@@ -145,7 +166,13 @@ let bytes_of_msg (cfg : Config.t) = function
       List.fold_left
         (fun acc (_, _, batch) -> acc + batch_bytes batch)
         cfg.consensus_msg_bytes reproposals
-  | Prepare _ | Commit _ | Checkpoint _ | Relay_vote _ | Quorum_cert _ ->
+  | Fetch_resp { ckpt; blocks; _ } ->
+      let cert_bytes = match ckpt with None -> 0 | Some (_, _, voters) -> 64 * List.length voters in
+      List.fold_left
+        (fun acc (_, _, _, batch) -> acc + batch_bytes batch)
+        (cfg.consensus_msg_bytes + cert_bytes)
+        blocks
+  | Prepare _ | Commit _ | Checkpoint _ | Fetch _ | Relay_vote _ | Quorum_cert _ ->
       cfg.consensus_msg_bytes
 
 (* ------------------------------------------------------------------ *)
@@ -266,6 +293,12 @@ let make_replica c ~enclave_base_id index =
     prepared = Hashtbl.create 128;
     committed = Hashtbl.create 128;
     checkpoints = Quorum.create ~n:c.cfg.Config.n;
+    exec_root = 0;
+    roots = Hashtbl.create 32;
+    ckpt_certs = Hashtbl.create 32;
+    history = Hashtbl.create 256;
+    fetching = false;
+    gap_timer_armed = false;
     vc_votes = Quorum.create ~n:c.cfg.Config.n;
     vc_prepared = Hashtbl.create 8;
     relay_pool = Hashtbl.create 64;
@@ -307,6 +340,7 @@ let create ~engine ~keystore ~costs ~config ~faults ~metrics ~enclave_base_id ~s
       equiv_plans = Hashtbl.create 16;
       stale_log = [];
       commit_hook = (fun ~member:_ ~view:_ ~seq:_ ~digest:_ ~batch:_ -> ());
+      snapshot_fetch = (fun ~member:_ ~seq:_ ~digest:_ ~k -> k true);
       probe = Probe.none;
     }
   in
@@ -483,7 +517,22 @@ and mark_committed c r ~seq ~digest =
           Probe.incr c.probe "pbft.committed";
           probe_instant c r ~cat:"pbft" ~args:[ ("seq", Ev.I seq) ] "committed"
         end;
-        try_execute c r
+        try_execute c r;
+        (* Committed above a hole: peers decided slots I never saw (lost
+           while crashed or to inbox drops).  Ordinary pipelining usually
+           fills the hole within a timeout; if not, fetch the missing
+           slots instead of stalling execution forever. *)
+        if seq > r.last_exec && not r.gap_timer_armed then begin
+          r.gap_timer_armed <- true;
+          ignore
+            (Engine.timer c.engine ~delay:c.cfg.Config.progress_timeout (fun () ->
+                 r.gap_timer_armed <- false;
+                 if
+                   c.alive r.index
+                   && (not (Faults.is_crashed c.faults r.index))
+                   && (not r.fetching) && gapped c r
+                 then request_catch_up c r))
+        end
     | Some _ | None -> ()
   end
 
@@ -525,32 +574,120 @@ and try_execute c r =
       r.last_exec <- seq;
       r.last_exec_time <- now c;
       r.earliest_known <- now c;
+      (* Fold the executed batch into the replica-local state root: honest
+         replicas execute identical batches in identical order, so equal
+         [last_exec] implies equal [exec_root] — certifying it certifies the
+         state (DESIGN §16).  Keep the slot in the replay ring. *)
+      r.exec_root <-
+        Repro_util.Det.stable_hash (Printf.sprintf "ckpt:%d:%d:%d" r.exec_root seq digest);
+      Hashtbl.replace r.history seq (view, digest, batch);
+      Hashtbl.remove r.history (seq - c.cfg.Config.watermark_window);
       if seq mod c.cfg.Config.checkpoint_interval = 0 then begin
+        Hashtbl.replace r.roots seq r.exec_root;
+        (match Hashtbl.find_opt r.ckpt_certs seq with
+        | Some (d, _) when d <> r.exec_root ->
+            (* My replayed history disagrees with the committee's certified
+               root: surfaced to the checkpoint-agreement oracle. *)
+            if Probe.enabled c.probe then Probe.incr c.probe "ckpt.root_mismatch"
+        | _ -> ());
         charge_consensus c r c.costs.Cost_model.ecdsa_sign;
-        broadcast c r ~channel:consensus_channel (Checkpoint { seq; digest = seq; sender = r.index });
-        let n_votes = Quorum.vote r.checkpoints ~view:0 ~seq ~digest:seq ~member:r.index in
-        if n_votes >= quorum c then stabilize c r ~seq
+        if Probe.enabled c.probe then begin
+          Probe.incr c.probe "ckpt.proposed";
+          probe_instant c r ~cat:"ckpt"
+            ~args:[ ("seq", Ev.I seq); ("root", Ev.I r.exec_root) ]
+            "checkpoint"
+        end;
+        broadcast c r ~channel:consensus_channel
+          (Checkpoint { seq; digest = r.exec_root; sender = r.index });
+        note_checkpoint_vote c r ~seq ~digest:r.exec_root ~member:r.index
       end;
       if is_leader c r then try_propose c r;
       try_execute c r
 
-and stabilize c r ~seq =
-  if seq > r.last_stable then begin
-    r.last_stable <- seq;
-    (* A replica that fell behind fetches state from its peers rather than
-       replaying (Section 5.3's state transfer); committed work it skipped
-       was already counted at the replicas that executed it. *)
-    if r.last_exec < seq then begin
-      r.last_exec <- seq;
-      r.last_exec_time <- now c
+(* A checkpoint vote (mine or a peer's).  Once a quorum of matching roots
+   is collected the certificate is recorded; replicas that executed through
+   [seq] stabilize on it, replicas that are behind start catch-up — the
+   certificate is the proof there is something to catch up to.  The old
+   code jumped [last_exec] forward here without executing, permanently
+   diverging any state materialized at this replica. *)
+and note_checkpoint_vote c r ~seq ~digest ~member =
+  let n_votes = Quorum.vote r.checkpoints ~view:0 ~seq ~digest ~member in
+  if n_votes >= quorum c && not (Hashtbl.mem r.ckpt_certs seq) then begin
+    Hashtbl.replace r.ckpt_certs seq (digest, Quorum.voters r.checkpoints ~view:0 ~seq ~digest);
+    if Probe.enabled c.probe then begin
+      Probe.incr c.probe "ckpt.certs";
+      probe_instant c r ~cat:"ckpt"
+        ~args:[ ("seq", Ev.I seq); ("root", Ev.I digest) ]
+        "ckpt_cert"
     end;
+    if r.last_exec >= seq then stabilize c r ~seq else request_catch_up c r
+  end
+
+and highest_cert r =
+  Repro_util.Det.fold ~compare:Int.compare
+    (fun seq (digest, _) acc ->
+      match acc with Some (s, _) when s >= seq -> acc | _ -> Some (seq, digest))
+    r.ckpt_certs None
+
+and behind c r =
+  ignore c;
+  match highest_cert r with Some (s, _) -> s > r.last_exec | None -> false
+
+(* Provably missing slots: a certificate above my execution point, or a
+   committed slot I cannot reach because the one after [last_exec] never
+   arrived. *)
+and gapped c r =
+  behind c r
+  || Repro_util.Det.fold ~compare:Int.compare
+       (fun s _ acc -> acc || s > r.last_exec)
+       r.committed false
+
+(* Ask f+1 peers for the slots (or a certified snapshot) I missed; at least
+   one of them is correct.  One request outstanding at a time, re-armed on
+   the progress timeout while a certificate still sits above [last_exec]. *)
+and request_catch_up c r =
+  if (not r.fetching) && not (is_byz c r) then begin
+    r.fetching <- true;
+    if Probe.enabled c.probe then begin
+      Probe.incr c.probe "ckpt.fetch.requests";
+      probe_instant c r ~cat:"ckpt" ~args:[ ("since", Ev.I r.last_exec) ] "fetch"
+    end;
+    charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+    let sent = ref 0 in
+    for dst = 0 to n_of c - 1 do
+      if dst <> r.index && !sent < f_of c + 1 then begin
+        incr sent;
+        send c r ~dst ~channel:consensus_channel (Fetch { since = r.last_exec; sender = r.index })
+      end
+    done;
+    ignore
+      (Engine.timer c.engine ~delay:c.cfg.Config.progress_timeout (fun () ->
+           if r.fetching then begin
+             r.fetching <- false;
+             if c.alive r.index && (not (Faults.is_crashed c.faults r.index)) && gapped c r
+             then request_catch_up c r
+           end))
+  end
+
+and stabilize c r ~seq =
+  if seq > r.last_stable && r.last_exec >= seq then begin
+    r.last_stable <- seq;
+    if Probe.enabled c.probe then Probe.incr c.probe "ckpt.stabilized";
     Quorum.forget_below r.prepares ~seq;
     Quorum.forget_below r.commits ~seq;
+    (* The certified watermark keys all garbage collection: only slots
+       below a *certified* checkpoint are forgotten, so uncertified votes
+       are never discarded. *)
     Quorum.forget_below r.checkpoints ~seq;
     let drop_below table = Hashtbl.filter_map_inplace (fun s v -> if s <= seq then None else Some v) table in
     drop_below r.preprep;
     Hashtbl.filter_map_inplace (fun s v -> if s <= seq then None else Some v) r.prepared;
     drop_below r.committed;
+    Hashtbl.filter_map_inplace (fun s v -> if s < seq then None else Some v) r.roots;
+    Hashtbl.filter_map_inplace (fun s v -> if s < seq then None else Some v) r.ckpt_certs;
+    (* [history] is deliberately not pruned here: it stays a full
+       watermark_window ring so a recovering observer can replay slots
+       below the stable point instead of skipping them. *)
     match r.a2m with
     | Some a2m ->
         A2m.truncate_below a2m ~slot:seq;
@@ -644,6 +781,20 @@ and adopt_new_view c r ~view ~reproposals =
       List.filter (fun t -> t <= view) (Repro_util.Det.keys ~compare:Int.compare r.vc_prepared)
     in
     List.iter (Hashtbl.remove r.vc_prepared) stale;
+    (* Discard superseded-view pre-prepares that never reached a prepared
+       certificate: a certificate would have travelled with the view-change
+       votes and be re-proposed below, so what remains is a dead proposal —
+       and holding it would make this replica refuse the new leader's
+       re-proposal or no-op fill at that slot forever (the pre-prepare
+       guard admits one digest per slot). *)
+    Hashtbl.filter_map_inplace
+      (fun seq ((pv, _, _) as entry) ->
+        if pv < view && seq > r.last_exec && not (Hashtbl.mem r.committed seq) then None
+        else Some entry)
+      r.preprep;
+    Hashtbl.filter_map_inplace
+      (fun seq digest -> if Hashtbl.mem r.preprep seq then Some digest else None)
+      r.prepared;
     (* Accept the new leader's re-proposals as view-v pre-prepares. *)
     List.iter
       (fun (seq, digest, batch) ->
@@ -661,6 +812,24 @@ and adopt_new_view c r ~view ~reproposals =
       Queue.iter (fun q -> Hashtbl.replace r.queued q.req_id ()) r.pending;
       List.iter (fun (_, _, batch) -> List.iter (fun q -> Hashtbl.replace r.queued q.req_id ()) batch) reproposals;
       Repro_util.Det.iter ~compare:Int.compare (fun _ q -> add_pending c r q) r.known;
+      (* Fill every slot below [next_seq] that neither committed nor got a
+         re-proposal with a no-op batch (Castro–Liskov null requests): a
+         proposal that died unprepared in the old view leaves a hole that
+         no future proposal revisits, and execution — hence the whole
+         committee — would stall on it into the next view change. *)
+      let noop_digest = digest_of_batch [] in
+      for seq = r.last_exec + 1 to r.next_seq - 1 do
+        if (not (Hashtbl.mem r.preprep seq)) && not (Hashtbl.mem r.committed seq) then begin
+          Hashtbl.replace r.preprep seq (view, noop_digest, []);
+          if Probe.enabled c.probe then Probe.incr c.probe "pbft.vc.noop_fill";
+          charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+          broadcast c r ~channel:consensus_channel
+            (Pre_prepare { view; seq; batch = []; digest = noop_digest });
+          ignore (Quorum.vote r.prepares ~view ~seq ~digest:noop_digest ~member:r.index);
+          if c.cfg.Config.variant.Config.relay then
+            leader_self_vote c r ~phase:Prepare_phase ~seq ~digest:noop_digest
+        end
+      done;
       try_propose c r
     end
     else begin
@@ -902,10 +1071,157 @@ let handle_commit c r ~view ~seq ~digest ~sender =
 
 let handle_checkpoint c r ~seq ~digest ~sender =
   verify_in c r;
-  if digest = seq then begin
-    let n_votes = Quorum.vote r.checkpoints ~view:0 ~seq ~digest ~member:sender in
-    if n_votes >= quorum c then stabilize c r ~seq
+  if seq > r.last_stable then note_checkpoint_vote c r ~seq ~digest ~member:sender
+  else if Probe.enabled c.probe then
+    (* Straggler vote below my watermark: that checkpoint is already
+       certified and garbage-collected here — nothing to do. *)
+    Probe.incr c.probe "ckpt.stale_msg"
+
+(* Serve a catch-up request: contiguous slots after [since] out of the
+   replay ring (which survives stabilization) plus my latest checkpoint
+   certificate; when the requested slots are already beyond the ring, the
+   certificate is the anchor and the blocks restart above it (the fetcher
+   installs a verified snapshot for the gap). *)
+let handle_fetch c r ~since ~sender =
+  verify_in c r;
+  if sender <> r.index && sender >= 0 && sender < n_of c then begin
+    let block_at s =
+      match Hashtbl.find_opt r.history s with
+      | Some b -> Some b
+      | None -> Hashtbl.find_opt r.committed s
+    in
+    let collect start =
+      let rec go s acc n =
+        if n >= 64 || s > r.last_exec then List.rev acc
+        else
+          match block_at s with
+          | Some (view, digest, batch) -> go (s + 1) ((s, view, digest, batch) :: acc) (n + 1)
+          | None -> List.rev acc
+      in
+      go start [] 0
+    in
+    let ckpt =
+      match highest_cert r with
+      | Some (s, _) when s > since -> (
+          match Hashtbl.find_opt r.ckpt_certs s with
+          | Some (digest, voters) -> Some (s, digest, voters)
+          | None -> None)
+      | _ -> None
+    in
+    let blocks =
+      match collect (since + 1) with
+      | _ :: _ as direct -> direct
+      | [] -> ( match ckpt with Some (s, _, _) -> collect (s + 1) | None -> [])
+    in
+    if (not (List.is_empty blocks)) || Option.is_some ckpt then begin
+      charge_consensus c r c.costs.Cost_model.ecdsa_sign;
+      if Probe.enabled c.probe then begin
+        Probe.incr c.probe "ckpt.fetch.served";
+        Probe.add c.probe "ckpt.fetch.blocks_served" (List.length blocks)
+      end;
+      send c r ~dst:sender ~channel:consensus_channel
+        (Fetch_resp { sender = r.index; view = r.view; ckpt; blocks })
+    end
   end
+
+(* Install a certified checkpoint without replaying up to it: the embedding
+   has already transferred and verified a snapshot for everything below
+   [seq] (or knows this replica materializes no state).  Anything this
+   replica still tracked below the checkpoint is superseded. *)
+let adopt_checkpoint c r ~seq ~digest =
+  if r.last_exec < seq then begin
+    r.last_exec <- seq;
+    r.last_exec_time <- now c;
+    r.exec_root <- digest;
+    Hashtbl.replace r.roots seq digest;
+    Queue.clear r.pending;
+    r.oldest_pending_since <- infinity;
+    Hashtbl.reset r.queued;
+    Hashtbl.reset r.known;
+    r.earliest_known <- infinity;
+    r.next_seq <- Int.max r.next_seq (seq + 1);
+    if not (Hashtbl.mem r.ckpt_certs seq) then
+      Hashtbl.replace r.ckpt_certs seq (digest, Quorum.voters r.checkpoints ~view:0 ~seq ~digest);
+    stabilize c r ~seq
+  end
+
+let handle_fetch_resp c r ~view ~ckpt ~blocks =
+  verify_in c r;
+  (* The responder's current view is a liveness hint: a replica that
+     slept through a view change has no other way to learn it — the
+     committee runs steadily in the new view, so there are no
+     view-change votes left to join, and every pre-prepare it hears is
+     tagged with a view it refuses.  Adopting the newer view re-opens
+     its ears; a lying responder can only strand this one recovering
+     replica, which the f-fault budget already covers. *)
+  let goal = if r.active then r.view else r.vc_target in
+  if view > goal then begin
+    r.view <- view;
+    r.active <- true;
+    r.vc_deadline <- infinity;
+    if Probe.enabled c.probe then begin
+      Probe.incr c.probe "ckpt.view_adopted";
+      probe_instant c r ~cat:"ckpt" ~args:[ ("view", Ev.I view) ] "view_from_fetch"
+    end
+  end;
+  (* Learn (and verify) the certificate carried by the response. *)
+  (match ckpt with
+  | Some (seq, digest, voters) when seq > r.last_stable && not (Hashtbl.mem r.ckpt_certs seq) ->
+      let signers =
+        List.sort_uniq Int.compare (List.filter (fun m -> m >= 0 && m < n_of c) voters)
+      in
+      if List.length signers >= quorum c then begin
+        charge_consensus c r
+          (float_of_int (List.length signers) *. c.costs.Cost_model.ecdsa_verify);
+        Hashtbl.replace r.ckpt_certs seq (digest, signers)
+      end
+  | _ -> ());
+  let sorted = List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) blocks in
+  let insert (seq, view, digest, batch) =
+    if seq > r.last_exec && (not (Hashtbl.mem r.committed seq)) && digest = digest_of_batch batch
+    then Hashtbl.replace r.committed seq (view, digest, batch)
+  in
+  let finish_step before =
+    r.fetching <- false;
+    if Probe.enabled c.probe && r.last_exec > before then begin
+      Probe.incr c.probe "ckpt.fetch.applied";
+      Probe.add c.probe "ckpt.fetch.blocks_replayed" (r.last_exec - before);
+      Probe.observe c.probe "ckpt.catchup_slots" (float_of_int (r.last_exec - before))
+    end;
+    (* Still below a certificate (the 64-slot response cap): keep pulling. *)
+    if r.last_exec > before && gapped c r then request_catch_up c r
+  in
+  let before = r.last_exec in
+  if List.exists (fun (s, _, _, _) -> s = r.last_exec + 1) sorted then begin
+    (* The response covers my next slot: replay through the normal
+       execution path (state, metrics and checkpoint votes all advance). *)
+    List.iter insert sorted;
+    try_execute c r;
+    finish_step before
+  end
+  else
+    match highest_cert r with
+    | Some (cseq, cdigest) when cseq > r.last_exec ->
+        (* The missed slots are gone even from the serving peers' rings:
+           transfer a snapshot certified at [cseq], then replay the tail. *)
+        if Probe.enabled c.probe then Probe.incr c.probe "ckpt.fetch.snapshots";
+        c.snapshot_fetch ~member:r.index ~seq:cseq ~digest:cdigest
+          ~k:(fun ok ->
+            if c.alive r.index && not (Faults.is_crashed c.faults r.index) then
+              if ok then begin
+                adopt_checkpoint c r ~seq:cseq ~digest:cdigest;
+                List.iter insert sorted;
+                try_execute c r;
+                finish_step before
+              end
+              else begin
+                (* Tampered or stale snapshot: reject and retry the fetch
+                   (a different peer serves next time). *)
+                if Probe.enabled c.probe then Probe.incr c.probe "ckpt.fetch.snapshot_rejected";
+                r.fetching <- false;
+                request_catch_up c r
+              end)
+    | _ -> r.fetching <- false
 
 let handle_relay_vote c r ~phase ~view ~seq ~digest ~vote =
   parse_in c r c.cfg.Config.msg_parse_cost;
@@ -939,6 +1255,8 @@ let handle c ~member m =
     | Prepare { view; seq; digest; sender } -> handle_prepare c r ~view ~seq ~digest ~sender
     | Commit { view; seq; digest; sender } -> handle_commit c r ~view ~seq ~digest ~sender
     | Checkpoint { seq; digest; sender } -> handle_checkpoint c r ~seq ~digest ~sender
+    | Fetch { since; sender } -> handle_fetch c r ~since ~sender
+    | Fetch_resp { sender = _; view; ckpt; blocks } -> handle_fetch_resp c r ~view ~ckpt ~blocks
     | View_change { target; sender; last_stable = _; prepared } ->
         verify_in c r;
         record_view_change_vote c r ~target ~sender ~prepared
@@ -1020,6 +1338,69 @@ let view_changes c = Metrics.counter c.metrics "view_changes"
 let known_backlog c ~member = Hashtbl.length c.replicas.(member).known
 
 let last_stable c ~member = c.replicas.(member).last_stable
+
+let exec_root c ~member = c.replicas.(member).exec_root
+
+let checkpoint_cert c ~member =
+  let r = c.replicas.(member) in
+  match highest_cert r with
+  | Some (seq, digest) -> (
+      match Hashtbl.find_opt r.ckpt_certs seq with
+      | Some (_, voters) -> Some (seq, digest, voters)
+      | None -> None)
+  | None -> None
+
+let notify_recovered c ~member =
+  let r = c.replicas.(member) in
+  r.fetching <- false;
+  r.last_exec_time <- now c;
+  r.earliest_known <- (if Hashtbl.length r.known > 0 then now c else infinity);
+  if not (is_byz c r) then request_catch_up c r
+
+let reset_member c ~member =
+  let r = c.replicas.(member) in
+  r.active <- true;
+  r.vc_target <- 0;
+  r.vc_deadline <- infinity;
+  r.last_exec <- 0;
+  r.last_exec_time <- now c;
+  r.last_stable <- 0;
+  r.next_seq <- 1;
+  r.exec_root <- 0;
+  r.fetching <- false;
+  r.gap_timer_armed <- false;
+  Queue.clear r.pending;
+  r.oldest_pending_since <- infinity;
+  r.earliest_known <- infinity;
+  List.iter Hashtbl.reset
+    [ r.queued; r.executed ];
+  Hashtbl.reset r.known;
+  Hashtbl.reset r.preprep;
+  Hashtbl.reset r.prepared;
+  Hashtbl.reset r.committed;
+  Hashtbl.reset r.roots;
+  Hashtbl.reset r.ckpt_certs;
+  Hashtbl.reset r.history;
+  Hashtbl.reset r.vc_prepared;
+  Hashtbl.reset r.relay_pool;
+  Hashtbl.reset r.relay_done;
+  Quorum.forget_below r.prepares ~seq:max_int;
+  Quorum.forget_below r.commits ~seq:max_int;
+  Quorum.forget_below r.checkpoints ~seq:max_int;
+  Quorum.forget_below r.vc_votes ~seq:max_int;
+  match r.a2m with
+  | Some a2m -> A2m.truncate_below a2m ~slot:max_int
+  | None -> ()
+
+let install_checkpoint c ~member ~seq ~digest ~voters =
+  let r = c.replicas.(member) in
+  let signers = List.sort_uniq Int.compare (List.filter (fun m -> m >= 0 && m < n_of c) voters) in
+  if List.length signers >= quorum c && seq > r.last_stable then begin
+    Hashtbl.replace r.ckpt_certs seq (digest, signers);
+    if r.last_exec < seq then adopt_checkpoint c r ~seq ~digest else stabilize c r ~seq
+  end
+
+let set_snapshot_hook c f = c.snapshot_fetch <- f
 
 let set_alive c f = c.alive <- f
 

@@ -31,6 +31,20 @@ type msg =
   | Prepare of { view : int; seq : int; digest : int; sender : int }
   | Commit of { view : int; seq : int; digest : int; sender : int }
   | Checkpoint of { seq : int; digest : int; sender : int }
+      (** [digest] is the sender's execution-chain root at [seq] (see
+          {!exec_root}) — a quorum of matching roots certifies the state *)
+  | Fetch of { since : int; sender : int }
+      (** catch-up request: send me what was decided after [since] *)
+  | Fetch_resp of {
+      sender : int;
+      view : int;
+          (** the responder's current view — the recovering replica's only
+              way to learn a view change it slept through *)
+      ckpt : (int * int * int list) option;
+          (** latest certificate: (seq, root, quorum of signers) *)
+      blocks : (int * int * int * request list) list;
+          (** contiguous (seq, view, digest, batch) slots to replay *)
+    }
   | View_change of {
       target : int;
       sender : int;
@@ -164,3 +178,41 @@ val known_backlog : committee -> member:int -> int
 
 val last_stable : committee -> member:int -> int
 (** The member's latest stable checkpoint (garbage-collection horizon). *)
+
+val exec_root : committee -> member:int -> int
+(** The member's execution-chain root: a running digest folded over every
+    executed (seq, batch digest).  Honest replicas at equal {!last_executed}
+    hold equal roots, so this is the value checkpoints certify. *)
+
+val checkpoint_cert : committee -> member:int -> (int * int * int list) option
+(** The highest checkpoint certificate the member holds, as
+    [(seq, root, voters)] — the quorum of members whose matching
+    [Checkpoint] votes were collected.  [None] before the first
+    certificate forms (or right after {!reset_member}). *)
+
+val notify_recovered : committee -> member:int -> unit
+(** Tell a member the embedding just revived (un-crashed) it: it resets its
+    progress clock and asks f+1 peers for the slots it missed, replaying
+    them through the normal execution path.  Call after the member's inbox
+    is accepting deliveries again. *)
+
+val reset_member : committee -> member:int -> unit
+(** Wipe a member's consensus state (logs, votes, checkpoints, attested
+    log) as if a brand-new node took over its slot — the literal
+    committee-swap primitive used by epoch transitions.  The newcomer
+    rejoins via {!install_checkpoint} or {!notify_recovered}. *)
+
+val install_checkpoint : committee -> member:int -> seq:int -> digest:int -> voters:int list -> unit
+(** Hand a member a checkpoint certificate whose snapshot the embedding
+    already transferred and verified (Section 5.3): the member adopts
+    [seq] as executed and stable without replaying below it.  Ignored
+    unless [voters] contains a quorum of distinct member indices. *)
+
+val set_snapshot_hook :
+  committee -> (member:int -> seq:int -> digest:int -> k:(bool -> unit) -> unit) -> unit
+(** Install the embedding's snapshot transfer: called when catch-up needs a
+    snapshot certified at [seq] because the missed slots were pruned even
+    from the serving peers' replay rings.  The hook must eventually call
+    [k true] once a snapshot matching the certificate is transferred and
+    verified, or [k false] to reject (verification failure triggers a
+    retry).  Default: immediately [k true] (state-free embeddings). *)

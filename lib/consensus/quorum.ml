@@ -37,6 +37,11 @@ let voters t ~view ~seq ~digest =
       done;
       !acc
 
+let cert t ~threshold ~view ~seq ~digest =
+  match Hashtbl.find_opt t.slots (view, seq, digest) with
+  | Some s when s.count >= threshold -> Some (voters t ~view ~seq ~digest)
+  | _ -> None
+
 let forget_below t ~seq =
   let stale =
     List.filter

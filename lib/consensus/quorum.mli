@@ -17,6 +17,11 @@ val count : t -> view:int -> seq:int -> digest:int -> int
 
 val voters : t -> view:int -> seq:int -> digest:int -> int list
 
+val cert : t -> threshold:int -> view:int -> seq:int -> digest:int -> int list option
+(** [Some voters] once at least [threshold] distinct members voted for this
+    (view, seq, digest); the list is ascending and is the certificate's
+    signer set. [None] while the quorum has not yet formed. *)
+
 val forget_below : t -> seq:int -> unit
 (** Garbage-collect slots below a stable checkpoint. *)
 

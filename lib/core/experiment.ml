@@ -254,8 +254,16 @@ let run_shards ?(quick = false) ?(site = Cluster) ?(mode = System.With_reference
   (match reshard with
   | None -> ()
   | Some strategy ->
-      System.schedule_reshard sys ~at:(dur /. 3.0) ~strategy ~fetch_time:8.0;
-      System.schedule_reshard sys ~at:(2.0 *. dur /. 3.0) ~strategy ~fetch_time:8.0);
+      (* Literal epoch transitions (Fig. 12): each one derives the next
+         beacon assignment and swaps the transitioning replicas for real —
+         consensus state wiped, snapshot fetched and verified, certified
+         checkpoint installed, tail replayed — instead of the old modeled
+         fixed offline window. *)
+      let strategy =
+        match strategy with `Swap_all -> `Swap_all | `Batched _ -> `Batched_log
+      in
+      System.advance_epoch sys ~at:(dur /. 3.0) ~seed:cfg.System.seed ~epoch:1 ~strategy;
+      System.advance_epoch sys ~at:(2.0 *. dur /. 3.0) ~seed:cfg.System.seed ~epoch:2 ~strategy);
   System.run sys ~until:dur;
   (* The Fig.-13 bottleneck measure, exported next to the batch-size and
      pipeline-depth histograms so METRICS_fig13.json tells the whole
@@ -569,7 +577,9 @@ let fig12 ?(quick = false) () =
               (fun (name, reshard) ->
                 ( name,
                   Pool.submit p (fun () ->
-                      run_shards ~quick ~shards:2 ~committee_size:n ?reshard ~dur:60.0 ()) ))
+                      run_shards ~quick ~shards:2 ~committee_size:n ?reshard
+                        ~dur:(if quick then 30.0 else 60.0)
+                        ()) ))
               (strategies n) ))
         sizes
     in

@@ -126,6 +126,10 @@ type t = {
   mutable next_batch : int;
   mutable batches_inflight : int; (* sent, not yet executed *)
   live_batches : (int, unit) Hashtbl.t;
+  corrupt_snapshot : (int, unit) Hashtbl.t;
+      (* one-shot per-committee flag: the next snapshot served for catch-up
+         is tampered (models a Byzantine serving member; the joiner's
+         verification must reject it) *)
 }
 
 let ref_index t = t.cfg.shards
@@ -764,6 +768,7 @@ let create cfg =
       next_batch = 0;
       batches_inflight = 0;
       live_batches = Hashtbl.create 64;
+      corrupt_snapshot = Hashtbl.create 4;
     }
   in
   let make_committee index =
@@ -832,6 +837,39 @@ let create cfg =
     in
     ctx_ref := Some ctx;
     Pbft.set_alive pbft (fun member -> not (Node.is_crashed nodes.(member)));
+    (* Section 5.3 state transfer for checkpoint catch-up: a member whose
+       missed slots were pruned from its peers' replay rings pulls a
+       snapshot of the shard state, pays transfer + Merkle re-verification
+       time, and rejects packages that fail verification.  The observer is
+       the one member this can never apply to — its materialized state is
+       the committee's only copy, so it must replay, never install. *)
+    Pbft.set_snapshot_hook pbft (fun ~member ~seq:_ ~digest:_ ~k ->
+        if member = Pbft.observer pbft then k false
+        else begin
+          let pkg = State_transfer.pack ctx.state in
+          let expected = State_transfer.claimed_root pkg in
+          let pkg =
+            if Hashtbl.mem t.corrupt_snapshot index then begin
+              Hashtbl.remove t.corrupt_snapshot index;
+              State_transfer.tamper pkg ~key:"acct_0" ~value:"doctored"
+            end
+            else pkg
+          in
+          let transfer = State_transfer.transfer_time t.cfg.topology pkg in
+          let verify =
+            float_of_int (State_transfer.size_bytes pkg / 64)
+            *. Cost_model.default.Cost_model.sha256 *. t.cfg.cpu_scale
+          in
+          if Probe.enabled t.probe then begin
+            Probe.observe t.probe "ckpt.transfer_bytes"
+              (float_of_int (State_transfer.size_bytes pkg));
+            Probe.observe t.probe "ckpt.transfer_s" (transfer +. verify)
+          end;
+          Engine.schedule t.engine ~delay:(transfer +. verify) (fun () ->
+              match State_transfer.verify_and_restore pkg ~expected_root:expected with
+              | Ok _ -> k true
+              | Error _ -> k false)
+        end);
     Pbft.start pbft;
     ctx
   in
@@ -976,7 +1014,37 @@ let set_probe t p =
 
 let crash_member t ~committee ~member = Node.crash t.committees.(committee).nodes.(member)
 
-let recover_member t ~committee ~member = Node.recover t.committees.(committee).nodes.(member)
+let recover_member t ~committee ~member =
+  let ctx = t.committees.(committee) in
+  if Node.is_crashed ctx.nodes.(member) then begin
+    Node.recover ctx.nodes.(member);
+    (* The revived replica immediately asks its peers for the slots it
+       missed — the fix for the crashobs divergence the checker found. *)
+    Pbft.notify_recovered ctx.pbft ~member
+  end
+
+let reset_member t ~committee ~member = Pbft.reset_member t.committees.(committee).pbft ~member
+
+let corrupt_next_snapshot t ~shard = Hashtbl.replace t.corrupt_snapshot shard ()
+
+let committee_checkpoints t =
+  Array.to_list t.committees
+  |> List.concat_map (fun ctx ->
+         List.init (Array.length ctx.nodes) (fun m ->
+             match Pbft.checkpoint_cert ctx.pbft ~member:m with
+             | Some (seq, root, _) -> [ (ctx.index, m, seq, root) ]
+             | None -> [])
+         |> List.concat)
+
+let observer_lag t =
+  Array.to_list t.committees
+  |> List.map (fun ctx ->
+         let hi = ref 0 in
+         for m = 0 to Array.length ctx.nodes - 1 do
+           hi := Int.max !hi (Pbft.last_executed ctx.pbft ~member:m)
+         done;
+         let obs = Pbft.last_executed ctx.pbft ~member:(Pbft.observer ctx.pbft) in
+         (ctx.index, !hi - obs))
 
 let decision_trace t = List.rev t.decisions
 
@@ -1066,6 +1134,10 @@ let advance_epoch t ~at ~seed ~epoch ~strategy =
       float_of_int (State_transfer.size_bytes pkg / 64)
       *. Cost_model.default.Cost_model.sha256 *. t.cfg.cpu_scale
     in
+    if Probe.enabled t.probe then begin
+      Probe.observe t.probe "ckpt.transfer_bytes" (float_of_int (State_transfer.size_bytes pkg));
+      Probe.observe t.probe "ckpt.transfer_s" (transfer +. verify)
+    end;
     Float.max 1.0 (transfer +. verify +. Cost_model.default.Cost_model.remote_attestation)
   in
   let batch =
@@ -1089,14 +1161,40 @@ let advance_epoch t ~at ~seed ~epoch ~strategy =
             List.iter
               (fun step ->
                 let nd = node_of_global step.Assignment.node in
+                let cidx = Node.id nd / t.cfg.committee_size in
+                let member = Node.id nd mod t.cfg.committee_size in
+                let ctx = t.committees.(cidx) in
                 (* The observer replica anchors measurement; it is treated
                    as pinned infrastructure and never transitions. *)
-                if Node.id nd mod t.cfg.committee_size <> 0 || strategy = `Swap_all then begin
+                if member <> 0 || strategy = `Swap_all then begin
                   Node.crash nd;
                   Stdlib.incr moved;
                   let ft = fetch_time step in
                   if ft > !max_fetch then max_fetch := ft;
-                  Engine.schedule t.engine ~delay:ft (fun () -> Node.recover nd)
+                  if member <> 0 then begin
+                    (* A literal committee swap: the slot's previous
+                       occupant departs with its consensus state; after the
+                       fetch window a newcomer rejoins holding only the
+                       snapshot it transferred and verified, anchored at the
+                       committee's latest certified checkpoint, and replays
+                       the tail from its peers. *)
+                    Pbft.reset_member ctx.pbft ~member;
+                    Engine.schedule t.engine ~delay:ft (fun () ->
+                        Node.recover nd;
+                        (match
+                           Pbft.checkpoint_cert ctx.pbft ~member:(Pbft.observer ctx.pbft)
+                         with
+                        | Some (seq, root, voters) ->
+                            Pbft.install_checkpoint ctx.pbft ~member ~seq ~digest:root ~voters
+                        | None -> ());
+                        Pbft.notify_recovered ctx.pbft ~member)
+                  end
+                  else
+                    (* Swap-all restarts even the pinned observer node; it
+                       keeps its state and catches up by replay. *)
+                    Engine.schedule t.engine ~delay:ft (fun () ->
+                        Node.recover nd;
+                        Pbft.notify_recovered ctx.pbft ~member)
                 end)
               wave;
             Probe.incr t.probe "epoch.waves";

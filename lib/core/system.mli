@@ -162,6 +162,32 @@ val crash_member : t -> committee:int -> member:int -> unit
     model should pick members >= 1. *)
 
 val recover_member : t -> committee:int -> member:int -> unit
+(** Revive a crashed replica.  It immediately runs checkpoint catch-up
+    ({!Repro_consensus.Pbft.notify_recovered}): missed slots are fetched
+    from f+1 peers and replayed through the execution path, so a recovered
+    observer's materialized state converges instead of silently diverging
+    (the crashobs regression). *)
+
+val reset_member : t -> committee:int -> member:int -> unit
+(** Wipe one replica's consensus state as if a brand-new node took over
+    the slot ({!Repro_consensus.Pbft.reset_member}) — node-churn modelling:
+    pair with {!crash_member}/{!recover_member} for a literal swap. *)
+
+val corrupt_next_snapshot : t -> shard:int -> unit
+(** One-shot fault: the next catch-up snapshot served for this committee
+    is tampered before transfer (a Byzantine serving member).  The
+    joiner's verification rejects it and the fetch is retried clean —
+    regression surface for Section 5.3's verify-before-serve rule. *)
+
+val committee_checkpoints : t -> (int * int * int * int) list
+(** Every member's highest checkpoint certificate as
+    [(committee, member, seq, root)] rows (members holding none are
+    omitted) — the record the checkpoint-agreement oracle reads. *)
+
+val observer_lag : t -> (int * int) list
+(** Per committee: how many executed slots the observer trails its most
+    advanced member by, as [(committee, slots)] — the bounded-liveness
+    oracle's convergence measure (0 everywhere once catch-up is done). *)
 
 type decision_event = { at : float; txid : int; shard : int; commit : bool }
 
@@ -192,7 +218,11 @@ val advance_epoch :
 (** The full Section 5 pipeline: derive the epoch's node-to-committee
     assignment from the beacon seed ({!Repro_shard.Assignment.derive}),
     plan the transition in waves of B = log₂(n)
-    ({!Repro_shard.Sizing.swap_batch_size}), and take each transitioning
-    replica offline for the time needed to fetch and verify its new
-    shard's state ({!Repro_shard.State_transfer}).  [`Swap_all] is the
-    naive everyone-at-once strategy. *)
+    ({!Repro_shard.Sizing.swap_batch_size}), and run each wave as a
+    *literal* committee swap: the departing occupant's consensus state is
+    wiped, the slot is offline for the time needed to fetch and verify the
+    destination shard's state ({!Repro_shard.State_transfer}), and the
+    newcomer rejoins anchored at the committee's latest certified
+    checkpoint, replaying the tail from its peers.  Observers (member 0)
+    are pinned infrastructure: they transition only under [`Swap_all], and
+    then by restart-and-replay, never by state wipe. *)

@@ -21,7 +21,8 @@ type t = {
 }
 
 let create enclave ~watermark_window =
-  if watermark_window <= 0 then invalid_arg "A2m.create: watermark window must be positive";
+  if watermark_window <= 0 then
+    Repro_util.Invariant.fail "A2m.create: watermark window %d must be positive" watermark_window;
   {
     enclave;
     entries = Hashtbl.create 256;
@@ -99,7 +100,7 @@ let record_peer_checkpoint t ~peer ~ckp =
     Hashtbl.replace t.peer_checkpoints peer ckp
 
 let estimate_hm t ~f =
-  if f < 0 then invalid_arg "A2m.estimate_hm: f must be non-negative";
+  if f < 0 then Repro_util.Invariant.fail "A2m.estimate_hm: f = %d must be non-negative" f;
   let responses = List.map snd (Repro_util.Det.bindings ~compare:Int.compare t.peer_checkpoints) in
   if List.length responses < f + 1 then None
   else begin

@@ -16,13 +16,14 @@ let size_bytes p =
     64 p.entries
 
 let tamper p ~key ~value =
-  {
-    p with
-    entries =
+  let entries =
+    if List.exists (fun (k, _) -> k = key) p.entries then
       List.map
         (fun (k, v) -> if k = key then (k, { v with State.data = value }) else (k, v))
-        p.entries;
-  }
+        p.entries
+    else (key, { State.data = value; version = 0 }) :: p.entries
+  in
+  { p with entries }
 
 let verify_and_restore p ~expected_root =
   let state = State.restore p.entries in

@@ -17,7 +17,8 @@ val size_bytes : package -> int
 (** Serialized size estimate, for transfer-time modeling. *)
 
 val tamper : package -> key:string -> value:string -> package
-(** Byzantine server: alter one entry without updating the root. *)
+(** Byzantine server: alter one entry — or inject a foreign one — without
+    updating the root, so the package no longer hashes to what it claims. *)
 
 val verify_and_restore :
   package -> expected_root:Repro_crypto.Sha256.digest -> (Repro_ledger.State.t, string) result

@@ -349,7 +349,7 @@ let xinfo ?(honest = true) ?(participants = [ 0; 1 ]) ?outcome txid =
 let xdecision ?(at = 1.0) ~txid ~shard commit = { System.at; txid; shard; commit }
 
 let xoutcome ?(mode = System.With_reference) ?(infos = []) ?(decisions = []) ?(stuck_locks = 0)
-    ?(total = (2000, 2000)) ?(ref_decisions = []) () =
+    ?(total = (2000, 2000)) ?(ref_decisions = []) ?(ckpt_certs = []) ?(observer_lag = []) () =
   let total_before, total_after = total in
   {
     Xtestbed.mode;
@@ -361,6 +361,8 @@ let xoutcome ?(mode = System.With_reference) ?(infos = []) ?(decisions = []) ?(s
     ref_decisions;
     horizon = 60.0;
     registry_size = 0;
+    ckpt_certs;
+    observer_lag;
   }
 
 let test_xoracle_atomicity () =
@@ -437,6 +439,54 @@ let test_xoracle_liveness_only_when_safe () =
   Alcotest.(check int) "client-driven owes nothing" 0
     (List.length (Xoracle.check (abandoned System.Client_driven)))
 
+let test_xoracle_ckpt_divergence () =
+  (* Two members of committee 0 certify different roots for seq 16. *)
+  let o =
+    xoutcome
+      ~ckpt_certs:[ (0, 0, 16, 111); (0, 1, 16, 222); (1, 0, 16, 333); (1, 1, 32, 444) ]
+      ()
+  in
+  (match Xoracle.check o with
+  | [ Xoracle.Ckpt_divergence { committee = 0; seq = 16; roots = [ 111; 222 ] } ] -> ()
+  | vs ->
+      Alcotest.failf "expected one ckpt divergence, got [%s]"
+        (String.concat "; " (List.map Xoracle.to_string vs)));
+  Alcotest.(check bool) "ckpt divergence is a safety violation" true
+    (List.for_all Xoracle.is_safety (Xoracle.check o));
+  (* It suppresses liveness-class findings like any safety violation. *)
+  let with_lag =
+    xoutcome ~ckpt_certs:[ (0, 0, 16, 111); (0, 1, 16, 222) ] ~observer_lag:[ (0, 99) ] ()
+  in
+  Alcotest.(check bool) "divergence suppresses stale-observer" true
+    (List.for_all Xoracle.is_safety (Xoracle.check with_lag));
+  (* Members whose highest certs sit at different seqs agree vacuously. *)
+  let staggered = xoutcome ~ckpt_certs:[ (0, 0, 16, 111); (0, 1, 32, 222) ] () in
+  Alcotest.(check int) "different seqs never compare" 0
+    (List.length (Xoracle.check staggered));
+  (* Same root twice is agreement, not divergence. *)
+  let agree = xoutcome ~ckpt_certs:[ (0, 0, 16, 111); (0, 1, 16, 111) ] () in
+  Alcotest.(check int) "matching roots pass" 0 (List.length (Xoracle.check agree))
+
+let test_xoracle_stale_observer () =
+  (* Lag strictly above one checkpoint interval fires; at or below it,
+     the remaining tail is legitimately uncertified. *)
+  let o = xoutcome ~observer_lag:[ (0, Xoracle.convergence_bound + 1); (1, Xoracle.convergence_bound); (2, 0) ] () in
+  (match Xoracle.check o with
+  | [ Xoracle.Stale_observer { committee = 0; lag } ]
+    when lag = Xoracle.convergence_bound + 1 ->
+      ()
+  | vs ->
+      Alcotest.failf "expected one stale observer, got [%s]"
+        (String.concat "; " (List.map Xoracle.to_string vs)));
+  Alcotest.(check bool) "stale observer is liveness-class" false
+    (Xoracle.is_safety (Xoracle.Stale_observer { committee = 0; lag = 99 }));
+  (* Suppressed on unsafe runs like the other liveness oracles. *)
+  let unsafe = xoutcome ~observer_lag:[ (0, 99) ] ~total:(10, 9) () in
+  Alcotest.(check bool) "suppressed when unsafe" true
+    (List.for_all Xoracle.is_safety (Xoracle.check unsafe));
+  Alcotest.(check bool) "bound is the checkpoint interval" true
+    (Xoracle.convergence_bound = 16)
+
 (* The cross-shard regression witness: the schedule the explorer found
    against the pre-fix fallback sweep (a silent client plus a dropped
    decision leg yielded a partial commit).  The fixed sweep must replay
@@ -485,6 +535,56 @@ let test_fallback_sweep_witness_batched () =
   in
   Alcotest.(check (list string)) "batched replay stays clean" []
     (List.map Xoracle.to_string vs)
+
+(* The recovered-observer regression witnesses.  Before checkpoint
+   catch-up existed, a crashed-and-recovered observer rejoined at its
+   pre-crash sequence and silently diverged from its committee — stuck
+   locks and undecided transactions at the horizon.  With the fetch
+   protocol the replays must come back clean, with the observer fully
+   converged. *)
+
+let crashobs_witness = "x1 txs=4 mal=- over=- hot=0 crashobs:0:2:10"
+
+let test_crashobs_recovery_witness () =
+  let vs =
+    Xexplore.replay ~mode:System.With_reference ~concurrency:System.Two_phase_locking ~shards:2
+      ~committee_size:4 ~engine_seed:33L
+      (Xschedule.of_string crashobs_witness)
+  in
+  Alcotest.(check (list string)) "recovered observer converges" []
+    (List.map Xoracle.to_string vs)
+
+(* Recovery across a checkpoint boundary: a contended workload keeps
+   shard 0 committing while its observer is down for 18 s, so the live
+   members certify at least one full checkpoint interval above the
+   observer's last executed slot — the recovery path must replay through
+   the certified boundary, not just the uncertified tail. *)
+let ckpt_boundary_witness = "x1 txs=24 mal=- over=- hot=1 crashobs:0:2:20"
+
+let test_crashobs_checkpoint_boundary () =
+  let trace = Repro_obs.Trace.create () and metrics = Repro_obs.Metrics.create () in
+  let probe = Repro_obs.Probe.make ~trace ~metrics in
+  let o =
+    Xtestbed.run ~probe ~engine_seed:33L ~mode:System.With_reference
+      ~concurrency:System.Two_phase_locking ~shards:2 ~committee_size:4
+      (Xschedule.of_string ckpt_boundary_witness)
+  in
+  Alcotest.(check (list string)) "clean across the boundary" []
+    (List.map Xoracle.to_string (Xoracle.check o));
+  let shard0_seqs =
+    List.filter_map (fun (c, _, seq, _) -> if c = 0 then Some seq else None) o.Xtestbed.ckpt_certs
+  in
+  Alcotest.(check bool) "committee certified at least one full interval" true
+    (List.exists (fun s -> s >= 16) shard0_seqs);
+  Alcotest.(check bool) "observer fully converged at quiescence" true
+    (List.for_all (fun (_, lag) -> lag = 0) o.Xtestbed.observer_lag);
+  let counter name =
+    Option.value ~default:0
+      (List.assoc_opt name (Repro_obs.Metrics.counters metrics))
+  in
+  Alcotest.(check bool) "recovery used the fetch protocol" true (counter "ckpt.fetch.applied" >= 1);
+  Alcotest.(check bool) "missed slots were replayed, not skipped" true
+    (counter "ckpt.fetch.blocks_replayed" >= 16)
 
 let test_flattened_silent_client_clean () =
   (* The flattened variant keeps a coordinator machine on the shard
@@ -610,6 +710,8 @@ let () =
             test_xoracle_divergence_and_conservation;
           Alcotest.test_case "liveness only when safe" `Quick
             test_xoracle_liveness_only_when_safe;
+          Alcotest.test_case "checkpoint divergence" `Quick test_xoracle_ckpt_divergence;
+          Alcotest.test_case "stale observer" `Quick test_xoracle_stale_observer;
         ] );
       ( "xtestbed",
         [
@@ -617,6 +719,9 @@ let () =
           Alcotest.test_case "fallback sweep regression" `Quick test_fallback_sweep_regression;
           Alcotest.test_case "fallback sweep witness, batched" `Quick
             test_fallback_sweep_witness_batched;
+          Alcotest.test_case "crashobs recovery witness" `Quick test_crashobs_recovery_witness;
+          Alcotest.test_case "crashobs checkpoint boundary" `Quick
+            test_crashobs_checkpoint_boundary;
           Alcotest.test_case "flattened silent client" `Quick
             test_flattened_silent_client_clean;
           Alcotest.test_case "differential holds batched" `Quick

@@ -33,6 +33,42 @@ let test_quorum_voters () =
   ignore (Quorum.vote q ~view:0 ~seq:1 ~digest:7 ~member:0);
   Alcotest.(check (list int)) "sorted voters" [ 0; 2 ] (Quorum.voters q ~view:0 ~seq:1 ~digest:7)
 
+let test_quorum_cert () =
+  let q = Quorum.create ~n:5 in
+  ignore (Quorum.vote q ~view:0 ~seq:3 ~digest:9 ~member:4);
+  Alcotest.(check bool) "below threshold" true
+    (Quorum.cert q ~threshold:2 ~view:0 ~seq:3 ~digest:9 = None);
+  ignore (Quorum.vote q ~view:0 ~seq:3 ~digest:9 ~member:1);
+  Alcotest.(check bool) "cert lists ascending signers" true
+    (Quorum.cert q ~threshold:2 ~view:0 ~seq:3 ~digest:9 = Some [ 1; 4 ]);
+  (* votes for a different digest never leak into the certificate *)
+  ignore (Quorum.vote q ~view:0 ~seq:3 ~digest:8 ~member:2);
+  Alcotest.(check bool) "other digest uncertified" true
+    (Quorum.cert q ~threshold:2 ~view:0 ~seq:3 ~digest:8 = None)
+
+let test_quorum_forget_below_keeps_uncertified () =
+  (* GC is keyed on the certified watermark: forgetting below seq s drops
+     exactly the slots the certificate covers.  Every slot at or above s —
+     certified or not, however sparse its votes — must keep them, or a
+     stabilizing checkpoint would erase in-flight prepare/commit state. *)
+  let q = Quorum.create ~n:7 in
+  for s = 1 to 40 do
+    ignore (Quorum.vote q ~view:0 ~seq:s ~digest:(100 + s) ~member:(s mod 3))
+  done;
+  Quorum.forget_below q ~seq:17;
+  for s = 1 to 16 do
+    Alcotest.(check int)
+      (Printf.sprintf "slot %d below the watermark is collected" s)
+      0
+      (Quorum.count q ~view:0 ~seq:s ~digest:(100 + s))
+  done;
+  for s = 17 to 40 do
+    Alcotest.(check int)
+      (Printf.sprintf "uncertified slot %d survives" s)
+      1
+      (Quorum.count q ~view:0 ~seq:s ~digest:(100 + s))
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Config                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -48,6 +84,16 @@ let test_config_quorum_rules () =
 let test_config_n_for_f () =
   Alcotest.(check int) "HL 3f+1" 16 (Config.n_for_f Config.hl ~f:5);
   Alcotest.(check int) "AHL 2f+1" 11 (Config.n_for_f Config.ahl_plus ~f:5)
+
+let test_default_byz_strategy_flags () =
+  (* The throughput experiments' scripted adversary: conflicting-message
+     noise on, the targeted attacks off. *)
+  let s = Pbft.default_byz_strategy in
+  Alcotest.(check bool) "vote noise on" true s.Pbft.vote_noise;
+  Alcotest.(check bool) "equivocation on" true s.Pbft.naive_equivocation;
+  Alcotest.(check bool) "split brain off" false s.Pbft.split_brain;
+  Alcotest.(check bool) "no silent targets" true (s.Pbft.silent_toward = []);
+  Alcotest.(check bool) "no stale replay" false s.Pbft.stale_view_replay
 
 let test_config_variant_flags () =
   Alcotest.(check bool) "HL plain" false Config.hl.Config.attested;
@@ -182,7 +228,13 @@ let test_pbft_view_change_on_leader_crash () =
     submit fx ~req_id:i ~via:(1 + (i mod 4))
   done;
   Engine.run fx.engine ~until:20.0;
-  Alcotest.(check bool) "view advanced" true (Pbft.current_view fx.committee ~member:2 > 0);
+  let v = Pbft.current_view fx.committee ~member:2 in
+  Alcotest.(check bool) "view advanced" true (v > 0);
+  (* Rotation law: the adopted view's leader is v mod n, and it is not the
+     corpse the committee just abandoned. *)
+  Alcotest.(check int) "leader rotates with the view" (v mod 5)
+    (Pbft.leader_of_view fx.committee v);
+  Alcotest.(check bool) "new leader is alive" true (Pbft.leader_of_view fx.committee v <> 0);
   let ids = committed_ids fx ~member:2 in
   List.iter
     (fun i ->
@@ -577,6 +629,94 @@ let test_pbft_checkpoints_stabilize () =
   Alcotest.(check bool) "stable checkpoint advanced" true (stable >= 16);
   Alcotest.(check int) "multiple of the interval" 0 (stable mod 16)
 
+let obs_counter metrics name =
+  Option.value ~default:0 (List.assoc_opt name (Repro_obs.Metrics.counters metrics))
+
+let test_pbft_first_cert_on_the_interval () =
+  (* The first certificate must land exactly on the checkpoint interval:
+     a committee that executed at least 16 but fewer than 32 blocks
+     certifies seq 16 — not 15, not the latest executed slot — and every
+     member binds that seq to the same execution-chain root. *)
+  let fx = make_fixture ~n:4 () in
+  (* 28 requests spread far apart: one block each, so the block count
+     stays inside [16, 32) and the only certifiable boundary is 16. *)
+  for i = 0 to 27 do
+    Engine.schedule fx.engine ~delay:(0.15 *. float_of_int i) (fun () -> submit fx ~req_id:i)
+  done;
+  Engine.run fx.engine ~until:15.0;
+  let blocks = Pbft.last_executed fx.committee ~member:0 in
+  Alcotest.(check bool) "scenario stayed inside one interval" true (blocks >= 16 && blocks < 32);
+  let quorum = Config.quorum_size (Config.default Config.ahl_plus ~n:4) in
+  (* Replicas at equal last_executed hold equal execution-chain roots —
+     the property that makes the root a certifiable digest at all. *)
+  List.iter
+    (fun m ->
+      if Pbft.last_executed fx.committee ~member:m = blocks then
+        Alcotest.(check int)
+          (Printf.sprintf "member %d exec root matches" m)
+          (Pbft.exec_root fx.committee ~member:0)
+          (Pbft.exec_root fx.committee ~member:m))
+    [ 1; 2; 3 ];
+  let certs =
+    List.init 4 (fun m ->
+        match Pbft.checkpoint_cert fx.committee ~member:m with
+        | None -> Alcotest.fail (Printf.sprintf "member %d holds no certificate" m)
+        | Some (seq, root, voters) ->
+            Alcotest.(check int) (Printf.sprintf "member %d certifies the boundary" m) 16 seq;
+            Alcotest.(check bool)
+              (Printf.sprintf "member %d cert carries a quorum" m)
+              true
+              (List.length (List.sort_uniq compare voters) >= quorum);
+            root)
+  in
+  match certs with
+  | r :: rest -> List.iter (Alcotest.(check int) "roots agree" r) rest
+  | [] -> ()
+
+let test_pbft_stale_checkpoint_vote_ignored () =
+  (* A straggler's Checkpoint vote for a seq at or below the receiver's
+     stable watermark refers to state already certified and collected:
+     the receiver counts it as stale and its horizon does not move. *)
+  let fx = make_fixture ~n:4 () in
+  let trace = Repro_obs.Trace.create () and ometrics = Repro_obs.Metrics.create () in
+  Pbft.set_probe fx.committee (Repro_obs.Probe.make ~trace ~metrics:ometrics);
+  for i = 0 to 39 do
+    Engine.schedule fx.engine ~delay:(0.1 *. float_of_int i) (fun () -> submit fx ~req_id:i)
+  done;
+  Engine.run fx.engine ~until:15.0;
+  let stable = Pbft.last_stable fx.committee ~member:0 in
+  Alcotest.(check bool) "a checkpoint stabilized" true (stable >= 16);
+  let before = obs_counter ometrics "ckpt.stale_msg" in
+  (* Deliver the straggler's vote over the wire, on the channel real
+     checkpoint traffic uses. *)
+  let msg = Pbft.Checkpoint { seq = stable; digest = 424242; sender = 2 } in
+  Network.send_external fx.network ~src_region:0 ~dst:0 ~channel:Pbft.consensus_channel
+    ~bytes:(Pbft.bytes_of_msg (Config.default Config.ahl_plus ~n:4) msg)
+    msg;
+  Engine.run fx.engine ~until:16.0;
+  Alcotest.(check int) "straggler vote counted as stale" (before + 1)
+    (obs_counter ometrics "ckpt.stale_msg");
+  Alcotest.(check int) "watermark unmoved by the garbage digest" stable
+    (Pbft.last_stable fx.committee ~member:0)
+
+let test_harness_recovery_uses_fetch () =
+  (* End to end through the harness: a follower crashes mid-run, recovers,
+     and rejoins via the checkpoint fetch protocol — the probe records the
+     applied Fetch_resp rather than the member silently staying behind. *)
+  let trace = Repro_obs.Trace.create () and ometrics = Repro_obs.Metrics.create () in
+  let probe = Repro_obs.Probe.make ~trace ~metrics:ometrics in
+  let r =
+    Harness.run ~probe ~duration:15.0 ~warmup:2.0 ~variant:Config.ahl_plus ~n:5
+      ~crashes:[ (3, 4.0) ]
+      ~recovers:[ (3, 9.0) ]
+      ~topology:(Topology.lan ())
+      ~workload:(Harness.Open_loop { rate = 400.0; clients = 8 })
+      ()
+  in
+  Alcotest.(check bool) "run commits through the crash" true (r.Harness.committed > 0);
+  Alcotest.(check bool) "recovery fetched the missed slots" true
+    (obs_counter ometrics "ckpt.fetch.applied" >= 1)
+
 let test_pbft_lagging_replica_catches_up () =
   (* A crashed follower misses whole checkpoints; on recovery the stable
      checkpoint sync (Section 5.3's state fetch) pulls it forward. *)
@@ -595,7 +735,9 @@ let test_pbft_lagging_replica_catches_up () =
   let leader_exec = Pbft.last_executed fx.committee ~member:0 in
   let lagger_exec = Pbft.last_executed fx.committee ~member:3 in
   Alcotest.(check bool) "caught up to within a checkpoint" true
-    (leader_exec - lagger_exec <= 16)
+    (leader_exec - lagger_exec <= 16);
+  (* Quiescence: everything the leader knows about has been executed. *)
+  Alcotest.(check int) "leader backlog drained" 0 (Pbft.known_backlog fx.committee ~member:0)
 
 let test_byzantine_attack_degrades_throughput () =
   (* Figure 8 right: the conflicting-message attack costs real throughput
@@ -654,11 +796,28 @@ let test_pbft_partition_halts_minority () =
     (Pbft.last_executed fx.committee ~member:0 >= 16);
   (* Anything the minority executed itself is a prefix of the majority's
      log (no divergence). *)
-  let rec prefix a b =
-    match (a, b) with [], _ -> true | _, [] -> false | x :: xs, y :: ys -> x = y && prefix xs ys
-  in
-  Alcotest.(check bool) "no divergence" true
-    (prefix (committed_ids fx ~member:0) (committed_ids fx ~member:2))
+  (* No divergence — but catch-up may legitimately skip a certified prefix
+     (the Section 5.3 snapshot install: this embedding's snapshot hook is
+     the state-free default, so a member anchored at a checkpoint adopts it
+     without replay).  Whatever the minority member executed must match the
+     majority slot for slot, in order, and any skipped prefix must be
+     covered by its stable certificate. *)
+  let log0 = !(Hashtbl.find fx.executions 0) |> List.rev in
+  let log2 = !(Hashtbl.find fx.executions 2) |> List.rev in
+  Alcotest.(check bool) "minority executed after heal" true (log0 <> []);
+  List.iter
+    (fun (seq, ids) ->
+      match List.assoc_opt seq log2 with
+      | Some ids2 -> Alcotest.(check (list int)) (Printf.sprintf "slot %d agrees" seq) ids2 ids
+      | None -> Alcotest.fail (Printf.sprintf "slot %d unknown to the majority" seq))
+    log0;
+  Alcotest.(check bool) "slots executed in order" true
+    (List.for_all2 ( = ) (List.map fst log0) (List.sort compare (List.map fst log0)));
+  (match log0 with
+  | (first, _) :: _ ->
+      Alcotest.(check bool) "skipped prefix covered by a certificate" true
+        (first = 1 || Pbft.last_stable fx.committee ~member:0 >= first - 1)
+  | [] -> ())
 
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_pbft_safety_under_crash_schedules ]
 
@@ -670,6 +829,9 @@ let () =
           Alcotest.test_case "distinct voters" `Quick test_quorum_counts_distinct_voters;
           Alcotest.test_case "digests separate" `Quick test_quorum_digests_separate;
           Alcotest.test_case "forget below" `Quick test_quorum_forget_below;
+          Alcotest.test_case "cert threshold" `Quick test_quorum_cert;
+          Alcotest.test_case "forget below keeps uncertified" `Quick
+            test_quorum_forget_below_keeps_uncertified;
           Alcotest.test_case "voters" `Quick test_quorum_voters;
         ] );
       ( "config",
@@ -677,6 +839,7 @@ let () =
           Alcotest.test_case "quorum rules" `Quick test_config_quorum_rules;
           Alcotest.test_case "n_for_f" `Quick test_config_n_for_f;
           Alcotest.test_case "variant flags" `Quick test_config_variant_flags;
+          Alcotest.test_case "default byz strategy" `Quick test_default_byz_strategy_flags;
         ] );
       ( "pbft",
         [
@@ -725,6 +888,12 @@ let () =
           Alcotest.test_case "partial synchrony delay" `Quick test_pbft_partial_synchrony_delay;
           Alcotest.test_case "lossy network" `Quick test_pbft_lossy_network_recovers;
           Alcotest.test_case "checkpoints stabilize" `Quick test_pbft_checkpoints_stabilize;
+          Alcotest.test_case "first cert on the interval" `Quick
+            test_pbft_first_cert_on_the_interval;
+          Alcotest.test_case "stale checkpoint vote ignored" `Quick
+            test_pbft_stale_checkpoint_vote_ignored;
+          Alcotest.test_case "harness recovery uses fetch" `Quick
+            test_harness_recovery_uses_fetch;
           Alcotest.test_case "lagging replica catches up" `Quick
             test_pbft_lagging_replica_catches_up;
           Alcotest.test_case "byzantine attack degrades" `Slow

@@ -700,6 +700,91 @@ let () =
       ( "end-to-end",
         [
           Alcotest.test_case "smallbank run" `Slow test_end_to_end_smallbank_run;
+          Alcotest.test_case "tampered snapshot rejected" `Slow (fun () ->
+              (* Section 5.3's verify-before-serve rule: a member whose
+                 missed slots were pruned from every peer's replay ring
+                 must pull a snapshot — and when a Byzantine server doctors
+                 it, Merkle re-verification rejects the package and the
+                 retry fetches a clean one.  Crash a follower early, let the
+                 committee execute past the replay-ring depth, corrupt the
+                 next snapshot, and watch both counters move. *)
+              let sys = make_system ~shards:2 () in
+              let trace = Repro_obs.Trace.create () in
+              let ometrics = Repro_obs.Metrics.create () in
+              System.set_probe sys (Repro_obs.Probe.make ~trace ~metrics:ometrics);
+              let wl =
+                Workload.create Workload.Smallbank ~keyspace:500 ~theta:0.2 ~rng:(Rng.create 9L)
+              in
+              Workload.setup wl sys ~initial_balance:1000;
+              Workload.start_closed_loop wl sys ~clients:8 ~outstanding:8;
+              System.crash_member sys ~committee:0 ~member:1;
+              System.run sys ~until:25.0;
+              System.corrupt_next_snapshot sys ~shard:0;
+              (* A literal swap: the slot's previous occupant departs with
+                 its consensus state; the newcomer holds nothing and must
+                 transfer a snapshot. *)
+              System.reset_member sys ~committee:0 ~member:1;
+              System.recover_member sys ~committee:0 ~member:1;
+              System.run sys ~until:40.0;
+              let counter name =
+                Option.value ~default:0
+                  (List.assoc_opt name (Repro_obs.Metrics.counters ometrics))
+              in
+              Alcotest.(check bool) "doctored package rejected" true
+                (counter "ckpt.fetch.snapshot_rejected" >= 1);
+              Alcotest.(check bool) "clean retry installed" true
+                (counter "ckpt.fetch.snapshots" >= 1);
+              (* The rejoined member ends holding a certificate — it is a
+                 full committee citizen again, not a permanent straggler. *)
+              Alcotest.(check bool) "member 1 rejoined" true
+                (List.exists
+                   (fun (c, m, seq, _) -> c = 0 && m = 1 && seq >= 16)
+                   (System.committee_checkpoints sys)));
+          Alcotest.test_case "hundred-epoch churn soak" `Slow (fun () ->
+              (* Hundreds of committee reconfigurations under continuous
+                 load: every epoch literally swaps members out through
+                 reset + snapshot/replay rejoin.  Across all of it the
+                 committees must never certify divergent roots, observers
+                 must converge, and the system must keep committing. *)
+              let sys = make_system ~shards:2 () in
+              let wl =
+                Workload.create Workload.Smallbank ~keyspace:500 ~theta:0.2 ~rng:(Rng.create 17L)
+              in
+              Workload.setup wl sys ~initial_balance:1000;
+              Workload.start_closed_loop wl sys ~clients:4 ~outstanding:8;
+              for e = 1 to 100 do
+                System.advance_epoch sys
+                  ~at:(2.0 +. (0.5 *. float_of_int e))
+                  ~seed:(Int64.of_int (1000 + e))
+                  ~epoch:e ~strategy:`Batched_log
+              done;
+              System.run sys ~until:62.0;
+              let by_slot = Hashtbl.create 64 in
+              List.iter
+                (fun (c, _m, seq, root) ->
+                  let key = (c, seq) in
+                  let roots = Option.value (Hashtbl.find_opt by_slot key) ~default:[] in
+                  if not (List.mem root roots) then Hashtbl.replace by_slot key (root :: roots))
+                (System.committee_checkpoints sys);
+              Hashtbl.iter
+                (fun (c, seq) roots ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "committee %d certs for seq %d agree" c seq)
+                    1 (List.length roots))
+                by_slot;
+              List.iter
+                (fun (c, lag) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "committee %d observer converged (lag %d)" c lag)
+                    true (lag <= 16))
+                (System.observer_lag sys);
+              Alcotest.(check bool) "still committing through the churn" true
+                (System.committed sys > 200);
+              (* Regression tripwire for the swap-collapse pathology: before
+                 the view-hint + no-op-fill fixes a single swap burned
+                 hundreds of view changes and never recovered. *)
+              Alcotest.(check bool) "view changes stay bounded" true
+                (System.view_changes sys < 2000));
           Alcotest.test_case "reshard strategies" `Slow test_reshard_batched_beats_swap_all;
           Alcotest.test_case "advance_epoch pipeline" `Slow (fun () ->
               (* The full Section 5 pipeline keeps the system live when the

@@ -89,6 +89,36 @@ let test_fig13_parallel_bit_identical () =
   in
   Alcotest.(check bool) "flattened variant is plotted" true (contains sequential "AHL+;flat")
 
+(* Fig. 12 runs literal committee swaps: crash, reset, snapshot transfer,
+   checkpoint catch-up.  All of that rides the seeded engine, so the
+   rendered figure and the metrics artifact (which carries the ckpt.*
+   fetch counters and transfer histograms) must be byte-identical however
+   many worker domains render them. *)
+let test_fig12_parallel_bit_identical () =
+  let open Repro_core in
+  let render jobs =
+    Experiment.set_jobs jobs;
+    Experiment.reset_caches ();
+    let hub = Repro_obs.Hub.create () in
+    Experiment.set_hub (Some hub);
+    let rendered = Results.render (Experiment.fig12 ~quick:true ()) in
+    Experiment.set_hub None;
+    (rendered, Repro_obs.Sink.metrics_json (Repro_obs.Hub.metrics hub))
+  in
+  let sequential, metrics1 = render 1 in
+  let parallel, metrics4 = render 4 in
+  Experiment.set_jobs 1;
+  Alcotest.(check string) "jobs=4 fig12 equals jobs=1" sequential parallel;
+  Alcotest.(check bool) "jobs=4 metrics artifact is byte-identical" true
+    (String.equal metrics1 metrics4);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "checkpoint catch-up counters exported" true
+    (contains metrics1 "ckpt.fetch")
+
 let () =
   Alcotest.run "determinism"
     [
@@ -103,5 +133,7 @@ let () =
             test_parallel_join_bit_identical;
           Alcotest.test_case "fig13 batched path is worker-count invariant" `Slow
             test_fig13_parallel_bit_identical;
+          Alcotest.test_case "fig12 committee swaps are worker-count invariant" `Slow
+            test_fig12_parallel_bit_identical;
         ] );
     ]

@@ -11,7 +11,11 @@
    Single-committee variants: hl2f1 hl ahl ahl+ ahlr, or `diff` (the
    default) for the headline differential — HL's unattested quorums at
    N=2f+1 must yield a safety violation within the trial budget while
-   AHL/AHL+/AHLR stay safe under identical schedules.
+   AHL/AHL+/AHLR stay safe under identical schedules.  `leader-stall`
+   runs the byzantine-leader differential instead: under scripted
+   stall / selective-serving leader schedules the unattested small-quorum
+   committee must storm with view changes on every trial while the
+   attested variants keep committing with zero violations.
 
    --cross-shard switches to whole-system exploration: seeded 2PC
    coordinator-fault schedules over shard committees plus R, with
@@ -47,7 +51,8 @@ let () =
     [
       ( "--variant",
         Arg.Set_string variant,
-        "NAME hl2f1|hl|ahl|ahl+|ahlr, or diff for the differential (default: diff)" );
+        "NAME hl2f1|hl|ahl|ahl+|ahlr, diff for the differential (default), or leader-stall \
+         for the byzantine-leader differential" );
       ("--n", Arg.Set_int n, "N committee size (default: derived from the variant and F)");
       ("--f", Arg.Set_int f, "F byzantine replicas (default: 1)");
       ("--trials", Arg.Set_int trials, "T seeded schedules to explore (default: 5)");
@@ -141,6 +146,10 @@ let () =
         Format.printf "differential %s@."
           (if d.Explore.holds then "holds" else "DOES NOT HOLD")
       end;
+      finish (d.Explore.broken :: d.Explore.safe) d.Explore.holds
+  | "leader-stall" | "leader_stall" ->
+      let d = Explore.leader_stall_differential ~f:!f ~trials:!trials ~seed ~budget:!budget in
+      if not !json then Format.printf "%a" Explore.pp_leader_differential d;
       finish (d.Explore.broken :: d.Explore.safe) d.Explore.holds
   | name -> (
       match Explore.variant_of_name name with

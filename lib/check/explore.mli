@@ -19,6 +19,7 @@ type trial = {
   engine_seed : int64;
   schedule : Schedule.t;
   violations : Oracle.violation list;
+  view_changes : int;  (** adopted new-views across the committee *)
   shrunk : Schedule.t option;  (** minimized witness, on safety violations *)
   shrink_reruns : int;
 }
@@ -67,7 +68,29 @@ type differential = {
 
 val differential : f:int -> trials:int -> seed:int64 -> budget:int -> differential
 
+val leader_schedule : n:int -> f:int -> int -> Schedule.t
+(** The scripted schedule leader-attack trial [i] uses: byzantine clique
+    on ids [0..f-1], no network perturbations, alternating stall /
+    selective-serving leader strategies (exposed for replay tests). *)
+
+val leader_stall_differential : f:int -> trials:int -> seed:int64 -> budget:int -> differential
+(** The Fig. 16 right-panel property as a differential.  Byzantine-leader
+    stalls are timeout-detected in every PBFT variant — a silent leader is
+    indistinguishable from a slow one — so the claim is about storm shape,
+    not a safety split.  [holds] is the conjunction of: {!hl_small} storms
+    with view changes on every stall trial without ever breaking safety;
+    AHL/AHL+/AHLR ride out the identical schedules with zero violations of
+    any kind (they keep committing); and AHLR alone also storms on the
+    selective-serving trials — the starved minority can never reach the
+    f+1 join threshold on its own, so only the relay watchdog detects that
+    attack. *)
+
 val pp_report : Format.formatter -> report -> unit
+
+val pp_leader_differential : Format.formatter -> differential -> unit
+(** Like the plain report printer but leads with per-trial view-change
+    counts, and prints a one-line replayable witness for any trial off its
+    expected shape (a violation anywhere, or a storm-free broken trial). *)
 
 val json_of_report : report -> string
 

@@ -9,6 +9,11 @@ type event_kind =
 
 type event = { start : float; stop : float; kind : event_kind }
 
+type leader_attack =
+  | Stall  (** the byzantine clique wins leader slots and withholds batches *)
+  | Serve_only of int list  (** serves pre-prepares/commits only to these peers *)
+  | Drip of float  (** one batch per interval, probing the watchdog boundary *)
+
 exception Invalid_witness of string
 
 type t = {
@@ -16,6 +21,7 @@ type t = {
   split_brain : bool;
   stale_replay : bool;
   silent_toward : int list;
+  leader : leader_attack option;
   requests : int;
   events : event list;
 }
@@ -27,6 +33,7 @@ let active ev ~at = at >= ev.start && at < ev.stop
 let size t =
   List.length t.events + List.length t.byz + List.length t.silent_toward
   + (if t.stale_replay then 1 else 0)
+  + (match t.leader with None -> 0 | Some _ -> 1)
   + (t.requests / 2)
 
 (* ------------------------------------------------------------------ *)
@@ -65,7 +72,21 @@ let generate rng ~n ~f =
   in
   let requests = 2 * Rng.int_in rng 4 11 in
   let events = List.init (Rng.int rng 4) (fun _ -> gen_event rng ~n) in
-  { byz; split_brain; stale_replay; silent_toward; requests; events }
+  (* Leader attacks: the clique campaigns for (and wins) leader slots.
+     Drawn after every other field so seeds from the pre-leader-attack
+     palette keep generating the same base schedules. *)
+  let leader =
+    if f >= 1 && Rng.int rng 3 = 0 then
+      match Rng.int rng 3 with
+      | 0 -> Some Stall
+      | 1 ->
+          (* Serve every replica except one high-indexed honest member. *)
+          let starved = n - 1 in
+          Some (Serve_only (List.filter (fun i -> i <> starved) (List.init n (fun i -> i))))
+      | _ -> Some (Drip 1.9) (* just under the 2 s progress watchdog *)
+    else None
+  in
+  { byz; split_brain; stale_replay; silent_toward; leader; requests; events }
 
 (* ------------------------------------------------------------------ *)
 (* Witness serialization                                               *)
@@ -126,6 +147,18 @@ let event_of_string s =
       | _ -> raise (Invalid_witness s))
   | _ -> raise (Invalid_witness s)
 
+let string_of_leader = function
+  | Stall -> "stall"
+  | Serve_only ids -> Printf.sprintf "serve:%s" (String.concat "+" (List.map string_of_int ids))
+  | Drip interval -> Printf.sprintf "drip:%s" (fl interval)
+
+let leader_of_string s witness =
+  match String.split_on_char ':' s with
+  | [ "stall" ] -> Stall
+  | [ "serve"; ids ] -> Serve_only (List.map int_of_string (String.split_on_char '+' ids))
+  | [ "drip"; interval ] -> Drip (float_of_string interval)
+  | _ -> raise (Invalid_witness witness)
+
 let to_string t =
   String.concat " "
     (("v1" :: Printf.sprintf "byz=%s" (ints_field t.byz)
@@ -133,21 +166,33 @@ let to_string t =
      :: Printf.sprintf "stale=%d" (if t.stale_replay then 1 else 0)
      :: Printf.sprintf "quiet=%s" (ints_field t.silent_toward)
      :: Printf.sprintf "req=%d" t.requests
-     :: List.map string_of_event t.events))
+     ::
+     (match t.leader with
+     | None -> List.map string_of_event t.events
+     | Some l -> Printf.sprintf "lead=%s" (string_of_leader l) :: List.map string_of_event t.events)))
 
 let of_string s =
   match String.split_on_char ' ' (String.trim s) with
-  | "v1" :: byz :: sb :: stale :: quiet :: req :: events ->
+  | "v1" :: byz :: sb :: stale :: quiet :: req :: rest ->
       let field prefix v =
         match String.split_on_char '=' v with
         | [ p; rest ] when String.equal p prefix -> rest
         | _ -> raise (Invalid_witness s)
+      in
+      (* The [lead=] token is optional, so pre-leader-attack witnesses
+         stay replayable verbatim. *)
+      let leader, events =
+        match rest with
+        | tok :: tl when String.length tok >= 5 && String.equal (String.sub tok 0 5) "lead=" ->
+            (Some (leader_of_string (field "lead" tok) s), tl)
+        | _ -> (None, rest)
       in
       {
         byz = ints_of_field (field "byz" byz);
         split_brain = String.equal (field "sb" sb) "1";
         stale_replay = String.equal (field "stale" stale) "1";
         silent_toward = ints_of_field (field "quiet" quiet);
+        leader;
         requests = int_of_string (field "req" req);
         events = List.map event_of_string events;
       }

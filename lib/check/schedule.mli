@@ -21,6 +21,16 @@ type event_kind =
 
 type event = { start : float; stop : float; kind : event_kind }
 
+type leader_attack =
+  | Stall
+      (** the clique campaigns for leader slots, wins them with credible
+          New_views, then withholds every batch (deposed only by timeout) *)
+  | Serve_only of int list
+      (** as leader, serve pre-prepares/commit votes only to these peers *)
+  | Drip of float
+      (** as leader, one batch per interval — just under the watchdog
+          period this throttles the committee without ever being deposed *)
+
 exception Invalid_witness of string
 (** Raised by {!of_string} / event parsing on a malformed witness. *)
 
@@ -29,6 +39,10 @@ type t = {
   split_brain : bool;  (** script the Figure 8/16 conflicting-batch attack *)
   stale_replay : bool;  (** byzantine replicas replay stale-view prepares *)
   silent_toward : int list;  (** peers the byzantine clique never messages *)
+  leader : leader_attack option;
+      (** byzantine-leader strategy (the Fig. 16 right-panel adversary);
+          serialized as an optional [lead=] witness token, so witnesses
+          predating the leader palette replay verbatim *)
   requests : int;  (** client submissions (one every 50 ms, round-robin) *)
   events : event list;
 }

@@ -13,6 +13,9 @@ let candidates (s : Schedule.t) =
   in
   let simpler_flags =
     (if s.Schedule.stale_replay then [ { s with Schedule.stale_replay = false } ] else [])
+    @ (match s.Schedule.leader with
+      | None -> []
+      | Some _ -> [ { s with Schedule.leader = None } ])
     @
     match s.Schedule.silent_toward with
     | [] -> []

@@ -62,6 +62,12 @@ let run ~engine_seed ~variant ~n (sched : Schedule.t) =
       split_brain = sched.Schedule.split_brain;
       silent_toward = sched.Schedule.silent_toward;
       stale_view_replay = sched.Schedule.stale_replay;
+      leader_attack =
+        (match sched.Schedule.leader with
+        | None -> None
+        | Some Schedule.Stall -> Some Pbft.Leader_stall
+        | Some (Schedule.Serve_only ids) -> Some (Pbft.Leader_serve_only ids)
+        | Some (Schedule.Drip interval) -> Some (Pbft.Leader_drip interval));
     };
   let commits = ref [] in
   Pbft.set_commit_hook c (fun ~member ~view ~seq ~digest ~batch ->

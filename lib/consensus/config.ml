@@ -36,6 +36,7 @@ type t = {
   checkpoint_interval : int;
   watermark_window : int;
   progress_timeout : float;
+  vc_backoff_cap : int;
   relay_timeout : float;
   relay_tail_prob : float;
   relay_tail_factor : float;
@@ -69,6 +70,7 @@ let default variant ~n =
     checkpoint_interval = 16;
     watermark_window = 128;
     progress_timeout = 2.0;
+    vc_backoff_cap = 3;
     relay_timeout = 1.0;
     relay_tail_prob = 0.01;
     relay_tail_factor = 35.0;

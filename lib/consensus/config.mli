@@ -44,6 +44,12 @@ type t = {
   watermark_window : int;     (** L: max seq distance beyond a stable
                                   checkpoint *)
   progress_timeout : float;   (** no-execution watchdog before view change *)
+  vc_backoff_cap : int;       (** cap on the view-change retry exponent:
+                                  the vc deadline grows as
+                                  [progress_timeout * 2^min(backoff, cap)]
+                                  so consecutive failed view changes can
+                                  never inflate the retry delay past
+                                  recovery within a finite horizon *)
   relay_timeout : float;      (** AHLR: max wait for the leader's quorum
                                   certificate before suspecting it *)
   relay_tail_prob : float;    (** AHLR: probability that one aggregation

@@ -23,8 +23,8 @@ type result = {
   messages_sent : int;
 }
 
-let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crashes = [])
-    ?(recovers = []) ?(cpu_scale = 1.0) ?(costs = Cost_model.default)
+let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?byz_ids ?byz_strategy
+    ?(crashes = []) ?(recovers = []) ?(cpu_scale = 1.0) ?(costs = Cost_model.default)
     ?(tune = fun (c : Config.t) -> c) ?(probe = Repro_obs.Probe.none) ~variant ~n ~topology
     ~workload () =
   let module Probe = Repro_obs.Probe in
@@ -33,8 +33,12 @@ let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crash
   let keystore = Keys.create_keystore (Engine.rng engine) in
   let metrics = Metrics.create engine in
   let faults =
-    if byzantine = 0 then Faults.honest n
-    else Faults.with_byzantine (Rng.split_named (Engine.rng engine) "faults") ~n ~count:byzantine
+    match byz_ids with
+    | Some ids -> Faults.with_byzantine_ids ~n ~ids
+    | None ->
+        if byzantine = 0 then Faults.honest n
+        else
+          Faults.with_byzantine (Rng.split_named (Engine.rng engine) "faults") ~n ~count:byzantine
   in
   (* With scheduled crashes the default observer (lowest honest member)
      may be about to die; record metrics at the first member that stays
@@ -79,6 +83,7 @@ let run ?(seed = 1L) ?(duration = 20.0) ?(warmup = 5.0) ?(byzantine = 0) ?(crash
         | Some _ | None -> ())
   in
   (match observer with Some o -> Pbft.set_observer c o | None -> ());
+  (match byz_strategy with Some s -> Pbft.set_byz_strategy c s | None -> ());
   committee := Some c;
   Pbft.set_probe c probe;
   Pbft.set_alive c (fun m -> not (Node.is_crashed nodes.(m)));

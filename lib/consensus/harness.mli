@@ -35,6 +35,8 @@ val run :
   ?duration:float ->
   ?warmup:float ->
   ?byzantine:int ->
+  ?byz_ids:int list ->
+  ?byz_strategy:Pbft.byz_strategy ->
   ?crashes:(int * float) list ->
   ?recovers:(int * float) list ->
   ?cpu_scale:float ->
@@ -48,7 +50,12 @@ val run :
   unit ->
   result
 (** Defaults: seed 1, 20 s runs with 5 s warmup, no Byzantine nodes.
-    [crashes] is a list of [(member, time)] crash-fault injections: the
+    [byz_ids] pins the byzantine members to fixed ids (overriding the
+    seeded random pick of [byzantine]); [byz_strategy] scripts them
+    (default {!Pbft.default_byz_strategy}) — together they wire the
+    Fig. 16 leader attacks, which need the clique sitting on the early
+    leader slots.  [crashes] is a list of [(member, time)] crash-fault
+    injections: the
     node stops at [time] seconds and stays down (its watchdog timers are
     muted through {!Pbft.set_alive}) unless a matching [(member, time)]
     entry in [recovers] revives it later: the inbox reopens and the replica

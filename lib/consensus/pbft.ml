@@ -87,7 +87,19 @@ type replica = {
   relay_done : (int * int * int * int, unit) Hashtbl.t;
   mutable earliest_known : float;
   mutable batch_timer_armed : bool;
+  mutable drip_next : float; (* byz slow-drip leader: earliest next emission *)
 }
+
+type leader_attack =
+  | Leader_stall
+      (** win the leader slot (emit a credible New_view), then withhold every
+          pre-prepare: honest replicas must depose the primary by timeout *)
+  | Leader_serve_only of int list
+      (** as leader, serve pre-prepares and commit votes only to the listed
+          peers; everyone else starves and must rely on relay or catch-up *)
+  | Leader_drip of float
+      (** as leader, emit at most one batch every given interval — pick it
+          just under the watchdog period to probe the detection boundary *)
 
 type byz_strategy = {
   vote_noise : bool;  (** spam garbage prepare votes on every pre-prepare *)
@@ -100,6 +112,9 @@ type byz_strategy = {
   silent_toward : int list;  (** peers this replica never talks to *)
   stale_view_replay : bool;
       (** stash overheard prepares and replay them after a new view *)
+  leader_attack : leader_attack option;
+      (** byzantine replicas campaign for (and win) leader slots, then
+          attack them — the Fig. 16 right-panel adversary *)
 }
 
 type committee = {
@@ -138,6 +153,7 @@ let default_byz_strategy =
     split_brain = false;
     silent_toward = [];
     stale_view_replay = false;
+    leader_attack = None;
   }
 
 let request_channel = Inbox.Request
@@ -305,6 +321,7 @@ let make_replica c ~enclave_base_id index =
     relay_done = Hashtbl.create 64;
     earliest_known = infinity;
     batch_timer_armed = false;
+    drip_next = 0.0;
   }
 
 let create ~engine ~keystore ~costs ~config ~faults ~metrics ~enclave_base_id ~send ~charge
@@ -704,7 +721,13 @@ and start_view_change c r ~reason ~target =
   if target > current_goal then begin
     r.active <- false;
     r.vc_target <- target;
-    let backoff = Int.min 6 (Int.max 0 (target - r.view - 1)) in
+    (* Exponential retry backoff, capped: uncapped, a sustained stall across
+       a run of faulty leaders inflates the deadline past any horizon and
+       the committee never recovers (the Fig. 16 right-panel bug). *)
+    let raw_backoff = Int.max 0 (target - r.view - 1) in
+    let backoff = Int.min c.cfg.Config.vc_backoff_cap raw_backoff in
+    if raw_backoff > backoff && Probe.enabled c.probe then
+      Probe.incr c.probe "pbft.vc.backoff_capped";
     r.vc_deadline <- now c +. (c.cfg.Config.progress_timeout *. Float.pow 2.0 (float_of_int backoff));
     at_observer c r (fun () -> Metrics.incr c.metrics "view_change_started");
     if Probe.enabled c.probe then begin
@@ -752,7 +775,9 @@ and record_view_change_vote c r ~target ~sender ~prepared =
     votes >= quorum c
     && leader_of_view_int c target = r.index
     && (r.view < target || not r.active)
-    && not (is_byz c r)
+    && ((not (is_byz c r)) || Option.is_some c.byz.leader_attack)
+    (* A byzantine replica running a leader attack emits a credible
+       New_view — it wants to *win* the slot so it can attack it. *)
   then begin
     (* Become the new leader: re-propose surviving prepared certificates. *)
     let reproposals =
@@ -975,11 +1000,71 @@ and byz_naive_equivocate c r ~view ~seq ~digest =
         | None -> ())
     | None -> ()
 
+(* ---- Leader attacks (the Fig. 16 right panel) -------------------- *)
+
+(* A byzantine replica running a leader attack tracks views like an honest
+   one (it records view-change votes and adopts new views), campaigns for
+   the leader slot, and — once it holds it — attacks it: total silence
+   (stall), service restricted to a chosen subset, or batches dripped just
+   under the watchdog period. *)
+and byz_holds_slot c r = r.active && leader_of_view_int c r.view = r.index
+
+(* Emit one honest-looking batch from the byzantine leader, restricted to
+   [only] when given (selective serving).  The pre-prepare carries real
+   requests and a correct digest, so served replicas make normal progress;
+   a matching commit vote follows so the served subset can complete its
+   commit quorum without the starved peers. *)
+and byz_leader_emit c r ~only =
+  if not (Queue.is_empty r.pending) then begin
+    let batch = ref [] in
+    let count = Int.min c.cfg.Config.batch_max (Queue.length r.pending) in
+    for _ = 1 to count do
+      batch := Queue.take r.pending :: !batch
+    done;
+    let batch = List.rev !batch in
+    let digest = digest_of_batch batch in
+    let seq = r.next_seq in
+    r.next_seq <- seq + 1;
+    let served dst = match only with None -> true | Some ids -> List.exists (Int.equal dst) ids in
+    let pp_ok = authenticate c r ~phase_idx:0 ~view:r.view ~slot:seq ~digest in
+    let cm_ok = authenticate c r ~phase_idx:2 ~view:r.view ~slot:seq ~digest in
+    for dst = 0 to n_of c - 1 do
+      if dst <> r.index && served dst then begin
+        if pp_ok then byz_send c r ~dst (Pre_prepare { view = r.view; seq; batch; digest });
+        if cm_ok then byz_send c r ~dst (Commit { view = r.view; seq; digest; sender = r.index })
+      end
+    done
+  end
+
+and byz_leader_drip c r ~delay =
+  let t = now c in
+  if Queue.is_empty r.pending then ()
+  else if t >= r.drip_next then begin
+    r.drip_next <- t +. delay;
+    byz_leader_emit c r ~only:None
+  end
+  else if not r.batch_timer_armed then begin
+    r.batch_timer_armed <- true;
+    Engine.schedule c.engine
+      ~delay:(Float.max 1e-4 (r.drip_next -. t))
+      (fun () ->
+        r.batch_timer_armed <- false;
+        if c.alive r.index && byz_holds_slot c r then byz_leader_try_propose c r)
+  end
+
+and byz_leader_try_propose c r =
+  if byz_holds_slot c r then
+    match c.byz.leader_attack with
+    | None | Some Leader_stall -> ()
+    | Some (Leader_serve_only ids) -> byz_leader_emit c r ~only:(Some ids)
+    | Some (Leader_drip delay) -> byz_leader_drip c r ~delay
+
 and byz_handle c r m =
   (match m with
   | Prepare _ when c.byz.stale_view_replay && List.length c.stale_log < 16 ->
       c.stale_log <- m :: c.stale_log
   | _ -> ());
+  let leader_attack = Option.is_some c.byz.leader_attack in
   match m with
   | Pre_prepare { view; seq; digest; _ } ->
       verify_in c r;
@@ -995,8 +1080,20 @@ and byz_handle c r m =
         add_pending c r req;
         byz_try_split_propose c r
       end
-  | New_view _ ->
+      else if leader_attack then begin
+        add_pending c r req;
+        byz_leader_try_propose c r
+      end
+  | View_change { target; sender; prepared; _ } when leader_attack ->
+      (* Track (and vote in) view changes so the quorum that elects this
+         replica is observed — winning the slot is the attack's entry. *)
+      verify_in c r;
+      record_view_change_vote c r ~target ~sender ~prepared;
+      byz_leader_try_propose c r
+  | New_view { view; sender; reproposals } ->
       parse_in c r c.cfg.Config.msg_parse_cost;
+      if leader_attack && sender = leader_of_view_int c view then
+        adopt_new_view c r ~view ~reproposals;
       if c.byz.stale_view_replay then
         List.iter (fun stale -> broadcast c r ~channel:consensus_channel stale) c.stale_log
   | _ -> parse_in c r c.cfg.Config.msg_parse_cost
@@ -1275,11 +1372,21 @@ let handle c ~member m =
 let watchdog c r () =
   if Faults.is_crashed c.faults r.index || not (c.alive r.index) then ()
   else if is_byz c r then begin
-    (* Byzantine destabilization: keep calling for view changes; alone
-       they are f votes — one honest timeout tips the committee over. *)
-    let target = (if r.active then r.view else r.vc_target) + 1 in
-    broadcast c r ~channel:consensus_channel
-      (View_change { target; sender = r.index; last_stable = r.last_stable; prepared = [] })
+    match c.byz.leader_attack with
+    | Some _ when byz_holds_slot c r ->
+        (* Holding the slot: never vote against myself; keep the serve /
+           drip emission paced off the watchdog tick. *)
+        byz_leader_try_propose c r
+    | Some (Leader_drip _) ->
+        (* Stealth attack: destabilization votes would out the adversary
+           before the drip probes the detection boundary. *)
+        ()
+    | Some _ | None ->
+        (* Byzantine destabilization: keep calling for view changes; alone
+           they are f votes — one honest timeout tips the committee over. *)
+        let target = (if r.active then r.view else r.vc_target) + 1 in
+        broadcast c r ~channel:consensus_channel
+          (View_change { target; sender = r.index; last_stable = r.last_stable; prepared = [] })
   end
   else if r.active then begin
     let timeout = c.cfg.Config.progress_timeout in

@@ -75,6 +75,19 @@ type msg =
 
 type committee
 
+type leader_attack =
+  | Leader_stall
+      (** win the leader slot (campaign in view changes, emit a credible
+          New_view), then withhold every pre-prepare — the classic faulty
+          primary that must be deposed by timeout, not outvoted *)
+  | Leader_serve_only of int list
+      (** as leader, serve pre-prepares and commit votes only to the listed
+          peers; the rest starve and must rely on relay or catch-up *)
+  | Leader_drip of float
+      (** as leader, emit at most one batch every given interval — pick it
+          just under the watchdog period to probe the detection boundary
+          (throughput collapses but no timeout ever fires) *)
+
 type byz_strategy = {
   vote_noise : bool;  (** spam garbage prepare votes on every pre-prepare *)
   naive_equivocation : bool;
@@ -87,6 +100,10 @@ type byz_strategy = {
   silent_toward : int list;  (** peers the byzantine replicas never message *)
   stale_view_replay : bool;
       (** stash overheard prepares and replay them after a new view *)
+  leader_attack : leader_attack option;
+      (** byzantine replicas track views, campaign for leader slots, win
+          them with credible New_views, and then attack them — the Fig. 16
+          right-panel adversary.  [None]: byzantine replicas never lead. *)
 }
 
 val default_byz_strategy : byz_strategy

@@ -8,8 +8,10 @@ type signature = { signer : int; auth : int64 }
 
 let create_keystore rng = { rng = Rng.split rng; table = Hashtbl.create 64 }
 
+exception Already_registered of int
+
 let gen ks ~id =
-  if Hashtbl.mem ks.table id then invalid_arg "Keys.gen: principal already registered";
+  if Hashtbl.mem ks.table id then raise (Already_registered id);
   let secret = { id; key64 = Rng.next_int64 ks.rng; key_bytes = Rng.bytes ks.rng 32 } in
   Hashtbl.replace ks.table id secret;
   secret

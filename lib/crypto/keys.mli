@@ -25,9 +25,12 @@ type signature = { signer : int; auth : int64 }
 
 val create_keystore : Repro_util.Rng.t -> keystore
 
+exception Already_registered of int
+(** A principal id was registered twice; carries the offending id. *)
+
 val gen : keystore -> id:int -> secret
 (** Registers principal [id] and returns its signing handle.  Raises
-    [Invalid_argument] if [id] is already registered. *)
+    {!Already_registered} if [id] is already registered. *)
 
 val gen_many : keystore -> int -> secret array
 (** [gen_many ks n] registers principals [0 .. n-1]. *)

@@ -26,9 +26,11 @@ let root leaves =
       in
       reduce (List.map leaf_hash leaves)
 
+exception Leaf_out_of_range of { index : int; leaves : int }
+
 let prove leaves i =
   let n = List.length leaves in
-  if i < 0 || i >= n then invalid_arg "Merkle.prove: index out of range";
+  if i < 0 || i >= n then raise (Leaf_out_of_range { index = i; leaves = n });
   let rec walk nodes idx acc =
     match nodes with
     | [ _ ] -> List.rev acc

@@ -19,9 +19,12 @@ val root : string list -> Sha256.digest
 (** Root over the leaves in order.  Odd nodes are promoted (Bitcoin-style
     duplication is avoided to prevent CVE-2012-2459-like ambiguity). *)
 
+exception Leaf_out_of_range of { index : int; leaves : int }
+(** A proof was requested for a leaf index outside the tree. *)
+
 val prove : string list -> int -> proof
 (** [prove leaves i] builds the audit path for leaf [i].
-    Raises [Invalid_argument] if out of range. *)
+    Raises {!Leaf_out_of_range} if out of range. *)
 
 val verify : root:Sha256.digest -> leaf:string -> proof -> bool
 (** Checks that [leaf] is at [proof.leaf_index] under [root]. *)

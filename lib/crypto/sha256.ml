@@ -191,8 +191,10 @@ let to_hex d =
   done;
   Bytes.unsafe_to_string out
 
+exception Not_a_digest of int
+
 let of_raw_exn s =
-  if String.length s <> 32 then invalid_arg "Sha256.of_raw_exn: expected 32 bytes";
+  if String.length s <> 32 then raise (Not_a_digest (String.length s));
   s
 
 let to_raw d = d

@@ -16,8 +16,12 @@ val digest_concat : string list -> digest
 
 val to_hex : digest -> string
 
+exception Not_a_digest of int
+(** A raw string of the wrong length was offered as a digest; carries the
+    actual length. *)
+
 val of_raw_exn : string -> digest
-(** Wraps a 32-byte string; raises [Invalid_argument] otherwise. *)
+(** Wraps a 32-byte string; raises {!Not_a_digest} otherwise. *)
 
 val to_raw : digest -> string
 

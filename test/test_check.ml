@@ -13,9 +13,17 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
   nn = 0 || go 0
 
-let sched ?(byz = [ 0 ]) ?(split_brain = true) ?(stale = false) ?(silent = []) ?(requests = 8)
-    ?(events = []) () =
-  { Schedule.byz; split_brain; stale_replay = stale; silent_toward = silent; requests; events }
+let sched ?(byz = [ 0 ]) ?(split_brain = true) ?(stale = false) ?(silent = []) ?leader
+    ?(requests = 8) ?(events = []) () =
+  {
+    Schedule.byz;
+    split_brain;
+    stale_replay = stale;
+    silent_toward = silent;
+    leader;
+    requests;
+    events;
+  }
 
 let ev ?(start = 1.0) ?(stop = 2.0) kind = { Schedule.start; stop; kind }
 
@@ -41,6 +49,23 @@ let test_schedule_roundtrip () =
   Alcotest.(check (list int)) "byz preserved" s.Schedule.byz s'.Schedule.byz;
   Alcotest.(check int) "requests preserved" s.Schedule.requests s'.Schedule.requests;
   Alcotest.(check int) "events preserved" 5 (List.length s'.Schedule.events)
+
+let test_schedule_leader_token () =
+  (* Each leader strategy round-trips through the optional lead= token. *)
+  List.iter
+    (fun leader ->
+      let s = sched ~leader () in
+      let s' = Schedule.of_string (Schedule.to_string s) in
+      Alcotest.(check string) "leader witness round-trips" (Schedule.to_string s)
+        (Schedule.to_string s');
+      Alcotest.(check bool) "leader preserved" true (s'.Schedule.leader = Some leader))
+    [ Schedule.Stall; Schedule.Serve_only [ 0; 2 ]; Schedule.Drip 1.9 ];
+  (* Witnesses predating the leader palette parse verbatim: no token
+     means no leader attack. *)
+  let old = "v1 byz=0 sb=1 stale=0 quiet=- req=4" in
+  let s = Schedule.of_string old in
+  Alcotest.(check bool) "pre-palette witness has no leader" true (s.Schedule.leader = None);
+  Alcotest.(check string) "and still prints without the token" old (Schedule.to_string s)
 
 let test_schedule_rejects_malformed () =
   let malformed w =
@@ -268,6 +293,53 @@ let test_differential_holds_and_witness_replays () =
   Alcotest.(check (list string)) "witness replays from its printed form" direct
     (replay (Schedule.of_string (Schedule.to_string w)));
   Alcotest.(check bool) "shrunk witness still violates" true (direct <> [])
+
+let test_leader_stall_differential_holds () =
+  (* Same parameters as the @check rule in ./dune. *)
+  let d = Explore.leader_stall_differential ~f:1 ~trials:3 ~seed:7L ~budget:16 in
+  Alcotest.(check bool) "leader-stall differential holds" true d.Explore.holds;
+  List.iteri
+    (fun i t ->
+      Alcotest.(check string) "trials run the scripted leader schedule"
+        (Schedule.to_string (Explore.leader_schedule ~n:d.Explore.broken.Explore.n ~f:1 i))
+        (Schedule.to_string t.Explore.schedule))
+    d.Explore.broken.Explore.trials;
+  Alcotest.(check int) "a stalling leader never breaks safety" 0
+    d.Explore.broken.Explore.safety_violations;
+  let stall t =
+    match t.Explore.schedule.Schedule.leader with
+    | Some Schedule.Stall -> true
+    | _ -> false
+  in
+  List.iter
+    (fun t ->
+      if stall t then
+        Alcotest.(check bool) "broken variant storms on every stall trial" true
+          (t.Explore.view_changes >= 1))
+    d.Explore.broken.Explore.trials;
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (r.Explore.variant_name ^ " rides out the leader attacks")
+        0
+        (r.Explore.safety_violations + r.Explore.liveness_violations))
+    d.Explore.safe;
+  (* Only the relay watchdog catches selective serving, so AHLR alone must
+     storm on the serve-only trials too. *)
+  let ahlr =
+    List.find (fun r -> r.Explore.variant_name = Config.ahlr.Config.name) d.Explore.safe
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "AHLR storms on every trial" true (t.Explore.view_changes >= 1))
+    ahlr.Explore.trials
+
+let test_shrink_drops_leader_attack () =
+  let s = sched ~byz:[ 0 ] ~split_brain:false ~leader:Schedule.Stall ~requests:2 () in
+  let cs = Shrink.candidates s in
+  Alcotest.(check int) "leader attack is the only shrinkable axis" 1 (List.length cs);
+  Alcotest.(check bool) "the candidate turns the leader honest" true
+    (List.for_all (fun c -> c.Schedule.leader = None) cs)
 
 let test_explore_json () =
   let r = Explore.run ~variant:Config.ahl ~n:3 ~f:1 ~trials:1 ~seed:11L ~budget:4 in
@@ -668,6 +740,7 @@ let () =
           Alcotest.test_case "generation deterministic" `Quick
             test_schedule_generation_deterministic;
           Alcotest.test_case "heal/active/size" `Quick test_schedule_heal_active_size;
+          Alcotest.test_case "leader token round-trips" `Quick test_schedule_leader_token;
         ] );
       ( "oracle",
         [
@@ -681,6 +754,7 @@ let () =
       ( "shrink",
         [
           Alcotest.test_case "candidates" `Quick test_shrink_candidates;
+          Alcotest.test_case "drops leader attack" `Quick test_shrink_drops_leader_attack;
           Alcotest.test_case "greedy and bounded" `Quick test_shrink_minimize_greedy_and_bounded;
         ] );
       ( "testbed",
@@ -694,6 +768,8 @@ let () =
           Alcotest.test_case "trial seeding" `Quick test_trial_seeding;
           Alcotest.test_case "differential holds; witness replays" `Quick
             test_differential_holds_and_witness_replays;
+          Alcotest.test_case "leader-stall differential holds" `Quick
+            test_leader_stall_differential_holds;
           Alcotest.test_case "json reports" `Quick test_explore_json;
         ] );
       ( "xschedule",

@@ -753,6 +753,101 @@ let test_byzantine_attack_degrades_throughput () =
   Alcotest.(check bool) "attack hurts" true (attacked < honest);
   Alcotest.(check bool) "but does not halt" true (attacked > 50.0)
 
+let test_vc_backoff_cap_recovers_from_failed_view_changes () =
+  (* A crashed leader plus a run of byzantine next-leaders (who never emit
+     the New_view) force six consecutive failed view changes.  With the
+     capped retry backoff the deadlines stay bounded and the committee
+     reaches the first honest leader inside the horizon; with the cap
+     lifted to the old effective exponent of 6 the deadline sum alone is
+     0.25 * (2^0 + ... + 2^5) = 15.75 s and the run never recovers. *)
+  let run cap =
+    let trace = Repro_obs.Trace.create () and metrics = Repro_obs.Metrics.create () in
+    let probe = Repro_obs.Probe.make ~trace ~metrics in
+    let r =
+      Harness.run ~seed:2L ~duration:12.0 ~warmup:0.0 ~byzantine:6
+        ~byz_ids:[ 1; 2; 3; 4; 5; 6 ] ~crashes:[ (0, 0.1) ]
+        ~tune:(fun c -> { c with Config.progress_timeout = 0.25; vc_backoff_cap = cap })
+        ~probe ~variant:Config.ahl ~n:15 ~topology:(Topology.lan ())
+        ~workload:(Harness.Open_loop { rate = 400.0; clients = 8 })
+        ()
+    in
+    let capped =
+      Option.value ~default:0
+        (List.assoc_opt "pbft.vc.backoff_capped" (Repro_obs.Metrics.counters metrics))
+    in
+    (r, capped)
+  in
+  let default_cap = (Config.default Config.ahl ~n:15).Config.vc_backoff_cap in
+  Alcotest.(check int) "default cap is 3" 3 default_cap;
+  let r, capped = run default_cap in
+  Alcotest.(check bool) "cap binds during the stall run" true (capped > 0);
+  Alcotest.(check bool) "honest leader reached" true (r.Harness.view_changes >= 1);
+  Alcotest.(check bool) "committee recovers and commits" true (r.Harness.committed > 0);
+  let r6, _ = run 6 in
+  Alcotest.(check int) "old exponent never recovers in-horizon" 0 r6.Harness.committed
+
+let test_relay_watchdog_fires_on_selective_serving () =
+  (* AHLR under a selective-serving byzantine leader: served replicas send
+     their relay votes to a leader that sits on them, so the relay
+     watchdog must suspect it ("relay-stall") and the committee must
+     depose it and keep committing. *)
+  let run ~attack =
+    let trace = Repro_obs.Trace.create () and metrics = Repro_obs.Metrics.create () in
+    let probe = Repro_obs.Probe.make ~trace ~metrics in
+    let byz_ids, byz_strategy =
+      if attack then
+        ( [ 0 ],
+          Some
+            {
+              Pbft.default_byz_strategy with
+              Pbft.leader_attack = Some (Pbft.Leader_serve_only [ 0; 1; 2 ]);
+            } )
+      else ([], None)
+    in
+    let r =
+      Harness.run ~seed:2L ~duration:12.0 ~warmup:0.0 ~byzantine:(List.length byz_ids) ~byz_ids
+        ?byz_strategy ~probe ~variant:Config.ahlr ~n:4 ~topology:(Topology.lan ())
+        ~workload:(Harness.Open_loop { rate = 400.0; clients = 4 })
+        ()
+    in
+    let relay_stalls =
+      Option.value ~default:0
+        (List.assoc_opt "pbft.vc.reason.relay-stall" (Repro_obs.Metrics.counters metrics))
+    in
+    (r, relay_stalls)
+  in
+  let attacked, stalls = run ~attack:true in
+  Alcotest.(check bool) "relay watchdog fires" true (stalls > 0);
+  Alcotest.(check bool) "selective server deposed" true (attacked.Harness.view_changes >= 1);
+  Alcotest.(check bool) "committee still commits" true (attacked.Harness.committed > 0);
+  (* Quiet when commits merely arrive via the relay: an honest AHLR run
+     must never suspect its leader. *)
+  let honest, honest_stalls = run ~attack:false in
+  Alcotest.(check int) "no relay-stall without the attack" 0 honest_stalls;
+  Alcotest.(check int) "no view changes without the attack" 0 honest.Harness.view_changes;
+  Alcotest.(check bool) "honest run commits" true (honest.Harness.committed > 0)
+
+let test_slow_drip_leader_throttles_without_detection () =
+  (* The drip strategy emits each batch just under the watchdog period:
+     the committee is throttled hard but no replica ever suspects the
+     leader — the stealth end of the leader-attack palette. *)
+  let run byz_strategy =
+    Harness.run ~seed:2L ~duration:12.0 ~warmup:2.0
+      ~byzantine:(if byz_strategy = None then 0 else 1)
+      ~byz_ids:(if byz_strategy = None then [] else [ 0 ])
+      ?byz_strategy ~variant:Config.ahl ~n:4 ~topology:(Topology.lan ())
+      ~workload:(Harness.Open_loop { rate = 400.0; clients = 4 })
+      ()
+  in
+  let dripped =
+    run (Some { Pbft.default_byz_strategy with Pbft.leader_attack = Some (Pbft.Leader_drip 1.9) })
+  in
+  let honest = run None in
+  Alcotest.(check int) "never deposed" 0 dripped.Harness.view_changes;
+  Alcotest.(check bool) "still commits" true (dripped.Harness.committed > 0);
+  Alcotest.(check bool) "but badly throttled" true
+    (dripped.Harness.throughput < honest.Harness.throughput /. 2.0)
+
 let test_hl_byzantine_equivocation_splits_votes () =
   (* Without A2M the equivocators' conflicting digests pollute the vote
      tables; with 3f+1 honest margin progress continues regardless. *)
@@ -901,6 +996,12 @@ let () =
           Alcotest.test_case "HL survives equivocators" `Quick
             test_hl_byzantine_equivocation_splits_votes;
           Alcotest.test_case "partition safety" `Quick test_pbft_partition_halts_minority;
+          Alcotest.test_case "vc backoff cap recovery" `Slow
+            test_vc_backoff_cap_recovers_from_failed_view_changes;
+          Alcotest.test_case "relay watchdog on selective serving" `Slow
+            test_relay_watchdog_fires_on_selective_serving;
+          Alcotest.test_case "slow-drip leader throttles" `Slow
+            test_slow_drip_leader_throttles_without_detection;
         ] );
       ("properties", qsuite);
     ]

@@ -50,8 +50,8 @@ let test_sha256_of_raw_roundtrip () =
   Alcotest.(check bool) "equal" true (Sha256.equal d d')
 
 let test_sha256_of_raw_rejects_bad_length () =
-  Alcotest.check_raises "31 bytes" (Invalid_argument "Sha256.of_raw_exn: expected 32 bytes")
-    (fun () -> ignore (Sha256.of_raw_exn (String.make 31 'x')))
+  Alcotest.check_raises "31 bytes" (Sha256.Not_a_digest 31) (fun () ->
+      ignore (Sha256.of_raw_exn (String.make 31 'x')))
 
 (* RFC 4231 HMAC-SHA256 test vectors. *)
 let test_hmac_rfc4231_case1 () =
@@ -129,7 +129,7 @@ let test_merkle_proof_rejects_wrong_root () =
 
 let test_merkle_prove_out_of_range () =
   Alcotest.check_raises "index out of range"
-    (Invalid_argument "Merkle.prove: index out of range") (fun () ->
+    (Merkle.Leaf_out_of_range { index = 4; leaves = 4 }) (fun () ->
       ignore (Merkle.prove (leaves 4) 4))
 
 (* ------------------------------------------------------------------ *)
@@ -173,8 +173,8 @@ let test_keys_cross_principal () =
 let test_keys_duplicate_registration () =
   let ks = mk_keystore () in
   let _ = Keys.gen ks ~id:5 in
-  Alcotest.check_raises "duplicate id" (Invalid_argument "Keys.gen: principal already registered")
-    (fun () -> ignore (Keys.gen ks ~id:5))
+  Alcotest.check_raises "duplicate id" (Keys.Already_registered 5) (fun () ->
+      ignore (Keys.gen ks ~id:5))
 
 let test_keys_gen_many () =
   let ks = mk_keystore () in

@@ -119,6 +119,37 @@ let test_fig12_parallel_bit_identical () =
   Alcotest.(check bool) "checkpoint catch-up counters exported" true
     (contains metrics1 "ckpt.fetch")
 
+(* Fig. 16's attack panel now runs byzantine members that win the leader
+   slot and stall it.  The storm of view changes — campaign votes, backoff
+   doubling, capped deadlines — must still be a pure function of the
+   seeded event order, so both the rendered figure and the metrics
+   artifact (carrying the pbft.vc.reason.* counters the attack fires) are
+   byte-identical for any worker count. *)
+let test_fig16_parallel_bit_identical () =
+  let open Repro_core in
+  let render jobs =
+    Experiment.set_jobs jobs;
+    Experiment.reset_caches ();
+    let hub = Repro_obs.Hub.create () in
+    Experiment.set_hub (Some hub);
+    let rendered = Results.render (Experiment.fig16 ~quick:true ()) in
+    Experiment.set_hub None;
+    (rendered, Repro_obs.Sink.metrics_json (Repro_obs.Hub.metrics hub))
+  in
+  let sequential, metrics1 = render 1 in
+  let parallel, metrics4 = render 4 in
+  Experiment.set_jobs 1;
+  Alcotest.(check string) "jobs=4 fig16 equals jobs=1" sequential parallel;
+  Alcotest.(check bool) "jobs=4 metrics artifact is byte-identical" true
+    (String.equal metrics1 metrics4);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "view-change reason counters exported" true
+    (contains metrics1 "pbft.vc.reason")
+
 let () =
   Alcotest.run "determinism"
     [
@@ -135,5 +166,7 @@ let () =
             test_fig13_parallel_bit_identical;
           Alcotest.test_case "fig12 committee swaps are worker-count invariant" `Slow
             test_fig12_parallel_bit_identical;
+          Alcotest.test_case "fig16 leader-stall attacks are worker-count invariant" `Slow
+            test_fig16_parallel_bit_identical;
         ] );
     ]

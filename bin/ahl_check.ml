@@ -4,9 +4,9 @@
    Usage: ahl_check [--variant NAME] [--n N] [--f F] [--trials T]
                     [--seed S] [--budget B] [--json]
           ahl_check --cross-shard [--mode diff|ref|client|flat]
-                    [--concurrency 2pl|waitdie] [--batching] [--shards K]
-                    [--committee N] [--trials T] [--seed S] [--budget B]
-                    [--json]
+                    [--concurrency 2pl|waitdie] [--batching] [--fast-lane]
+                    [--shards K] [--committee N] [--trials T] [--seed S]
+                    [--budget B] [--json]
 
    Single-committee variants: hl2f1 hl ahl ahl+ ahlr, or `diff` (the
    default) for the headline differential — HL's unattested quorums at
@@ -24,7 +24,10 @@
    (With_reference survives, Client_driven leaves locks stuck); --mode
    ref, client, or flat explores that coordination mode.  --batching runs
    the system under test on the batched + pipelined commit path (the
-   witness line is unchanged: batching is a run parameter).
+   witness line is unchanged: batching is a run parameter).  --fast-lane
+   turns the commutative fast lane on: honest transfers become mergeable
+   delta pairs, schedules also fault the delta legs, and the
+   merge-convergence oracle is armed (also a run parameter).
 
    Exit codes: 0 property holds / no violation, 1 otherwise, 2 usage
    errors.  Every reported witness is replayable from
@@ -43,6 +46,7 @@ let () =
   let json = ref false in
   let cross = ref false in
   let batching = ref false in
+  let lane = ref false in
   let mode = ref "diff" in
   let concurrency = ref "2pl" in
   let shards = ref 3 in
@@ -63,6 +67,10 @@ let () =
       ( "--batching",
         Arg.Set batching,
         " run the cross-shard system on the batched + pipelined commit path" );
+      ( "--fast-lane",
+        Arg.Set lane,
+        " run the cross-shard system with the commutative fast lane on (delta-leg faults + \
+         merge-convergence oracle)" );
       ( "--mode",
         Arg.Set_string mode,
         "M cross-shard mode: diff|ref|client|flat (default: diff, the silent-client \
@@ -114,6 +122,11 @@ let () =
     in
     match !mode with
     | "diff" | "differential" ->
+        if !lane then begin
+          Printf.eprintf
+            "ahl_check: --fast-lane does not apply to the silent-client differential\n";
+          exit 2
+        end;
         let d =
           Xexplore.differential ~batching:!batching ~shards:!shards ~committee_size:!committee
             ~seed ()
@@ -128,7 +141,7 @@ let () =
             exit 2
         | Some mode ->
             let r =
-              Xexplore.run ~batching:!batching ~mode ~concurrency ~shards:!shards
+              Xexplore.run ~batching:!batching ~lane:!lane ~mode ~concurrency ~shards:!shards
                 ~committee_size:!committee ~trials:!trials ~seed ~budget:!budget ()
             in
             if !json then print_endline (Xexplore.json_of_report r)

@@ -142,7 +142,7 @@ let beacon_cmd =
 (* ------------------------------------------------------------------ *)
 
 let shards_cmd =
-  let run shards committee duration no_reference coordination batching theta =
+  let run shards committee duration no_reference coordination batching fast_lane theta =
     let mode =
       match coordination with
       | Some m -> m
@@ -156,8 +156,15 @@ let shards_cmd =
     in
     let base = System.default_config ~shards ~committee_size:committee in
     let batching = if batching then base.System.batching else None in
-    let sys = System.create { base with System.mode; batching } in
-    let wl = Workload.create Workload.Smallbank ~keyspace:20_000 ~theta ~rng:(Rng.create 4L) in
+    let sys = System.create { base with System.mode; batching; fast_lane } in
+    (* The fast lane needs commutative work to route: under --fast-lane the
+       driver mixes credit-only hot-key increments (mergeable) with
+       sendPayments (conditional debits, always locked). *)
+    let kind =
+      if fast_lane then Workload.Hot_increments { increment_fraction = 0.9 }
+      else Workload.Smallbank
+    in
+    let wl = Workload.create kind ~keyspace:20_000 ~theta ~rng:(Rng.create 4L) in
     Workload.setup wl sys ~initial_balance:5000;
     Workload.start_closed_loop wl sys ~clients:(4 * shards) ~outstanding:32;
     System.run sys ~until:duration;
@@ -169,6 +176,17 @@ let shards_cmd =
       (100.0 *. System.abort_rate sys)
       (100.0 *. Workload.cross_shard_fraction_seen wl)
       (100.0 *. System.reference_busy_fraction sys);
+    if fast_lane then begin
+      let deltas =
+        List.init shards (fun s -> System.merge_lane_log sys ~shard:s)
+        |> List.fold_left ( + ) 0
+      in
+      Printf.printf "fast lane: %d deltas appended, %d block-boundary folds\n" deltas
+        (System.merge_folds sys);
+      match System.merge_audit sys with
+      | [] -> Printf.printf "merge audit: all lanes converged\n"
+      | ms -> Printf.printf "merge audit: %d DIVERGENT keys\n" (List.length ms)
+    end;
     0
   in
   let shards = Arg.(value & opt int 4 & info [ "shards"; "k" ] ~doc:"Number of shards") in
@@ -203,10 +221,21 @@ let shards_cmd =
       & info [ "batching" ]
           ~doc:"Batched + pipelined cross-shard commit (use $(b,--batching=false) for the legacy path)")
   in
+  let fast_lane =
+    Arg.(
+      value & flag
+      & info [ "fast-lane" ]
+          ~doc:
+            "Commutative fast lane (DESIGN §18): all-mergeable transactions skip 2PC and its \
+             locks, appending deltas that fold deterministically at block boundaries; the \
+             workload becomes a 90/10 hot-key increment / sendPayment mix so both paths run")
+  in
   let theta = Arg.(value & opt float 0.2 & info [ "zipf" ] ~doc:"Zipf skew of the workload") in
   Cmd.v
     (Cmd.info "shards" ~doc:"Run the full sharded blockchain under SmallBank")
-    Term.(const run $ shards $ committee $ duration $ no_ref $ coordination $ batching $ theta)
+    Term.(
+      const run $ shards $ committee $ duration $ no_ref $ coordination $ batching $ fast_lane
+      $ theta)
 
 (* ------------------------------------------------------------------ *)
 (* contract                                                            *)

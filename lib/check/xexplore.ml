@@ -29,6 +29,7 @@ type trial = {
 type report = {
   mode : System.coordination_mode;
   batching : bool;
+  lane : bool;
   shards : int;
   committee_size : int;
   trials : trial list;
@@ -36,25 +37,26 @@ type report = {
   liveness_violations : int;
 }
 
-let replay ?(batching = false) ~mode ~concurrency ~shards ~committee_size ~engine_seed schedule
-    =
+let replay ?(batching = false) ?(lane = false) ~mode ~concurrency ~shards ~committee_size
+    ~engine_seed schedule =
   Xoracle.check
-    (Xtestbed.run ~batching ~engine_seed ~mode ~concurrency ~shards ~committee_size schedule)
+    (Xtestbed.run ~batching ~lane ~engine_seed ~mode ~concurrency ~shards ~committee_size
+       schedule)
 
-let schedule_for ~seed ~shards ~committee_size index =
-  Xschedule.generate
-    (Rng.split_named (Rng.create seed) (string_of_int index))
-    ~shards ~committee_size
+let schedule_for ?(lane = false) ~seed ~shards ~committee_size index =
+  let rng = Rng.split_named (Rng.create seed) (string_of_int index) in
+  if lane then Xschedule.generate_lane rng ~shards ~committee_size
+  else Xschedule.generate rng ~shards ~committee_size
 
 let engine_seed_for ~seed index = Int64.add seed (Int64.of_int index)
 
-let run ?(batching = false) ~mode ~concurrency ~shards ~committee_size ~trials ~seed ~budget ()
-    =
+let run ?(batching = false) ?(lane = false) ~mode ~concurrency ~shards ~committee_size ~trials
+    ~seed ~budget () =
   let run_trial index =
-    let schedule = schedule_for ~seed ~shards ~committee_size index in
+    let schedule = schedule_for ~lane ~seed ~shards ~committee_size index in
     let engine_seed = engine_seed_for ~seed index in
     let violations =
-      replay ~batching ~mode ~concurrency ~shards ~committee_size ~engine_seed schedule
+      replay ~batching ~lane ~mode ~concurrency ~shards ~committee_size ~engine_seed schedule
     in
     (* Unlike the single-committee explorer, liveness-class findings
        (stuck locks) are first-class bugs here, so any violation is worth
@@ -64,7 +66,9 @@ let run ?(batching = false) ~mode ~concurrency ~shards ~committee_size ~trials ~
       | [] -> (None, 0)
       | first :: _ ->
           let replay_one s =
-            match replay ~batching ~mode ~concurrency ~shards ~committee_size ~engine_seed s with
+            match
+              replay ~batching ~lane ~mode ~concurrency ~shards ~committee_size ~engine_seed s
+            with
             | [] -> None
             | v :: _ -> Some v
           in
@@ -78,6 +82,7 @@ let run ?(batching = false) ~mode ~concurrency ~shards ~committee_size ~trials ~
   {
     mode;
     batching;
+    lane;
     shards;
     committee_size;
     trials = all;
@@ -140,9 +145,11 @@ let pp_trial fmt t =
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "cross-shard %s%s shards=%d committee=%d: %d/%d trials with safety violations, %d liveness@."
+    "cross-shard %s%s%s shards=%d committee=%d: %d/%d trials with safety violations, %d \
+     liveness@."
     (mode_name r.mode)
     (if r.batching then " (batched)" else "")
+    (if r.lane then " (fast-lane)" else "")
     r.shards r.committee_size r.safety_violations (List.length r.trials) r.liveness_violations;
   List.iter (pp_trial fmt) r.trials
 
@@ -186,8 +193,8 @@ let json_of_report r =
       t.shrink_reruns
   in
   Printf.sprintf
-    "{\"mode\":\"%s\",\"batching\":%b,\"shards\":%d,\"committee_size\":%d,\"trials\":%d,\"safety_violations\":%d,\"liveness_violations\":%d,\"results\":[%s]}"
-    (mode_name r.mode) r.batching r.shards r.committee_size (List.length r.trials)
+    "{\"mode\":\"%s\",\"batching\":%b,\"fast_lane\":%b,\"shards\":%d,\"committee_size\":%d,\"trials\":%d,\"safety_violations\":%d,\"liveness_violations\":%d,\"results\":[%s]}"
+    (mode_name r.mode) r.batching r.lane r.shards r.committee_size (List.length r.trials)
     r.safety_violations r.liveness_violations
     (String.concat "," (List.map trial_json r.trials))
 

@@ -26,6 +26,7 @@ type trial = {
 type report = {
   mode : Repro_core.System.coordination_mode;
   batching : bool;  (** true when the trials ran the batched commit path *)
+  lane : bool;  (** true when the trials ran the fast lane (mergeable deltas) *)
   shards : int;
   committee_size : int;
   trials : trial list;
@@ -35,6 +36,7 @@ type report = {
 
 val replay :
   ?batching:bool ->
+  ?lane:bool ->
   mode:Repro_core.System.coordination_mode ->
   concurrency:Repro_core.System.concurrency_control ->
   shards:int ->
@@ -43,16 +45,22 @@ val replay :
   Xschedule.t ->
   Xoracle.violation list
 (** Deterministically re-run one witness and re-check the oracles.
-    [batching] (default false) replays over the batched commit path; it is
-    a run parameter, not part of the witness line. *)
+    [batching] (default false) replays over the batched commit path;
+    [lane] (default false) over the commutative fast lane with the honest
+    transfers rewritten as delta pairs ({!Xtestbed.run}).  Both are run
+    parameters, not part of the witness line. *)
 
-val schedule_for : seed:int64 -> shards:int -> committee_size:int -> int -> Xschedule.t
-(** The schedule trial [i] uses (exposed for replay tests). *)
+val schedule_for :
+  ?lane:bool -> seed:int64 -> shards:int -> committee_size:int -> int -> Xschedule.t
+(** The schedule trial [i] uses (exposed for replay tests); [lane]
+    (default false) draws with {!Xschedule.generate_lane} instead so
+    faults also target the delta legs. *)
 
 val engine_seed_for : seed:int64 -> int -> int64
 
 val run :
   ?batching:bool ->
+  ?lane:bool ->
   mode:Repro_core.System.coordination_mode ->
   concurrency:Repro_core.System.concurrency_control ->
   shards:int ->
@@ -65,7 +73,9 @@ val run :
 (** Explore [trials] seeded schedules; every violation (stuck locks
     included — they are first-class bugs here) is shrunk with at most
     [budget] replays.  [batching] (default false) explores the batched +
-    pipelined commit path on the same schedules. *)
+    pipelined commit path on the same schedules; [lane] (default false)
+    explores the fast lane under delta-leg faults with the
+    merge-convergence and conservation oracles armed. *)
 
 val silent_client_schedule : Xschedule.t
 (** Two cross-shard transfers, the first from a silent client, no

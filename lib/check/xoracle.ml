@@ -10,6 +10,7 @@ type violation =
   | Divergence of { txid : int; ref_commit : bool; shard : int; shard_commit : bool }
   | Conservation of { before : int; after : int }
   | Ckpt_divergence of { committee : int; seq : int; roots : int list }
+  | Merge_divergence of { shard : int; key : string; expected : string; actual : string }
   | Stuck_locks of { count : int }
   | Liveness of { missing : int; first : int }
   | Stale_observer of { committee : int; lag : int }
@@ -17,7 +18,8 @@ type violation =
 let convergence_bound = 16
 
 let is_safety = function
-  | Atomicity _ | Divergence _ | Conservation _ | Ckpt_divergence _ -> true
+  | Atomicity _ | Divergence _ | Conservation _ | Ckpt_divergence _ | Merge_divergence _ ->
+      true
   | Stuck_locks _ | Liveness _ | Stale_observer _ -> false
 
 let same_kind a b =
@@ -26,12 +28,13 @@ let same_kind a b =
   | Divergence _, Divergence _
   | Conservation _, Conservation _
   | Ckpt_divergence _, Ckpt_divergence _
+  | Merge_divergence _, Merge_divergence _
   | Stuck_locks _, Stuck_locks _
   | Liveness _, Liveness _
   | Stale_observer _, Stale_observer _ ->
       true
-  | ( ( Atomicity _ | Divergence _ | Conservation _ | Ckpt_divergence _ | Stuck_locks _
-      | Liveness _ | Stale_observer _ ),
+  | ( ( Atomicity _ | Divergence _ | Conservation _ | Ckpt_divergence _ | Merge_divergence _
+      | Stuck_locks _ | Liveness _ | Stale_observer _ ),
       _ ) ->
       false
 
@@ -53,6 +56,11 @@ let to_string = function
   | Ckpt_divergence { committee; seq; roots } ->
       Printf.sprintf "ckpt-divergence: committee %d certified roots [%s] for checkpoint seq %d"
         committee (ints roots) seq
+  | Merge_divergence { shard; key; expected; actual } ->
+      Printf.sprintf
+        "merge-divergence: shard %d key %s materialised %S but the canonical fold of its \
+         delta log gives %S"
+        shard key actual expected
   | Stuck_locks { count } ->
       Printf.sprintf "stuck-locks: %d lock tuples still held at quiescence" count
   | Liveness { missing; first } ->
@@ -147,7 +155,23 @@ let check (o : Xtestbed.outcome) =
         | _ -> acc)
       by_slot []
   in
-  let safety = atomicity @ divergence @ conservation @ ckpt_divergence in
+  (* Merge convergence: each shard's materialised state must be exactly
+     the canonical fold of its delta-lane history — one root per block.
+     Dropped legs are the client's retry problem (liveness); a key that
+     folded to the wrong value is a safety bug in the lane itself. *)
+  let merge_divergence =
+    List.map
+      (fun (shard, (m : Repro_ledger.Merge.mismatch)) ->
+        Merge_divergence
+          {
+            shard;
+            key = m.Repro_ledger.Merge.mkey;
+            expected = m.Repro_ledger.Merge.expected;
+            actual = m.Repro_ledger.Merge.actual;
+          })
+      o.Xtestbed.merge_audit
+  in
+  let safety = atomicity @ divergence @ conservation @ ckpt_divergence @ merge_divergence in
   match safety with
   | _ :: _ -> safety
   | [] ->

@@ -23,6 +23,10 @@ type violation =
       (** two members of the same committee hold checkpoint certificates
           binding the same sequence number to different execution roots —
           impossible while quorum intersection holds *)
+  | Merge_divergence of { shard : int; key : string; expected : string; actual : string }
+      (** a fast-lane key's materialised value is not the canonical fold
+          of the shard's delta-lane history — the lane broke its one
+          root per block promise (DESIGN §18) *)
   | Stuck_locks of { count : int }
       (** lock tuples still held after quiescence — the OmniLedger
           blocking problem *)

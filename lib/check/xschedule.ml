@@ -1,6 +1,6 @@
 open Repro_util
 
-type leg = Prepare | Vote | Decision
+type leg = Prepare | Vote | Decision | Mdelta
 
 type fault_kind =
   | Drop_leg of { leg : leg; p : float }
@@ -36,12 +36,9 @@ let size t =
 (* Generation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let gen_fault rng ~shards ~committee_size =
+let gen_fault_with ~leg rng ~shards ~committee_size =
   let start = Rng.float rng 8.0 in
   let stop = start +. 1.0 +. Rng.float rng 12.0 in
-  let leg () =
-    match Rng.int rng 3 with 0 -> Prepare | 1 -> Vote | _ -> Decision
-  in
   let kind =
     match Rng.int rng 7 with
     | 0 -> Drop_leg { leg = leg (); p = 0.3 +. Rng.float rng 0.7 }
@@ -66,6 +63,12 @@ let gen_fault rng ~shards ~committee_size =
   in
   { start; stop; kind }
 
+(* The legacy leg draw: three legs, draw shape untouched so every
+   pre-fast-lane seed still generates the identical schedule. *)
+let gen_fault rng ~shards ~committee_size =
+  gen_fault_with rng ~shards ~committee_size ~leg:(fun () ->
+      match Rng.int rng 3 with 0 -> Prepare | 1 -> Vote | _ -> Decision)
+
 let generate rng ~shards ~committee_size =
   let txs = 2 + Rng.int rng 5 in
   let indices = List.init txs Fun.id in
@@ -76,6 +79,25 @@ let generate rng ~shards ~committee_size =
     List.init (1 + Rng.int rng 3) (fun _ -> gen_fault rng ~shards ~committee_size)
   in
   { txs; malicious; overdraft; contended; faults }
+
+(* Fast-lane trials: the leg draw includes delta legs, and no client goes
+   silent — the lane has no vote relay to abandon (silent clients are the
+   2PC attack; its delta legs are re-driven by the submitting client's
+   retry, which a schedule's drop/delay windows already race). *)
+let generate_lane rng ~shards ~committee_size =
+  let sched = generate rng ~shards ~committee_size in
+  let lane_faults =
+    List.init
+      (1 + Rng.int rng 2)
+      (fun _ ->
+        gen_fault_with rng ~shards ~committee_size ~leg:(fun () ->
+            match Rng.int rng 4 with
+            | 0 -> Prepare
+            | 1 -> Vote
+            | 2 -> Decision
+            | _ -> Mdelta))
+  in
+  { sched with malicious = []; faults = sched.faults @ lane_faults }
 
 (* ------------------------------------------------------------------ *)
 (* Witness serialization                                               *)
@@ -93,13 +115,18 @@ let ints_of_field = function
   | "-" -> []
   | s -> List.map int_of_string (String.split_on_char ',' s)
 
-let string_of_leg = function Prepare -> "prep" | Vote -> "vote" | Decision -> "dec"
+let string_of_leg = function
+  | Prepare -> "prep"
+  | Vote -> "vote"
+  | Decision -> "dec"
+  | Mdelta -> "mrg"
 
 let leg_of_string s =
   match s with
   | "prep" -> Prepare
   | "vote" -> Vote
   | "dec" -> Decision
+  | "mrg" -> Mdelta
   | _ -> raise (Invalid_witness s)
 
 let string_of_fault f =

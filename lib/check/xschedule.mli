@@ -12,6 +12,10 @@ type leg =
   | Prepare  (** PrepareTx, coordinator/client -> participant shard *)
   | Vote  (** a shard's quorum answer relayed to R *)
   | Decision  (** CommitTx/AbortTx -> participant shard *)
+  | Mdelta
+      (** a fast-lane delta leg (MergeTx -> participant shard): no
+          prepare/vote round to attack, so dropping/delaying these races
+          the client's retry against the block-boundary fold *)
 
 type fault_kind =
   | Drop_leg of { leg : leg; p : float }  (** lose matching legs w.p. [p] *)
@@ -54,6 +58,14 @@ val size : t -> int
 (** Structural size, the shrinker's objective. *)
 
 val generate : Repro_util.Rng.t -> shards:int -> committee_size:int -> t
+(** The legacy draw: faults target the three 2PC legs only, so
+    pre-fast-lane seeds regenerate the identical schedule. *)
+
+val generate_lane : Repro_util.Rng.t -> shards:int -> committee_size:int -> t
+(** Fast-lane trial draw: extends {!generate} with extra faults whose leg
+    draw includes {!Mdelta}, and clears [malicious] — the lane's delta
+    legs are client-driven, so silent clients are the (separately tested)
+    2PC attack, not a lane schedule's job. *)
 
 val to_string : t -> string
 (** One-line witness; floats print as [%.17g] so [of_string] replays the

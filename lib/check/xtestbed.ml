@@ -24,12 +24,15 @@ type outcome = {
   registry_size : int;
   ckpt_certs : (int * int * int * int) list;
   observer_lag : (int * int) list;
+  merge_audit : (int * Merge.mismatch) list;
+  merge_roots : (int * string) list;
 }
 
 let leg_of_op = function
   | Coordination.Prepare_tx _ -> Some Xschedule.Prepare
   | Coordination.Vote _ -> Some Xschedule.Vote
   | Coordination.Commit_tx _ | Coordination.Abort_tx _ -> Some Xschedule.Decision
+  | Coordination.Merge_tx _ -> Some Xschedule.Mdelta
   (* Submissions and BeginTx are the workload, not the adversary's to
      touch — dropping them reads as a liveness bug that is not one. *)
   | Coordination.Single _ | Coordination.Begin_tx _ -> None
@@ -46,8 +49,8 @@ let key_on ~shards ~prefix shard =
   in
   find 0
 
-let run ?(probe = Repro_obs.Probe.none) ?(batching = false) ~engine_seed ~mode ~concurrency
-    ~shards ~committee_size (sched : Xschedule.t) =
+let run ?(probe = Repro_obs.Probe.none) ?(batching = false) ?(lane = false) ~engine_seed
+    ~mode ~concurrency ~shards ~committee_size (sched : Xschedule.t) =
   let base = System.default_config ~shards ~committee_size in
   let sys =
     System.create
@@ -60,6 +63,10 @@ let run ?(probe = Repro_obs.Probe.none) ?(batching = false) ~engine_seed ~mode ~
            one-request-per-leg path; [batching:true] explores the batched
            commit path instead. *)
         batching = (if batching then base.System.batching else None);
+        (* Like [batching], a run parameter rather than part of the
+           witness: [lane:true] turns the fast lane on and rewrites the
+           honest transfers as mergeable delta pairs (below). *)
+        fast_lane = lane;
       }
   in
   System.set_probe sys probe;
@@ -150,13 +157,29 @@ let run ?(probe = Repro_obs.Probe.none) ?(batching = false) ~engine_seed ~mode ~
   let dst = Array.init shards (fun s -> key_on ~shards ~prefix:"dst" s) in
   Array.iteri (fun s k -> Executor.set_balance (System.shard_state sys s) k 1000) src;
   Array.iteri (fun s k -> Executor.set_balance (System.shard_state sys s) k 0) dst;
+  (* Fast-lane trials move honest transfers onto a disjoint mergeable key
+     pair per shard: the convergence audit re-folds each lane's history
+     from its recorded base values, which is only meaningful if lane keys
+     are never written outside the fold — so malicious and overdraft
+     transactions keep the locked path and its src/dst keys. *)
+  let msrc = Array.init shards (fun s -> key_on ~shards ~prefix:"msrc" s) in
+  let mdst = Array.init shards (fun s -> key_on ~shards ~prefix:"mdst" s) in
+  if lane then begin
+    Array.iteri (fun s k -> Executor.set_balance (System.shard_state sys s) k 1000) msrc;
+    Array.iteri (fun s k -> Executor.set_balance (System.shard_state sys s) k 0) mdst
+  end;
   let total () =
     let sum = ref 0 in
     for s = 0 to shards - 1 do
       sum :=
         !sum
         + Executor.balance (System.shard_state sys s) src.(s)
-        + Executor.balance (System.shard_state sys s) dst.(s)
+        + Executor.balance (System.shard_state sys s) dst.(s);
+      if lane then
+        sum :=
+          !sum
+          + Executor.balance (System.shard_state sys s) msrc.(s)
+          + Executor.balance (System.shard_state sys s) mdst.(s)
     done;
     !sum
   in
@@ -166,18 +189,28 @@ let run ?(probe = Repro_obs.Probe.none) ?(batching = false) ~engine_seed ~mode ~
     List.init sched.Xschedule.txs (fun i ->
         let txid = i + 1 in
         let mal = List.exists (Int.equal i) sched.Xschedule.malicious in
-        let amount = if List.exists (Int.equal i) sched.Xschedule.overdraft then 10_000 else 5 in
+        let over = List.exists (Int.equal i) sched.Xschedule.overdraft in
+        let amount = if over then 10_000 else 5 in
         let from_shard = if sched.Xschedule.contended then 0 else i mod shards in
         let to_shard =
           if sched.Xschedule.contended then 1 + (i mod Int.max 1 (shards - 1))
           else (i + 1) mod shards
         in
         let tx =
-          Tx.make ~txid ~client:txid
-            [
-              Tx.Debit { account = src.(from_shard); amount };
-              Tx.Credit { account = dst.(to_shard); amount };
-            ]
+          if lane && (not mal) && not over then
+            (* A conserving delta pair: unconditional Add(-a)/Add(+a) on
+               the mergeable keys, classified down the fast lane. *)
+            Tx.make ~txid ~client:txid
+              [
+                Tx.Merge { key = msrc.(from_shard); delta = Tx.Add (-amount) };
+                Tx.Merge { key = mdst.(to_shard); delta = Tx.Add amount };
+              ]
+          else
+            Tx.make ~txid ~client:txid
+              [
+                Tx.Debit { account = src.(from_shard); amount };
+                Tx.Credit { account = dst.(to_shard); amount };
+              ]
         in
         (txid, mal, tx))
   in
@@ -236,4 +269,6 @@ let run ?(probe = Repro_obs.Probe.none) ?(batching = false) ~engine_seed ~mode ~
     registry_size = System.registry_size sys;
     ckpt_certs = System.committee_checkpoints sys;
     observer_lag = System.observer_lag sys;
+    merge_audit = System.merge_audit sys;
+    merge_roots = System.merge_roots sys;
   }

@@ -43,11 +43,21 @@ type outcome = {
           most advanced member by at the horizon
           ({!Repro_core.System.observer_lag}) — the bounded-convergence
           oracle's record *)
+  merge_audit : (int * Repro_ledger.Merge.mismatch) list;
+      (** per shard, keys whose materialised value differs from the
+          canonical re-fold of the delta-lane history
+          ({!Repro_core.System.merge_audit}) — the merge-convergence
+          oracle's record; always empty when the run had no lane *)
+  merge_roots : (int * string) list;
+      (** per shard, the chained fold digest at the horizon
+          ({!Repro_core.System.merge_roots}) — equal-seed lane runs must
+          agree on every entry *)
 }
 
 val run :
   ?probe:Repro_obs.Probe.t ->
   ?batching:bool ->
+  ?lane:bool ->
   engine_seed:int64 ->
   mode:Repro_core.System.coordination_mode ->
   concurrency:Repro_core.System.concurrency_control ->
@@ -65,4 +75,11 @@ val run :
     {!Repro_core.System.default_batching} instead, so the adversary
     exercises the batched + pipelined commit path; a schedule's fault
     probabilities apply per constituent leg either way, and it is a run
-    parameter — deliberately not part of the witness line. *)
+    parameter — deliberately not part of the witness line.
+
+    [lane] (default [false]) turns {!Repro_core.System.config.fast_lane}
+    on and rewrites the schedule's honest, in-funds transfers as
+    unconditional delta pairs over per-shard mergeable keys disjoint from
+    the locked-path accounts (malicious and overdraft transactions keep
+     2PC, so both paths run mixed).  Like [batching], a run parameter —
+    deliberately not part of the witness line. *)

@@ -5,6 +5,9 @@ type op =
   | Vote of { txid : int; shard : int; ok : bool }
   | Commit_tx of { txid : int; ops : Repro_ledger.Tx.op list }
   | Abort_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Merge_tx of { txid : int; deltas : (string * Repro_ledger.Tx.delta) list }
+    (* Fast-lane delta leg (DESIGN §18): rides the decision position —
+       one unconditional leg per participant shard, no prepare/vote. *)
   | Batch of { batch : int; steps : op list }
 
 let rec txid_of_op = function
@@ -13,7 +16,8 @@ let rec txid_of_op = function
   | Prepare_tx { txid; _ }
   | Vote { txid; _ }
   | Commit_tx { txid; _ }
-  | Abort_tx { txid; _ } ->
+  | Abort_tx { txid; _ }
+  | Merge_tx { txid; _ } ->
       txid
   (* Batches carry steps of many transactions; registry compaction keys
      them by a synthetic id disjoint from real (non-negative) txids. *)
@@ -33,7 +37,8 @@ let step_rank = function
   | Prepare_tx _ -> 3
   | Commit_tx _ -> 4
   | Abort_tx _ -> 5
-  | Batch _ -> 6
+  | Merge_tx _ -> 6
+  | Batch _ -> 7
 
 let batch_order a b =
   let c = Int.compare (step_rank a) (step_rank b) in
@@ -101,6 +106,8 @@ let rec op_cost (costs : Repro_crypto.Cost_model.t) op =
   | Prepare_tx { ops; _ } | Commit_tx { ops; _ } | Abort_tx { ops; _ } ->
       (* Lock-tuple reads/writes double the state touches. *)
       2.0 *. float_of_int (List.length ops) *. per_op
+  (* Delta legs take no lock tuples: one state touch per delta. *)
+  | Merge_tx { deltas; _ } -> float_of_int (List.length deltas) *. per_op
   | Begin_tx _ | Vote _ -> per_op
   | Batch { steps; _ } -> List.fold_left (fun acc s -> acc +. op_cost costs s) 0.0 steps
 
@@ -108,5 +115,6 @@ let rec op_bytes op =
   match op with
   | Single { ops; _ } | Prepare_tx { ops; _ } | Commit_tx { ops; _ } | Abort_tx { ops; _ } ->
       40 * List.length ops
+  | Merge_tx { deltas; _ } -> 40 * List.length deltas
   | Begin_tx _ | Vote _ -> 40
   | Batch { steps; _ } -> List.fold_left (fun acc s -> acc + op_bytes s) 16 steps

@@ -16,6 +16,10 @@ type op =
   | Vote of { txid : int; shard : int; ok : bool }
   | Commit_tx of { txid : int; ops : Repro_ledger.Tx.op list }
   | Abort_tx of { txid : int; ops : Repro_ledger.Tx.op list }
+  | Merge_tx of { txid : int; deltas : (string * Repro_ledger.Tx.delta) list }
+      (** Fast-lane delta leg (DESIGN §18): one unconditional commutative
+          payload per participant shard, riding the decision position —
+          no [Begin_tx]/[Prepare_tx]/[Vote] round and no lock tuples. *)
   | Batch of { batch : int; steps : op list }
       (** One consensus slot carrying many coordination steps (Begin/Vote);
           [batch] is a per-system unique id, [steps] are canonically ordered

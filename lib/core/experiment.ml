@@ -222,8 +222,8 @@ type shard_run = {
 
 let run_shards ?(quick = false) ?(site = Cluster) ?(mode = System.With_reference)
     ?(concurrency = System.Two_phase_locking) ?(variant = Config.ahl_plus) ?(theta = 0.2)
-    ?(workload = Workload.Smallbank) ?(outstanding = 32) ?reshard ?dur ~shards ~committee_size
-    () =
+    ?(workload = Workload.Smallbank) ?(outstanding = 32) ?(fast_lane = false) ?reshard ?dur
+    ~shards ~committee_size () =
   let dur = match dur with Some d -> d | None -> if quick then 15.0 else 25.0 in
   let cfg =
     {
@@ -234,6 +234,7 @@ let run_shards ?(quick = false) ?(site = Cluster) ?(mode = System.With_reference
       topology = topology_of site;
       cpu_scale = cpu_scale_of site;
       tune = tune_of site;
+      fast_lane;
     }
   in
   let sys = System.create cfg in
@@ -251,6 +252,8 @@ let run_shards ?(quick = false) ?(site = Cluster) ?(mode = System.With_reference
       match workload with
       | Workload.Smallbank -> "sb"
       | Workload.Kvstore { updates_per_tx } -> Printf.sprintf "kvs%d" updates_per_tx
+      | Workload.Hot_increments { increment_fraction } ->
+          Printf.sprintf "hotinc%g" increment_fraction
     in
     let reshard_tag =
       match reshard with
@@ -260,10 +263,13 @@ let run_shards ?(quick = false) ?(site = Cluster) ?(mode = System.With_reference
     in
     hub_probe
       (Printf.sprintf
-         "shards:%s:k=%d:n=%d:mode=%s:cc=%s:site=%d:theta=%g:wl=%s:out=%d:reshard=%s:dur=%g:quick=%b"
+         "shards:%s:k=%d:n=%d:mode=%s:cc=%s:site=%d:theta=%g:wl=%s:out=%d:reshard=%s:dur=%g:quick=%b%s"
          cfg.System.variant.Config.name shards committee_size mode_tag cc_tag
          (match site with Cluster -> 0 | Gcp4 -> 4 | Gcp8 -> 8)
-         theta wl_tag outstanding reshard_tag dur quick)
+         theta wl_tag outstanding reshard_tag dur quick
+         (* Appended only when on, so every legacy probe name — and with it
+            every existing hub dump — is byte-identical. *)
+         (if fast_lane then ":lane=1" else ""))
   in
   System.set_probe sys probe;
   (* Keyspace grows with the deployment (more shards serve more users), so
@@ -693,6 +699,63 @@ let fig13 ?(quick = false) () =
         ~rows:abort_rows;
     ]
 
+(* The fast-lane companion to Fig. 13 (DESIGN §18): the same
+   high-contention cluster, under the Hot-increments mix, with the
+   commutative lane off vs on.  Lane off, every credit-only increment is
+   an ordinary cross-shard 2PC transaction whose lock acquisitions pile up
+   on the Zipf head; lane on, the same transactions append deltas with no
+   locks and only the conditional sendPayments contend.  The third panel
+   sweeps the mix itself (CRDV's read-write-ratio analogue): how much
+   commutativity the workload must declare before the lane pays off. *)
+let fig13_fastlane ?(quick = false) () =
+  let lanes = [ false; true ] in
+  let hot = Workload.Hot_increments { increment_fraction = 0.9 } in
+  let thetas = if quick then [ 0.0; 1.49; 1.99 ] else [ 0.0; 0.49; 0.99; 1.49; 1.99 ] in
+  (* One run per (theta, lane); the abort and throughput panels read the
+     same results. *)
+  let cells =
+    par_cells
+      (List.map
+         (fun theta ->
+           ( theta,
+             List.map
+               (fun fast_lane () ->
+                 run_shards ~quick ~theta ~workload:hot ~fast_lane ~shards:6 ~committee_size:3
+                   ())
+               lanes ))
+         thetas)
+  in
+  let rows metric = List.map (fun (theta, rs) -> (theta, List.map metric rs)) cells in
+  let fractions = if quick then [ 0.0; 0.5; 1.0 ] else [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  let mix_rows =
+    par_cells
+      (List.map
+         (fun increment_fraction ->
+           ( increment_fraction,
+             List.map
+               (fun fast_lane () ->
+                 (run_shards ~quick ~theta:1.49
+                    ~workload:(Workload.Hot_increments { increment_fraction })
+                    ~fast_lane ~shards:6 ~committee_size:3 ())
+                   .tps)
+               lanes ))
+         fractions)
+  in
+  let lane_columns = [ "lane off"; "lane on" ] in
+  Results.figure ~id:"fig13_fastlane"
+    ~caption:
+      "Commutative fast lane under contention (6 shards, Hot-increments mix): abort rate and \
+       throughput vs Zipf with the lane off/on, and throughput vs the mergeable fraction at \
+       zipf 1.49"
+    [
+      Results.panel ~title:"Abort rate vs Zipf" ~x_label:"zipf" ~columns:lane_columns
+        ~rows:(rows (fun r -> r.s_abort_rate));
+      Results.panel ~title:"Throughput vs Zipf" ~x_label:"zipf" ~columns:lane_columns
+        ~rows:(rows (fun r -> r.tps));
+      Results.panel ~title:"Throughput vs mergeable fraction (zipf 1.49)"
+        ~x_label:"increment fraction" ~columns:lane_columns ~rows:mix_rows;
+    ]
+
 let fig14 ?(quick = false) () =
   let points = if quick then [ 162; 486; 972 ] else [ 162; 324; 486; 648; 810; 972 ] in
   let run_at ~csize total =
@@ -990,8 +1053,8 @@ let reset_caches () =
 let all_ids =
   [
     "table1"; "table2"; "table3"; "fig2"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
-    "fig14"; "fig15"; "fig16"; "fig17"; "fig18"; "fig19"; "fig20"; "fig21"; "fig22";
-    "appendix_a"; "appendix_b"; "ablation_cc";
+    "fig13_fastlane"; "fig14"; "fig15"; "fig16"; "fig17"; "fig18"; "fig19"; "fig20"; "fig21";
+    "fig22"; "appendix_a"; "appendix_b"; "ablation_cc";
   ]
 
 let by_id id =
@@ -1007,6 +1070,7 @@ let by_id id =
   | "fig11" -> Some fig11
   | "fig12" -> Some fig12
   | "fig13" -> Some fig13
+  | "fig13_fastlane" -> Some fig13_fastlane
   | "fig14" -> Some fig14
   | "fig15" -> Some fig15
   | "fig16" -> Some fig16

@@ -62,6 +62,12 @@ val fig13 : ?quick:bool -> unit -> Results.figure
 (** Sharding on the local cluster with/without the reference committee;
     abort rate vs Zipf coefficient. *)
 
+val fig13_fastlane : ?quick:bool -> unit -> Results.figure
+(** Beyond the paper (DESIGN §18): the commutative fast lane off vs on
+    under the Hot-increments contention mix — abort rate and throughput
+    across Zipf skews, plus throughput vs the mergeable fraction of the
+    workload. *)
+
 val fig14 : ?quick:bool -> unit -> Results.figure
 (** Scale-out on GCP: throughput and shard count vs N for 12.5% and 25%
     adversaries. *)

@@ -30,6 +30,9 @@ type config = {
   tune : Config.t -> Config.t;
   client_fallback_timeout : float;
   batching : batching option;
+  fast_lane : bool;
+      (* DESIGN §18: route all-mergeable transactions down the lock-free
+         delta lane instead of 2PC+2PL *)
 }
 
 let default_batching = { window = 0.02; max_steps = 128; pipeline = true }
@@ -47,6 +50,7 @@ let default_config ~shards ~committee_size =
     tune = Fun.id;
     client_fallback_timeout = 5.0;
     batching = Some default_batching;
+    fast_lane = false;
   }
 
 type tx_outcome = Committed | Aborted
@@ -76,6 +80,9 @@ type committee_ctx = {
       (* the shard observer's record of each prepare's quorum outcome —
          the evidence R's fallback sweep reads instead of guessing from
          lock tuples (a prepare still in flight has no entry) *)
+  mlane : Merge.lane;
+      (* the shard's lock-free delta lane: fast-lane legs append here and
+         the observer folds it into [state] at each block boundary *)
   mutable state_commit : Sha256.digest;
       (* rolling state commitment chained per block; recomputing the full
          Merkle root over the whole state each block would be O(state) *)
@@ -90,6 +97,9 @@ type tx_record = {
   legs_done : (int, unit) Hashtbl.t;
   mutable outcome : tx_outcome;
   mutable relaying : bool; (* false once a malicious client went silent *)
+  lane_deltas : (string * Tx.delta) list option;
+      (* [Some _] iff this transaction rides the merge fast lane; retries
+         then re-send delta legs rather than commit/abort legs *)
   mutable prepare_started : float; (* -1 until the first prepare dispatch *)
   mutable decided_at : float; (* -1 until the decision is reached *)
   on_done : tx_outcome -> unit;
@@ -111,6 +121,7 @@ type t = {
   engine : Engine.t;
   network : Pbft.msg Network.t;
   registry : Coordination.registry;
+  merge_reg : Merge.registry; (* chaincode-declared commutative ops *)
   mutable committees : committee_ctx array; (* shards, then optionally R last *)
   metrics : Metrics.t; (* transaction-level *)
   inflight : (int, tx_record) Hashtbl.t;
@@ -437,7 +448,33 @@ let on_client_vote t txid shard ok =
 (* Execution at committee observers                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Block-boundary merge fold (DESIGN §18): materialise the delta lane into
+   canonical state before sealing the block.  The fold order is canonical
+   (key, txid, seq) — a pure function of the delta set — so every replica
+   folding this block chains the same root, and the lane's effect on the
+   state commitment is independent of leg arrival order. *)
+let fold_lane t ctx =
+  let depth = Merge.depth ctx.mlane in
+  if depth > 0 then begin
+    let count, digest = Merge.fold_into ctx.mlane ctx.state in
+    if Probe.enabled t.probe then begin
+      Probe.incr t.probe "merge.folds";
+      Probe.observe t.probe "merge.fold.depth" (float_of_int depth);
+      let dur =
+        float_of_int count *. Cost_model.default.Cost_model.tx_execute *. t.cfg.cpu_scale
+      in
+      Probe.span t.probe ~time:(Engine.now t.engine) ~dur ~cat:"merge"
+        ~node:("s" ^ string_of_int ctx.index)
+        ~args:[ ("entries", Ev.I count) ]
+        "merge_fold"
+    end;
+    ctx.state_commit <-
+      Sha256.digest_concat
+        [ Sha256.to_raw ctx.state_commit; "merge-fold"; Sha256.to_raw digest ]
+  end
+
 let record_block t ctx batch =
+  fold_lane t ctx;
   let txs = List.map (fun (r : Types.request) -> Printf.sprintf "req-%d" r.Types.req_id) batch in
   ctx.state_commit <-
     Sha256.digest_concat (Sha256.to_raw ctx.state_commit :: txs);
@@ -501,6 +538,20 @@ let execute_on_shard t ctx (req : Types.request) =
           (* A retried prepare arriving after the decision must not
              re-acquire locks the commit/abort already released. *)
           ()
+      | Coordination.Merge_tx { txid; _ } when Hashtbl.mem ctx.applied (txid, 3) ->
+          () (* duplicated/retried delta legs append at most once *)
+      | Coordination.Merge_tx { txid; deltas } ->
+          Hashtbl.replace ctx.applied (txid, 3) ();
+          List.iter
+            (fun (key, delta) -> Merge.append ctx.mlane ctx.state ~txid ~key delta)
+            deltas;
+          if Probe.enabled t.probe then begin
+            Probe.add t.probe "merge.deltas" (List.length deltas);
+            Probe.observe t.probe "merge.lane.depth" (float_of_int (Merge.depth ctx.mlane))
+          end;
+          t.decisions <-
+            { at = Engine.now t.engine; txid; shard = ctx.index; commit = true } :: t.decisions;
+          finish_leg t txid ctx.index
       | Coordination.Single { txid; ops } -> (
           Hashtbl.replace ctx.applied (txid, 0) ();
           match Executor.execute_single ctx.state ~txid ops with
@@ -586,6 +637,9 @@ let execute_on_shard t ctx (req : Types.request) =
       | Coordination.Begin_tx _ | Coordination.Vote _ | Coordination.Batch _ ->
           () (* coordinator-only ops *))
 
+let merge_deltas_for t deltas shard =
+  List.filter (fun (key, _) -> Tx.shard_of_key ~shards:t.cfg.shards key = shard) deltas
+
 let observe_vote_leg t txid =
   if Probe.enabled t.probe then
     match Hashtbl.find_opt t.inflight txid with
@@ -669,7 +723,7 @@ and execute_coord t ctx (req : Types.request) =
                               else Reference.Prepare_not_ok { shard } ) )
                     | Coordination.Single _ | Coordination.Prepare_tx _
                     | Coordination.Commit_tx _ | Coordination.Abort_tx _
-                    | Coordination.Batch _ ->
+                    | Coordination.Merge_tx _ | Coordination.Batch _ ->
                         None)
                   steps
               in
@@ -690,7 +744,7 @@ and execute_coord t ctx (req : Types.request) =
               end;
               Coordination.release t.registry ~txid:(Coordination.batch_txid batch)
           | Coordination.Single _ | Coordination.Prepare_tx _ | Coordination.Commit_tx _
-          | Coordination.Abort_tx _ ->
+          | Coordination.Abort_tx _ | Coordination.Merge_tx _ ->
               ()))
 
 (* When the client never relays votes, the coordinator's members sweep the
@@ -747,6 +801,9 @@ let create cfg =
   let keystore = Keys.create_keystore (Engine.rng engine) in
   let network = Network.create engine ~topology:cfg.topology in
   let registry = Coordination.create_registry () in
+  let merge_reg = Merge.create_registry () in
+  Smallbank_cc.declare_mergeable merge_reg;
+  Kvstore_cc.declare_mergeable merge_reg;
   let metrics = Metrics.create engine in
   let committee_count = cfg.shards + (if cfg.mode = With_reference then 1 else 0) in
   let t =
@@ -755,6 +812,7 @@ let create cfg =
       engine;
       network;
       registry;
+      merge_reg;
       committees = [||];
       metrics;
       inflight = Hashtbl.create 1024;
@@ -832,6 +890,7 @@ let create cfg =
         applied = Hashtbl.create 1024;
         parked = Hashtbl.create 64;
         prepared = Hashtbl.create 64;
+        mlane = Merge.lane ();
         state_commit = State.root state;
       }
     in
@@ -900,10 +959,17 @@ let rec arm_retry t txid =
               List.iter
                 (fun shard ->
                   if not (Hashtbl.mem rec_.legs_done shard) then begin
-                    let ops = Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard in
                     let op =
-                      if rec_.outcome = Committed then Coordination.Commit_tx { txid; ops }
-                      else Coordination.Abort_tx { txid; ops }
+                      match rec_.lane_deltas with
+                      | Some deltas ->
+                          (* Fast lane: re-drive the delta leg itself; the
+                             shard's applied table makes it append-once. *)
+                          Coordination.Merge_tx
+                            { txid; deltas = merge_deltas_for t deltas shard }
+                      | None ->
+                          let ops = Tx.ops_for_shard ~shards:t.cfg.shards rec_.tx shard in
+                          if rec_.outcome = Committed then Coordination.Commit_tx { txid; ops }
+                          else Coordination.Abort_tx { txid; ops }
                     in
                     send_to_committee t ~committee:shard ~client:rec_.tx.Tx.client op
                   end)
@@ -917,7 +983,52 @@ let rec arm_retry t txid =
               | Client_driven -> dispatch_prepares t txid));
           arm_retry t txid)
 
-let submit t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
+(* A transaction is admitted to the fast lane iff every op classifies as a
+   commutative delta AND no touched key is under an in-flight exclusive
+   lock — deltas folded around a 2PC transaction's lock window would
+   otherwise interleave with its validated read (the downgrade guard of
+   DESIGN §18). *)
+let merge_lock_conflict t deltas =
+  List.exists
+    (fun (key, _) ->
+      let shard = Tx.shard_of_key ~shards:t.cfg.shards key in
+      let locks = Locks.create t.committees.(shard).state in
+      Option.is_some (Locks.holder locks key))
+    deltas
+
+let submit_merge t ~on_done ~malicious_client tx deltas =
+  let txid = tx.Tx.txid in
+  let touched =
+    List.sort_uniq Int.compare
+      (List.map (fun (key, _) -> Tx.shard_of_key ~shards:t.cfg.shards key) deltas)
+  in
+  let rec_ =
+    {
+      tx;
+      participant_shards = touched;
+      (* The lane has no abort path: the transaction is decided the moment
+         it is classified; only its delta legs remain. *)
+      decided = true;
+      legs_left = List.length touched;
+      legs_done = Hashtbl.create 4;
+      outcome = Committed;
+      relaying = not malicious_client;
+      lane_deltas = Some deltas;
+      prepare_started = -1.0;
+      decided_at = Engine.now t.engine;
+      on_done;
+    }
+  in
+  Hashtbl.replace t.inflight txid rec_;
+  Probe.incr t.probe "merge.lane_hits";
+  List.iter
+    (fun shard ->
+      send_to_committee t ~committee:shard ~client:tx.Tx.client
+        (Coordination.Merge_tx { txid; deltas = merge_deltas_for t deltas shard }))
+    touched;
+  arm_retry t txid
+
+let submit_locked t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
   let txid = tx.Tx.txid in
   let touched = Tx.shards_touched ~shards:t.cfg.shards tx in
   match touched with
@@ -932,6 +1043,7 @@ let submit t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
           legs_done = Hashtbl.create 4;
           outcome = Aborted;
           relaying = true;
+          lane_deltas = None;
           prepare_started = -1.0;
           decided_at = -1.0;
           on_done;
@@ -949,6 +1061,7 @@ let submit t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
           legs_done = Hashtbl.create 4;
           outcome = Aborted;
           relaying = not malicious_client;
+          lane_deltas = None;
           prepare_started = -1.0;
           decided_at = -1.0;
           on_done;
@@ -966,6 +1079,20 @@ let submit t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
           if pipelining t && rec_.relaying then dispatch_prepares t txid
       | Client_driven -> dispatch_prepares t txid);
       arm_retry t txid
+
+let submit t ?(on_done = fun _ -> ()) ?(malicious_client = false) tx =
+  if not t.cfg.fast_lane then submit_locked t ~on_done ~malicious_client tx
+  else
+    match Merge.classify_tx t.merge_reg tx with
+    | None -> submit_locked t ~on_done ~malicious_client tx
+    | Some deltas ->
+        if merge_lock_conflict t deltas then begin
+          (* Downgrade: mergeable, but a touched key is exclusively locked
+             by an in-flight 2PC transaction — take the full path. *)
+          Probe.incr t.probe "merge.downgrades";
+          submit_locked t ~on_done ~malicious_client tx
+        end
+        else submit_merge t ~on_done ~malicious_client tx deltas
 
 let run t ~until = Engine.run t.engine ~until
 
@@ -1045,6 +1172,28 @@ let observer_lag t =
          done;
          let obs = Pbft.last_executed ctx.pbft ~member:(Pbft.observer ctx.pbft) in
          (ctx.index, !hi - obs))
+
+(* ---- merge fast-lane surface (oracles + tests) ---- *)
+
+(* Flush every shard's remaining pending deltas (the run may stop between
+   block boundaries), then re-fold each lane's full history against its
+   recorded bases and diff with materialised state.  Empty iff every
+   replica's state is exactly the canonical fold of its delta log — the
+   merge-convergence oracle. *)
+let merge_audit t =
+  List.concat
+    (List.init t.cfg.shards (fun s ->
+         let ctx = t.committees.(s) in
+         fold_lane t ctx;
+         List.map (fun m -> (s, m)) (Merge.audit ctx.mlane ctx.state)))
+
+let merge_folds t =
+  Array.fold_left (fun acc ctx -> acc + Merge.folds ctx.mlane) 0 t.committees
+
+let merge_lane_log t ~shard = Merge.log_length t.committees.(shard).mlane
+
+let merge_roots t =
+  List.init t.cfg.shards (fun s -> (s, Sha256.to_hex (Merge.root t.committees.(s).mlane)))
 
 let decision_trace t = List.rev t.decisions
 

@@ -60,6 +60,12 @@ type config = {
   batching : batching option;
       (** [Some] batches coordinator-bound steps per destination
           committee; {!default_config} turns it on *)
+  fast_lane : bool;
+      (** route all-mergeable transactions down the lock-free delta lane
+          (DESIGN §18): deltas append per shard with no prepare/vote round
+          and no locks, and fold into canonical state at block boundaries;
+          mixed/non-commutative transactions keep 2PC+2PL.  Off in
+          {!default_config}. *)
 }
 
 val default_batching : batching
@@ -192,9 +198,30 @@ val observer_lag : t -> (int * int) list
 type decision_event = { at : float; txid : int; shard : int; commit : bool }
 
 val decision_trace : t -> decision_event list
-(** Every Commit_tx/Abort_tx applied at a shard observer, in application
-    order — the observable record the atomicity and durable-decision
-    oracles read. *)
+(** Every Commit_tx/Abort_tx — and every fast-lane delta leg, which is
+    always a commit — applied at a shard observer, in application order;
+    the observable record the atomicity and durable-decision oracles
+    read. *)
+
+val merge_audit : t -> (int * Repro_ledger.Merge.mismatch) list
+(** The merge-convergence oracle's evidence: flush any deltas still
+    pending in each shard's lane, then re-fold every lane's full history
+    from its recorded base values and diff against materialised state.
+    Empty iff each replica's state is exactly the canonical fold of its
+    delta log (one root per block). *)
+
+val merge_folds : t -> int
+(** Total block-boundary folds performed across all shards. *)
+
+val merge_lane_log : t -> shard:int -> int
+(** Delta-lane entries ever appended at [shard] — with the applied-table
+    dedup this counts each delta leg at most once, the surface the
+    duplicated-leg idempotency test reads. *)
+
+val merge_roots : t -> (int * string) list
+(** Per shard, the hex chained digest over every block-boundary fold: a
+    pure function of the folded delta sets, so equal-seed runs must agree
+    replica by replica. *)
 
 val prepare_evidence : t -> shard:int -> txid:int -> bool option
 (** The shard observer's recorded quorum outcome for a prepare, if the

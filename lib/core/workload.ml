@@ -4,6 +4,7 @@ open Repro_ledger
 type kind =
   | Kvstore of { updates_per_tx : int }
   | Smallbank
+  | Hot_increments of { increment_fraction : float }
 
 type t = {
   kind : kind;
@@ -31,7 +32,7 @@ let account i = "acc" ^ string_of_int i
 let setup t system ~initial_balance =
   match t.kind with
   | Kvstore _ -> ()
-  | Smallbank ->
+  | Smallbank | Hot_increments _ ->
       let shards = System.shards system in
       for i = 0 to t.keyspace - 1 do
         let acc = account i in
@@ -69,6 +70,28 @@ let next_tx t system ~client =
         | [ a; b ] ->
             let amount = 1 + Rng.int t.rng 10 in
             Smallbank_cc.send_payment_ops ~src:(account a) ~dst:(account b) ~amount
+        | ks -> Repro_sim.Sim_error.invalid "Workload.next_tx: expected 2 keys, got %d" (List.length ks))
+    | Hot_increments { increment_fraction } -> (
+        (* The CRDV-style mix: with probability [increment_fraction] a
+           credit-only increment of two hot counters — all-commutative, so
+           the fast lane takes it when enabled; on the locked path it is an
+           ordinary cross-shard 2PC transaction whose lock acquisitions
+           collide on the Zipf head.  The rest are sendPayments, whose
+           debits are conditional and always keep the locked path.  The
+           counters are deliberately disjoint from the account keys: lane
+           keys must never be written outside the fold, or the
+           merge-convergence audit has nothing to certify. *)
+        match distinct_keys t 2 with
+        | [ a; b ] ->
+            if Rng.float t.rng 1.0 < increment_fraction then
+              let amount = 1 + Rng.int t.rng 5 in
+              [
+                Tx.Credit { account = Kvstore_cc.counter_key (account a); amount };
+                Tx.Credit { account = Kvstore_cc.counter_key (account b); amount };
+              ]
+            else
+              let amount = 1 + Rng.int t.rng 10 in
+              Smallbank_cc.send_payment_ops ~src:(account a) ~dst:(account b) ~amount
         | ks -> Repro_sim.Sim_error.invalid "Workload.next_tx: expected 2 keys, got %d" (List.length ks))
   in
   let tx =

@@ -4,6 +4,10 @@
       transaction on Zipf-popular keys.
     - {b SmallBank}: [sendPayment] between two Zipf-sampled accounts
       (reads and writes two different states).
+    - {b Hot increments}: a tunable mix of credit-only increments on hot
+      accounts (all-commutative, so the fast lane can take them) and
+      sendPayments (conditional debits, always locked) — the contention
+      workload of the fig13_fastlane experiment.
 
     Keys hash across shards, so the cross-shard fraction follows
     Appendix B.  The multi-shard experiments use a closed-loop driver:
@@ -13,6 +17,9 @@
 type kind =
   | Kvstore of { updates_per_tx : int }
   | Smallbank
+  | Hot_increments of { increment_fraction : float }
+      (** probability a generated transaction is a two-account credit-only
+          increment instead of a sendPayment *)
 
 type t
 

@@ -16,6 +16,11 @@ let op_to_args op =
   | Tx.Get { key } -> [ "get"; key ]
   | Tx.Debit { account; amount } -> [ "debit"; account; string_of_int amount ]
   | Tx.Credit { account; amount } -> [ "credit"; account; string_of_int amount ]
+  | Tx.Merge { key; delta = Tx.Add n } -> [ "madd"; key; string_of_int n ]
+  | Tx.Merge { key; delta = Tx.Maxi n } -> [ "mmax"; key; string_of_int n ]
+  | Tx.Merge { key; delta = Tx.Union elts } ->
+      (* Length-prefixed so the flat argument stream stays parseable. *)
+      "munion" :: key :: string_of_int (List.length elts) :: elts
 
 let functions_of_ops ~txid ~phase ops =
   let fn =

@@ -11,16 +11,16 @@ type stmt =
 type t = { name : string; arity : int; body : stmt list }
 
 let check_arg ~arity = function
-  | Param i when i < 0 || i >= arity -> invalid_arg "Contract.define: parameter out of range"
+  | Param i when i < 0 || i >= arity -> Repro_util.Invariant.fail "Contract.define: parameter out of range"
   | Param _ | Lit _ -> ()
 
 let check_amount ~arity = function
   | Amount_param i when i < 0 || i >= arity ->
-      invalid_arg "Contract.define: parameter out of range"
+      Repro_util.Invariant.fail "Contract.define: parameter out of range"
   | Amount_param _ | Amount_lit _ -> ()
 
 let define ~name ~arity body =
-  if arity < 0 then invalid_arg "Contract.define: negative arity";
+  if arity < 0 then Repro_util.Invariant.fail "Contract.define: negative arity";
   List.iter
     (fun stmt ->
       match stmt with
@@ -86,7 +86,7 @@ let compile t ~args =
 
 let analyze t ~shards ~args =
   match compile t ~args with
-  | Error e -> invalid_arg ("Contract.analyze: " ^ e)
+  | Error e -> Repro_util.Invariant.fail "Contract.analyze: %s" e
   | Ok ops -> (
       let tx = Tx.make ~txid:0 ops in
       match Tx.shards_touched ~shards tx with

@@ -23,7 +23,9 @@ let net_deltas ops =
       match op with
       | Tx.Debit { account; amount } -> upd account (-amount)
       | Tx.Credit { account; amount } -> upd account amount
-      | Tx.Put _ | Tx.Get _ -> ())
+      (* Merge deltas are unconditional: they never fail validation, so a
+         downgraded merge transaction cannot abort on funds. *)
+      | Tx.Put _ | Tx.Get _ | Tx.Merge _ -> ())
     ops;
   table
 
@@ -71,7 +73,8 @@ let apply state ops =
       | Tx.Put { key; value } -> State.put state key value
       | Tx.Get _ -> ()
       | Tx.Debit { account; amount } -> set_balance state account (balance state account - amount)
-      | Tx.Credit { account; amount } -> set_balance state account (balance state account + amount))
+      | Tx.Credit { account; amount } -> set_balance state account (balance state account + amount)
+      | Tx.Merge { key; delta } -> Merge.apply_delta state key delta)
     ops
 
 let locked_by_us state ~txid ops =

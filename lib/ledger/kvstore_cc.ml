@@ -13,6 +13,29 @@ let parse_ops args =
         match int_of_string_opt amount with
         | Some amount -> go (Tx.Credit { account; amount } :: acc) rest
         | None -> None)
+    | "madd" :: key :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n -> go (Tx.Merge { key; delta = Tx.Add n } :: acc) rest
+        | None -> None)
+    | "mmax" :: key :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n -> go (Tx.Merge { key; delta = Tx.Maxi n } :: acc) rest
+        | None -> None)
+    | "munion" :: key :: count :: rest -> (
+        match int_of_string_opt count with
+        | Some count when count >= 0 && List.length rest >= count ->
+            let rec split n xs =
+              if n = 0 then ([], xs)
+              else
+                match xs with
+                | x :: tl ->
+                    let taken, rest = split (n - 1) tl in
+                    (x :: taken, rest)
+                | [] -> ([], [])
+            in
+            let elts, rest = split count rest in
+            go (Tx.Merge { key; delta = Tx.Union elts } :: acc) rest
+        | _ -> None)
     | _ -> None
   in
   go [] args
@@ -58,3 +81,18 @@ let handler state ~txid:_ { Chaincode.fn; args } =
 let chaincode = Chaincode.define ~name:"kvstore" handler
 
 let ops_of_update ~keys ~value = List.map (fun key -> Tx.Put { key; value }) keys
+
+let counter_key k = "ctr_" ^ k
+
+let ops_of_increment ~keys ~amount =
+  List.map (fun key -> Tx.Merge { key = counter_key key; delta = Tx.Add amount }) keys
+
+(* Counters commute; blind writes do not (last-write-wins depends on
+   order), so only the counter namespace is declared mergeable. *)
+let declare_mergeable reg =
+  Merge.register reg ~name:"kvstore.counter" (fun op ->
+      match op with
+      | Tx.Credit { account; amount }
+        when String.length account > 4 && String.equal (String.sub account 0 4) "ctr_" ->
+          Some (account, Tx.Add amount)
+      | Tx.Put _ | Tx.Get _ | Tx.Debit _ | Tx.Credit _ | Tx.Merge _ -> None)

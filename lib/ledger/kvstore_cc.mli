@@ -18,3 +18,12 @@ val with_tx :
 val ops_of_update : keys:string list -> value:string -> Tx.op list
 (** The multi-key update transaction the paper's modified KVStore driver
     issues (3 updates per transaction). *)
+
+val counter_key : string -> string
+(** The mergeable counter namespace (["ctr_" ^ k]). *)
+
+val ops_of_increment : keys:string list -> amount:int -> Tx.op list
+(** Commutative counter bumps — fast-lane eligible (DESIGN §18). *)
+
+val declare_mergeable : Merge.registry -> unit
+(** Declare the counter namespace ([ctr_*] credits) mergeable. *)

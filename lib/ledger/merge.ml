@@ -1,0 +1,166 @@
+(* Mergeable (commutative) state: typed deltas with a deterministic
+   combine, a per-shard lock-free delta lane, and the block-boundary fold
+   that materialises deltas into canonical state (DESIGN §18).
+
+   The algebra is the CRDT core of CRDV's conflict-free replicated views
+   (SIGMOD 2025): each delta class forms a commutative monoid, so any
+   arrival order folds to the same value.  Chaincodes opt their hot,
+   unconditional operations into the lane via [register]; everything
+   else keeps the 2PC+2PL path. *)
+
+open Repro_crypto
+
+type delta = Tx.delta = Add of int | Maxi of int | Union of string list
+
+let canon = function
+  | Union elts -> Union (List.sort_uniq String.compare elts)
+  | (Add _ | Maxi _) as d -> d
+
+let identity = function Add _ -> Add 0 | Maxi _ -> Maxi min_int | Union _ -> Union []
+
+let combine a b =
+  match (a, b) with
+  | Add x, Add y -> Some (Add (x + y))
+  | Maxi x, Maxi y -> Some (Maxi (Int.max x y))
+  | Union x, Union y -> Some (Union (List.sort_uniq String.compare (x @ y)))
+  | (Add _ | Maxi _ | Union _), _ -> None
+
+let int_of_data data = Option.value (int_of_string_opt data) ~default:0
+
+let set_of_data = function "" -> [] | data -> String.split_on_char ',' data
+
+let apply_delta state key delta =
+  let current = Option.value (State.get_data state key) ~default:"" in
+  let merged =
+    match canon delta with
+    | Add n -> string_of_int (int_of_data current + n)
+    | Maxi n -> string_of_int (Int.max (int_of_data current) n)
+    | Union elts ->
+        String.concat "," (List.sort_uniq String.compare (set_of_data current @ elts))
+  in
+  State.put state key merged
+
+(* ---- registry: chaincode-declared commutative operations ---- *)
+
+type rule = { rname : string; rclassify : Tx.op -> (string * delta) option }
+
+type registry = { mutable rules : rule list }
+
+let create_registry () = { rules = [] }
+
+let register reg ~name rclassify =
+  if not (List.exists (fun r -> String.equal r.rname name) reg.rules) then
+    reg.rules <- reg.rules @ [ { rname = name; rclassify } ]
+
+let rule_names reg = List.map (fun r -> r.rname) reg.rules
+
+let classify_op reg op =
+  match op with
+  | Tx.Merge { key; delta } -> Some (key, canon delta)
+  | Tx.Put _ | Tx.Get _ | Tx.Debit _ | Tx.Credit _ ->
+      List.find_map (fun r -> r.rclassify op) reg.rules
+
+let classify_tx reg (tx : Tx.t) =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | op :: rest -> (
+        match classify_op reg op with Some kd -> go (kd :: acc) rest | None -> None)
+  in
+  match tx.Tx.ops with [] -> None | ops -> go [] ops
+
+(* ---- per-shard delta lane ---- *)
+
+type entry = { txid : int; key : string; delta : delta }
+
+type lane = {
+  mutable pending : entry list; (* newest first; folded at block boundaries *)
+  mutable log_rev : entry list; (* full applied history, for the audit *)
+  mutable log_len : int;
+  base : (string, string option) Hashtbl.t; (* state value before first delta *)
+  mutable folds : int;
+  mutable root : Sha256.digest; (* chained digest over every fold *)
+}
+
+let lane () =
+  {
+    pending = [];
+    log_rev = [];
+    log_len = 0;
+    base = Hashtbl.create 64;
+    folds = 0;
+    root = Sha256.digest_string "merge-lane-genesis";
+  }
+
+let append lane state ~txid ~key delta =
+  if not (Hashtbl.mem lane.base key) then
+    Hashtbl.replace lane.base key (State.get_data state key);
+  let e = { txid; key; delta = canon delta } in
+  lane.pending <- e :: lane.pending;
+  lane.log_rev <- e :: lane.log_rev;
+  lane.log_len <- lane.log_len + 1
+
+let depth lane = List.length lane.pending
+
+let log_length lane = lane.log_len
+
+let folds lane = lane.folds
+
+let root lane = lane.root
+
+let delta_token = function
+  | Add n -> "add:" ^ string_of_int n
+  | Maxi n -> "max:" ^ string_of_int n
+  | Union elts -> "union:" ^ String.concat "," elts
+
+let entry_line e = Printf.sprintf "%s|%d|%s" e.key e.txid (delta_token e.delta)
+
+(* Canonical fold order: by key, then txid, then delta token — no arrival
+   component anywhere.  Commutativity makes the folded *values*
+   order-independent; the canonical order makes the fold *digest* a pure
+   function of the delta set, so every replica chains the same root per
+   block no matter how its deltas arrived. *)
+let entry_order a b =
+  let c = String.compare a.key b.key in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.txid b.txid in
+    if c <> 0 then c else String.compare (delta_token a.delta) (delta_token b.delta)
+
+let fold_into lane state =
+  let entries = List.sort entry_order (List.rev lane.pending) in
+  List.iter (fun e -> apply_delta state e.key e.delta) entries;
+  lane.pending <- [];
+  let digest = Sha256.digest_concat (List.map entry_line entries) in
+  lane.root <- Sha256.digest_concat [ Sha256.to_hex lane.root; Sha256.to_hex digest ];
+  lane.folds <- lane.folds + 1;
+  (List.length entries, digest)
+
+(* ---- convergence audit ---- *)
+
+type mismatch = { mkey : string; expected : string; actual : string }
+
+(* Re-fold the full history for every touched key from its recorded base
+   and compare with materialised state.  Call after the final fold: any
+   divergence means a delta reached state outside the canonical fold (or a
+   fold was skipped/duplicated on this replica). *)
+let audit lane state =
+  let by_key = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace by_key e.key
+        (e :: Option.value (Hashtbl.find_opt by_key e.key) ~default:[]))
+    lane.log_rev (* newest first; re-sorted canonically below *)
+  ;
+  Repro_util.Det.fold ~compare:String.compare
+    (fun key entries acc ->
+      let scratch = State.create () in
+      (match Hashtbl.find_opt lane.base key with
+      | Some (Some v) -> State.put scratch key v
+      | Some None | None -> ());
+      List.iter (fun e -> apply_delta scratch key e.delta) (List.sort entry_order entries);
+      let expected = Option.value (State.get_data scratch key) ~default:"" in
+      let actual = Option.value (State.get_data state key) ~default:"" in
+      if String.equal expected actual then acc
+      else { mkey = key; expected; actual } :: acc)
+    by_key []
+  |> List.sort (fun a b -> String.compare a.mkey b.mkey)

@@ -77,3 +77,12 @@ let handler state ~txid { Chaincode.fn; args } =
   | other, _ -> Chaincode.Failure ("unknown function " ^ other)
 
 let chaincode = Chaincode.define ~name:"smallbank" handler
+
+(* Credits are unconditional increments, so they commute: declare them
+   mergeable (DESIGN §18).  Debits keep the 2PC+2PL path — their
+   balance-≥-0 precondition does not commute. *)
+let declare_mergeable reg =
+  Merge.register reg ~name:"smallbank.credit" (fun op ->
+      match op with
+      | Tx.Credit { account; amount } -> Some (account, Tx.Add amount)
+      | Tx.Put _ | Tx.Get _ | Tx.Debit _ | Tx.Merge _ -> None)

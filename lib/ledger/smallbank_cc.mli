@@ -29,3 +29,7 @@ val savings : State.t -> string -> int
 
 val total_money : State.t -> int
 (** Sum of all balances — the conservation invariant for property tests. *)
+
+val declare_mergeable : Merge.registry -> unit
+(** Declare the chaincode's commutative operations (credits as [Add]
+    deltas) for the fast-lane classifier. *)

@@ -1,10 +1,16 @@
 open Repro_crypto
 
+type delta =
+  | Add of int
+  | Maxi of int
+  | Union of string list
+
 type op =
   | Put of { key : string; value : string }
   | Get of { key : string }
   | Debit of { account : string; amount : int }
   | Credit of { account : string; amount : int }
+  | Merge of { key : string; delta : delta }
 
 type t = {
   txid : int;
@@ -16,13 +22,13 @@ type t = {
 let make ~txid ?(client = 0) ?(submitted = 0.0) ops = { txid; ops; client; submitted }
 
 let key_of_op = function
-  | Put { key; _ } | Get { key } -> key
+  | Put { key; _ } | Get { key } | Merge { key; _ } -> key
   | Debit { account; _ } | Credit { account; _ } -> account
 
 let keys t = List.sort_uniq String.compare (List.map key_of_op t.ops)
 
 let shard_of_key ~shards key =
-  if shards <= 0 then invalid_arg "Tx.shard_of_key: shards must be positive";
+  if shards <= 0 then Repro_util.Invariant.fail "Tx.shard_of_key: shards must be positive";
   let digest = Sha256.to_raw (Sha256.digest_string key) in
   (* First 4 digest bytes as an unsigned int. *)
   let v =
@@ -41,11 +47,17 @@ let is_cross_shard ~shards t = List.length (shards_touched ~shards t) > 1
 let ops_for_shard ~shards t shard =
   List.filter (fun op -> shard_of_key ~shards (key_of_op op) = shard) t.ops
 
+let pp_delta fmt = function
+  | Add n -> Format.fprintf fmt "add %d" n
+  | Maxi n -> Format.fprintf fmt "max %d" n
+  | Union elts -> Format.fprintf fmt "union{%s}" (String.concat "," elts)
+
 let pp_op fmt = function
   | Put { key; value } -> Format.fprintf fmt "put(%s=%s)" key value
   | Get { key } -> Format.fprintf fmt "get(%s)" key
   | Debit { account; amount } -> Format.fprintf fmt "debit(%s,%d)" account amount
   | Credit { account; amount } -> Format.fprintf fmt "credit(%s,%d)" account amount
+  | Merge { key; delta } -> Format.fprintf fmt "merge(%s,%a)" key pp_delta delta
 
 (* Canonical encoding: header line then one op per line.  Values are
    percent-escaped so newlines and pipes in user data cannot break
@@ -89,6 +101,10 @@ let serialize t =
     | Get { key } -> Printf.sprintf "get|%s" (escape key)
     | Debit { account; amount } -> Printf.sprintf "debit|%s|%d" (escape account) amount
     | Credit { account; amount } -> Printf.sprintf "credit|%s|%d" (escape account) amount
+    | Merge { key; delta = Add n } -> Printf.sprintf "merge|%s|add|%d" (escape key) n
+    | Merge { key; delta = Maxi n } -> Printf.sprintf "merge|%s|max|%d" (escape key) n
+    | Merge { key; delta = Union elts } ->
+        String.concat "|" ("merge" :: escape key :: "union" :: List.map escape elts)
   in
   String.concat "\n"
     (Printf.sprintf "tx|%d|%d|%.6f" t.txid t.client t.submitted :: List.map op_line t.ops)
@@ -120,6 +136,20 @@ let deserialize s =
                     match (unescape account, int_of_string_opt amount) with
                     | Some account, Some amount -> Ok (Credit { account; amount })
                     | _ -> Error "bad credit")
+                | [ "merge"; key; "add"; n ] -> (
+                    match (unescape key, int_of_string_opt n) with
+                    | Some key, Some n -> Ok (Merge { key; delta = Add n })
+                    | _ -> Error "bad merge add")
+                | [ "merge"; key; "max"; n ] -> (
+                    match (unescape key, int_of_string_opt n) with
+                    | Some key, Some n -> Ok (Merge { key; delta = Maxi n })
+                    | _ -> Error "bad merge max")
+                | "merge" :: key :: "union" :: elts -> (
+                    let unescaped = List.filter_map unescape elts in
+                    match unescape key with
+                    | Some key when List.length unescaped = List.length elts ->
+                        Ok (Merge { key; delta = Union unescaped })
+                    | _ -> Error "bad merge union")
                 | _ -> Error ("bad op line: " ^ line)
               in
               let rec go acc = function

@@ -5,11 +5,20 @@
     keys in several partitions is a cross-shard (distributed) transaction
     requiring the Section 6 coordination protocol. *)
 
+type delta =
+  | Add of int            (** commutative counter increment (any sign) *)
+  | Maxi of int           (** monotone max register *)
+  | Union of string list  (** grow-only set (elements must not contain [',']) *)
+(** Commutative state deltas for the merge fast lane (DESIGN §18).
+    [Merge] ops carry no precondition: two deltas of the same class
+    always combine, so transactions made only of them need no locks. *)
+
 type op =
   | Put of { key : string; value : string }        (** blind write (KVStore) *)
   | Get of { key : string }                        (** read *)
   | Debit of { account : string; amount : int }    (** conditional decrement *)
   | Credit of { account : string; amount : int }   (** increment *)
+  | Merge of { key : string; delta : delta }       (** classified commutative op *)
 
 type t = {
   txid : int;
@@ -36,6 +45,8 @@ val is_cross_shard : shards:int -> t -> bool
 
 val ops_for_shard : shards:int -> t -> int -> op list
 (** The sub-ops a given participant shard must prepare/commit. *)
+
+val pp_delta : Format.formatter -> delta -> unit
 
 val pp_op : Format.formatter -> op -> unit
 

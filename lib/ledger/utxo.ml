@@ -20,7 +20,7 @@ let fresh t owner amount =
   c
 
 let mint t ~owner ~amount =
-  if amount <= 0 then invalid_arg "Utxo.mint: amount must be positive";
+  if amount <= 0 then Repro_util.Invariant.fail "Utxo.mint: amount must be positive";
   fresh t owner amount
 
 let coin t id = Hashtbl.find_opt t.coins id

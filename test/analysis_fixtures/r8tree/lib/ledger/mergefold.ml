@@ -1,0 +1,9 @@
+(* R8 fixture: a block-boundary merge fold in sink scope.  The canonical
+   fold is a pure function of the delta set — sorted entries, deterministic
+   combine — and must stay quiet.  The tainted variant lets an ambient
+   random draw reach the materialised state, which must fire. *)
+let fold_canonical entries state =
+  List.iter (fun (k, d) -> Hashtbl.replace state k d) (List.sort compare entries)
+
+let fold_tainted entries state =
+  List.iter (fun (k, d) -> Hashtbl.replace state k (d + Random.int 2)) entries

@@ -246,7 +246,16 @@ let test_r8_scan () =
   Alcotest.(check bool) "unreachable source quiet" false
     (some_message_contains "Random.bool" entropy);
   Alcotest.(check bool) "module init is a root" true
-    (some_message_contains "Random.bits" (r8_in "lib/util/boot.ml"))
+    (some_message_contains "Random.bits" (r8_in "lib/util/boot.ml"));
+  (* The merge-fold shape: a sink-scope fold whose tainted variant lets an
+     ambient draw reach materialised state fires; the canonical sorted fold
+     stays quiet. *)
+  let fold = r8_in "lib/ledger/mergefold.ml" in
+  Alcotest.(check int) "only the tainted fold fires" 1 (List.length fold);
+  Alcotest.(check bool) "the draw reaching merged state is named" true
+    (some_message_contains "Random.int" fold);
+  Alcotest.(check bool) "tainted fold is below the canonical one" true
+    (List.for_all (fun f -> f.Lint_types.line > 6) fold)
 
 (* --- Summary pass ---------------------------------------------------- *)
 

@@ -421,7 +421,8 @@ let xinfo ?(honest = true) ?(participants = [ 0; 1 ]) ?outcome txid =
 let xdecision ?(at = 1.0) ~txid ~shard commit = { System.at; txid; shard; commit }
 
 let xoutcome ?(mode = System.With_reference) ?(infos = []) ?(decisions = []) ?(stuck_locks = 0)
-    ?(total = (2000, 2000)) ?(ref_decisions = []) ?(ckpt_certs = []) ?(observer_lag = []) () =
+    ?(total = (2000, 2000)) ?(ref_decisions = []) ?(ckpt_certs = []) ?(observer_lag = [])
+    ?(merge_audit = []) () =
   let total_before, total_after = total in
   {
     Xtestbed.mode;
@@ -435,6 +436,8 @@ let xoutcome ?(mode = System.With_reference) ?(infos = []) ?(decisions = []) ?(s
     registry_size = 0;
     ckpt_certs;
     observer_lag;
+    merge_audit;
+    merge_roots = [];
   }
 
 let test_xoracle_atomicity () =
@@ -730,6 +733,64 @@ let test_xexplore_differential_and_json () =
   Alcotest.(check bool) "report json names the mode" true
     (contains rj "\"mode\":\"with-reference\"")
 
+(* ------------------------------------------------------------------ *)
+(* Commutative fast lane (DESIGN §18)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_xoracle_merge_divergence () =
+  (* A shard whose materialised state disagrees with the canonical fold of
+     its delta log is a safety violation in its own right. *)
+  let o =
+    xoutcome
+      ~merge_audit:[ (1, { Repro_ledger.Merge.mkey = "ctr_x"; expected = "15"; actual = "99" }) ]
+      ()
+  in
+  match Xoracle.check o with
+  | [ Xoracle.Merge_divergence { shard = 1; key = "ctr_x"; expected = "15"; actual = "99" } ] as vs
+    ->
+      Alcotest.(check bool) "merge divergence is safety" true (List.for_all Xoracle.is_safety vs);
+      Alcotest.(check bool) "message names the key" true
+        (contains (Xoracle.to_string (List.hd vs)) "ctr_x")
+  | vs ->
+      Alcotest.failf "expected one merge divergence, got [%s]"
+        (String.concat "; " (List.map Xoracle.to_string vs))
+
+let test_xschedule_lane_generation () =
+  let gen () =
+    Xschedule.generate_lane (Rng.split_named (Rng.create 42L) "0") ~shards:3 ~committee_size:4
+  in
+  Alcotest.(check string) "same rng, same lane schedule" (Xschedule.to_string (gen ()))
+    (Xschedule.to_string (gen ()));
+  let s = gen () in
+  Alcotest.(check (list int)) "lane schedules keep clients honest" [] s.Xschedule.malicious;
+  Alcotest.(check bool) "extra faults beyond the base draw" true
+    (List.length s.Xschedule.faults
+    > List.length
+        (Xschedule.generate (Rng.split_named (Rng.create 42L) "0") ~shards:3 ~committee_size:4)
+          .Xschedule.faults);
+  (* The delta-leg token round-trips through the witness. *)
+  let with_mrg =
+    xsched ~faults:[ xfault (Xschedule.Drop_leg { leg = Xschedule.Mdelta; p = 0.5 }) ] ()
+  in
+  let w = Xschedule.to_string with_mrg in
+  Alcotest.(check bool) "witness carries the mrg token" true (contains w "dropleg:mrg");
+  Alcotest.(check string) "mrg witness round-trips" w
+    (Xschedule.to_string (Xschedule.of_string w))
+
+let test_xexplore_fastlane_trials_clean () =
+  (* A batch of adversarial fast-lane trials — delta legs dropped, delayed,
+     duplicated — must leave every oracle green: conservation holds and
+     each shard's state is exactly the canonical fold of its delta log. *)
+  let r =
+    Xexplore.run ~mode:System.With_reference ~concurrency:System.Two_phase_locking ~lane:true
+      ~shards:2 ~committee_size:3 ~trials:2 ~seed:33L ~budget:8 ()
+  in
+  Alcotest.(check int) "no safety violations" 0 r.Xexplore.safety_violations;
+  Alcotest.(check int) "no liveness violations" 0 r.Xexplore.liveness_violations;
+  Alcotest.(check bool) "report is lane-flagged" true r.Xexplore.lane;
+  Alcotest.(check bool) "json carries the lane flag" true
+    (contains (Xexplore.json_of_report r) "\"fast_lane\":true")
+
 let () =
   Alcotest.run "check"
     [
@@ -778,6 +839,7 @@ let () =
           Alcotest.test_case "malformed rejected" `Quick test_xschedule_rejects_malformed;
           Alcotest.test_case "generation deterministic" `Quick
             test_xschedule_generation_deterministic;
+          Alcotest.test_case "lane generation" `Quick test_xschedule_lane_generation;
         ] );
       ( "xoracle",
         [
@@ -788,6 +850,7 @@ let () =
             test_xoracle_liveness_only_when_safe;
           Alcotest.test_case "checkpoint divergence" `Quick test_xoracle_ckpt_divergence;
           Alcotest.test_case "stale observer" `Quick test_xoracle_stale_observer;
+          Alcotest.test_case "merge divergence" `Quick test_xoracle_merge_divergence;
         ] );
       ( "xtestbed",
         [
@@ -808,5 +871,6 @@ let () =
         [
           Alcotest.test_case "differential, explorer, json" `Quick
             test_xexplore_differential_and_json;
+          Alcotest.test_case "fast-lane trials clean" `Quick test_xexplore_fastlane_trials_clean;
         ] );
     ]

@@ -519,6 +519,139 @@ let test_registry_bounded_under_retries () =
   Alcotest.(check int) "registry fully compacted" 0 (System.registry_size sys)
 
 (* ------------------------------------------------------------------ *)
+(* Commutative fast lane (DESIGN §18)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_lane_system ?(shards = 2) () =
+  System.create { (System.default_config ~shards ~committee_size:3) with System.fast_lane = true }
+
+(* A counter key (disjoint from account keys) living in the given shard. *)
+let ctr_key_in sys shard =
+  let shards = System.shards sys in
+  let rec find i =
+    let k = Kvstore_cc.counter_key (Printf.sprintf "c%d" i) in
+    if Tx.shard_of_key ~shards k = shard then k else find (i + 1)
+  in
+  find 0
+
+let merge_tx ~txid deltas =
+  Tx.make ~txid (List.map (fun (key, delta) -> Tx.Merge { key; delta }) deltas)
+
+let test_fastlane_mergeable_commits_via_lane () =
+  let sys = make_lane_system () in
+  let metrics = Repro_obs.Metrics.create () in
+  System.set_probe sys (Repro_obs.Probe.make ~trace:(Repro_obs.Trace.create ()) ~metrics);
+  let k0 = ctr_key_in sys 0 and k1 = ctr_key_in sys 1 in
+  let outcome = ref None in
+  System.submit sys ~on_done:(fun o -> outcome := Some o)
+    (merge_tx ~txid:1 [ (k0, Tx.Add 7); (k1, Tx.Add 5) ]);
+  run_to_done sys;
+  Alcotest.(check bool) "committed" true (!outcome = Some System.Committed);
+  Alcotest.(check int) "shard 0 counter folded" 7 (Executor.balance (System.shard_state sys 0) k0);
+  Alcotest.(check int) "shard 1 counter folded" 5 (Executor.balance (System.shard_state sys 1) k1);
+  Alcotest.(check int) "one delta per shard" 1 (System.merge_lane_log sys ~shard:0);
+  Alcotest.(check int) "one delta per shard'" 1 (System.merge_lane_log sys ~shard:1);
+  Alcotest.(check int) "lane hit counted" 1 (Repro_obs.Metrics.counter metrics "merge.lane_hits");
+  Alcotest.(check int) "no downgrade" 0 (Repro_obs.Metrics.counter metrics "merge.downgrades");
+  Alcotest.(check bool) "lane state converged" true (System.merge_audit sys = []);
+  Alcotest.(check int) "one root per shard" 2 (List.length (System.merge_roots sys));
+  Alcotest.(check int) "no locks were ever taken" 0 (System.stuck_locks sys)
+
+let test_fastlane_downgrade_on_lock_conflict () =
+  (* A mergeable transaction whose key is under an in-flight exclusive
+     lock must NOT ride the lane — deltas folded around the lock window
+     would interleave with the 2PC transaction's validated read. *)
+  let sys = make_lane_system () in
+  let metrics = Repro_obs.Metrics.create () in
+  System.set_probe sys (Repro_obs.Probe.make ~trace:(Repro_obs.Trace.create ()) ~metrics);
+  let k0 = ctr_key_in sys 0 and k1 = ctr_key_in sys 1 in
+  (* Simulate an in-flight 2PC holding k0's lock at submit time. *)
+  let locks = Locks.create (System.shard_state sys 0) in
+  Alcotest.(check bool) "foreign lock acquired" true (Locks.acquire locks ~txid:99 k0);
+  System.submit sys (merge_tx ~txid:1 [ (k0, Tx.Add 3); (k1, Tx.Add 4) ]);
+  System.run sys ~until:60.0;
+  Alcotest.(check int) "downgrade counted" 1 (Repro_obs.Metrics.counter metrics "merge.downgrades");
+  Alcotest.(check int) "no lane hit" 0 (Repro_obs.Metrics.counter metrics "merge.lane_hits");
+  Alcotest.(check int) "lane log empty (shard 0)" 0 (System.merge_lane_log sys ~shard:0);
+  Alcotest.(check int) "lane log empty (shard 1)" 0 (System.merge_lane_log sys ~shard:1);
+  Alcotest.(check bool) "audit trivially clean" true (System.merge_audit sys = [])
+
+let test_fastlane_dropped_delta_leg_retried () =
+  (* An adversary dropping a delta leg must only delay it: the retry sweep
+     re-drives the leg and the lane still converges to the canonical fold. *)
+  let sys = make_lane_system () in
+  let dropped = ref 0 in
+  System.set_leg_filter sys
+    (Some
+       (fun ~dst op ->
+         match op with
+         | Coordination.Merge_tx _ when dst = 1 && !dropped = 0 ->
+             incr dropped;
+             Repro_sim.Network.Drop
+         | _ -> Repro_sim.Network.Deliver));
+  let k0 = ctr_key_in sys 0 and k1 = ctr_key_in sys 1 in
+  let outcome = ref None in
+  System.submit sys ~on_done:(fun o -> outcome := Some o)
+    (merge_tx ~txid:1 [ (k0, Tx.Add 2); (k1, Tx.Add 9) ]);
+  System.run sys ~until:60.0;
+  Alcotest.(check int) "the filter dropped one leg" 1 !dropped;
+  Alcotest.(check bool) "still committed" true (!outcome = Some System.Committed);
+  Alcotest.(check int) "dropped leg re-driven" 9 (Executor.balance (System.shard_state sys 1) k1);
+  Alcotest.(check int) "leg appended exactly once" 1 (System.merge_lane_log sys ~shard:1);
+  Alcotest.(check bool) "lane state converged" true (System.merge_audit sys = [])
+
+let test_fastlane_duplicate_delta_leg_idempotent () =
+  (* Re-delivered delta legs must not double-count: the applied-table makes
+     the Merge_tx leg idempotent, exactly like decision legs. *)
+  let sys = make_lane_system () in
+  System.set_leg_filter sys
+    (Some
+       (fun ~dst:_ op ->
+         match op with
+         | Coordination.Merge_tx _ -> Repro_sim.Network.Duplicate { copies = 3; spacing = 0.5 }
+         | _ -> Repro_sim.Network.Deliver));
+  (* Counter base names whose ctr_ keys land in shards 0 and 1. *)
+  let ctr_base_in shard =
+    let shards = System.shards sys in
+    let rec find i =
+      let c = Printf.sprintf "c%d" i in
+      if Tx.shard_of_key ~shards (Kvstore_cc.counter_key c) = shard then c else find (i + 1)
+    in
+    find 0
+  in
+  let c0 = ctr_base_in 0 and c1 = ctr_base_in 1 in
+  let k0 = Kvstore_cc.counter_key c0 and k1 = Kvstore_cc.counter_key c1 in
+  let outcome = ref None in
+  System.submit sys ~on_done:(fun o -> outcome := Some o)
+    (Tx.make ~txid:1 (Kvstore_cc.ops_of_increment ~keys:[ c0; c1 ] ~amount:11));
+  System.run sys ~until:30.0;
+  Alcotest.(check bool) "committed once" true (!outcome = Some System.Committed);
+  Alcotest.(check int) "delta applied exactly once (shard 0)" 11
+    (Executor.balance (System.shard_state sys 0) k0);
+  Alcotest.(check int) "delta applied exactly once (shard 1)" 11
+    (Executor.balance (System.shard_state sys 1) k1);
+  Alcotest.(check int) "lane log deduplicated" 1 (System.merge_lane_log sys ~shard:0);
+  Alcotest.(check int) "lane log deduplicated'" 1 (System.merge_lane_log sys ~shard:1);
+  Alcotest.(check bool) "lane state converged" true (System.merge_audit sys = [])
+
+let test_fastlane_mixed_tx_keeps_locked_path () =
+  (* A transaction with any non-commutative op (a conditional debit) must
+     take the 2PC path even with the lane enabled. *)
+  let sys = make_lane_system () in
+  let a = key_in sys 0 and b = key_in sys 1 in
+  fund sys a 100;
+  fund sys b 0;
+  let outcome = ref None in
+  System.submit sys ~on_done:(fun o -> outcome := Some o)
+    (transfer_tx ~txid:1 sys ~from_:a ~to_:b ~amount:30);
+  run_to_done sys;
+  Alcotest.(check bool) "committed via 2PC" true (!outcome = Some System.Committed);
+  Alcotest.(check int) "debited" 70 (Executor.balance (System.shard_state sys 0) a);
+  Alcotest.(check int) "credited" 30 (Executor.balance (System.shard_state sys 1) b);
+  Alcotest.(check int) "nothing rode the lane" 0
+    (System.merge_lane_log sys ~shard:0 + System.merge_lane_log sys ~shard:1)
+
+(* ------------------------------------------------------------------ *)
 (* Workload                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -630,6 +763,18 @@ let () =
           Alcotest.test_case "registry bounded under retries" `Quick
             test_registry_bounded_under_retries;
           Alcotest.test_case "chains validate" `Quick test_chains_validate;
+        ] );
+      ( "fast lane",
+        [
+          Alcotest.test_case "mergeable tx rides the lane" `Quick
+            test_fastlane_mergeable_commits_via_lane;
+          Alcotest.test_case "downgrade on lock conflict" `Quick
+            test_fastlane_downgrade_on_lock_conflict;
+          Alcotest.test_case "dropped delta leg re-driven" `Quick
+            test_fastlane_dropped_delta_leg_retried;
+          Alcotest.test_case "duplicate delta leg idempotent" `Quick
+            test_fastlane_duplicate_delta_leg_idempotent;
+          Alcotest.test_case "mixed tx keeps 2PC" `Quick test_fastlane_mixed_tx_keeps_locked_path;
         ] );
       ( "workload",
         [

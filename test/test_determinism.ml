@@ -150,6 +150,35 @@ let test_fig16_parallel_bit_identical () =
   Alcotest.(check bool) "view-change reason counters exported" true
     (contains metrics1 "pbft.vc.reason")
 
+(* Fig. 13-fastlane interleaves lane-on and lane-off cells: lane appends,
+   block-boundary folds, and the chained merge roots must all be pure
+   functions of the seeded event order — plus the hub artifacts, which now
+   carry the merge.* counters and fold-depth histograms. *)
+let test_fig13_fastlane_parallel_bit_identical () =
+  let open Repro_core in
+  let render jobs =
+    Experiment.set_jobs jobs;
+    Experiment.reset_caches ();
+    let hub = Repro_obs.Hub.create () in
+    Experiment.set_hub (Some hub);
+    let rendered = Results.render (Experiment.fig13_fastlane ~quick:true ()) in
+    Experiment.set_hub None;
+    (rendered, Repro_obs.Sink.metrics_json (Repro_obs.Hub.metrics hub))
+  in
+  let sequential, metrics1 = render 1 in
+  let parallel, metrics4 = render 4 in
+  Experiment.set_jobs 1;
+  Alcotest.(check string) "jobs=4 fig13_fastlane equals jobs=1" sequential parallel;
+  Alcotest.(check bool) "jobs=4 metrics artifact is byte-identical" true
+    (String.equal metrics1 metrics4);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "lane counters exported" true (contains metrics1 "merge.lane_hits");
+  Alcotest.(check bool) "lane-on columns plotted" true (contains sequential "lane on")
+
 let () =
   Alcotest.run "determinism"
     [
@@ -168,5 +197,7 @@ let () =
             test_fig12_parallel_bit_identical;
           Alcotest.test_case "fig16 leader-stall attacks are worker-count invariant" `Slow
             test_fig16_parallel_bit_identical;
+          Alcotest.test_case "fig13_fastlane merge folds are worker-count invariant" `Slow
+            test_fig13_fastlane_parallel_bit_identical;
         ] );
     ]

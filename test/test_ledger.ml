@@ -472,7 +472,7 @@ let test_contract_arity_and_amount_errors () =
 
 let test_contract_define_validates_params () =
   Alcotest.check_raises "param out of range"
-    (Invalid_argument "Contract.define: parameter out of range") (fun () ->
+    (Repro_util.Invariant.Violation "Contract.define: parameter out of range") (fun () ->
       ignore
         (Contract.define ~name:"bad" ~arity:1
            [ Contract.Deposit { to_ = Contract.Param 3; amount = Contract.Amount_lit 1 } ]))
@@ -606,6 +606,124 @@ let prop_prepare_abort_is_identity =
         (fun (k, v) -> State.get_data s k = Some v.State.data)
         snapshot)
 
+(* ------------------------------------------------------------------ *)
+(* Mergeable state (the fast lane's delta algebra, DESIGN §18)         *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_classify () =
+  let reg = Merge.create_registry () in
+  Smallbank_cc.declare_mergeable reg;
+  Kvstore_cc.declare_mergeable reg;
+  Alcotest.(check (list string))
+    "rules declared" [ "smallbank.credit"; "kvstore.counter" ] (Merge.rule_names reg);
+  Smallbank_cc.declare_mergeable reg;
+  Alcotest.(check int) "re-declaring is a no-op" 2 (List.length (Merge.rule_names reg));
+  (* A Merge op classifies as itself; a Credit via the smallbank rule;
+     conditional debits never classify. *)
+  (match Merge.classify_op reg (Tx.Merge { key = "k"; delta = Tx.Add 3 }) with
+  | Some ("k", Tx.Add 3) -> ()
+  | _ -> Alcotest.fail "Merge op should classify as itself");
+  (match Merge.classify_op reg (Tx.Credit { account = "a"; amount = 7 }) with
+  | Some ("a", Tx.Add 7) -> ()
+  | _ -> Alcotest.fail "Credit should classify via smallbank.credit");
+  Alcotest.(check bool) "Debit is not mergeable" true
+    (Merge.classify_op reg (Tx.Debit { account = "a"; amount = 7 }) = None);
+  (* classify_tx is all-or-nothing. *)
+  let all_credits =
+    Tx.make ~txid:1
+      [ Tx.Credit { account = "a"; amount = 1 }; Tx.Credit { account = "b"; amount = 2 } ]
+  in
+  (match Merge.classify_tx reg all_credits with
+  | Some [ ("a", Tx.Add 1); ("b", Tx.Add 2) ] -> ()
+  | _ -> Alcotest.fail "all-credit tx should classify");
+  let mixed =
+    Tx.make ~txid:2
+      [ Tx.Credit { account = "a"; amount = 1 }; Tx.Debit { account = "b"; amount = 2 } ]
+  in
+  Alcotest.(check bool) "mixed tx stays locked" true (Merge.classify_tx reg mixed = None)
+
+let test_merge_apply_delta () =
+  let s = State.create () in
+  Executor.set_balance s "n" 10;
+  Merge.apply_delta s "n" (Tx.Add 5);
+  Alcotest.(check int) "add folds onto balance" 15 (Executor.balance s "n");
+  Merge.apply_delta s "n" (Tx.Maxi 40);
+  Alcotest.(check int) "max lifts" 40 (Executor.balance s "n");
+  Merge.apply_delta s "n" (Tx.Maxi 12);
+  Alcotest.(check int) "max keeps" 40 (Executor.balance s "n");
+  Merge.apply_delta s "fresh" (Tx.Add 3);
+  Alcotest.(check int) "absent key starts at identity" 3 (Executor.balance s "fresh");
+  Merge.apply_delta s "set" (Tx.Union [ "b"; "a" ]);
+  Merge.apply_delta s "set" (Tx.Union [ "c"; "a" ]);
+  Alcotest.(check (option string)) "union accumulates sorted" (Some "a,b,c")
+    (State.get_data s "set")
+
+let test_merge_lane_fold_order_free () =
+  (* Same delta set, two append orders: identical folded state and root. *)
+  let run order =
+    let lane = Merge.lane () in
+    let s = State.create () in
+    Executor.set_balance s "x" 100;
+    List.iter (fun (txid, key, d) -> Merge.append lane s ~txid ~key d) order;
+    let count, _digest = Merge.fold_into lane s in
+    (count, Executor.balance s "x", Executor.balance s "y", Repro_crypto.Sha256.to_hex (Merge.root lane))
+  in
+  let deltas = [ (1, "x", Tx.Add 5); (2, "y", Tx.Add 7); (3, "x", Tx.Maxi 90) ] in
+  let a = run deltas and b = run (List.rev deltas) in
+  Alcotest.(check bool) "fold independent of arrival order" true (a = b);
+  let count, x, y, _ = a in
+  Alcotest.(check int) "all folded" 3 count;
+  Alcotest.(check int) "x folded canonically" 105 x;
+  Alcotest.(check int) "y folded" 7 y
+
+let test_merge_audit_detects_divergence () =
+  let lane = Merge.lane () in
+  let s = State.create () in
+  Executor.set_balance s "k" 10;
+  Merge.append lane s ~txid:1 ~key:"k" (Tx.Add 5);
+  ignore (Merge.fold_into lane s);
+  Alcotest.(check int) "one fold" 1 (Merge.folds lane);
+  Alcotest.(check int) "nothing pending" 0 (Merge.depth lane);
+  Alcotest.(check int) "log keeps history" 1 (Merge.log_length lane);
+  Alcotest.(check bool) "converged after fold" true (Merge.audit lane s = []);
+  (* A write bypassing the lane is exactly what the audit exists to catch. *)
+  Executor.set_balance s "k" 999;
+  match Merge.audit lane s with
+  | [ { Merge.mkey = "k"; expected; actual } ] ->
+      Alcotest.(check string) "expected is the canonical fold" "15" expected;
+      Alcotest.(check string) "actual is the tampered value" "999" actual
+  | ms -> Alcotest.failf "expected one mismatch, got %d" (List.length ms)
+
+let delta_arb =
+  let print d = Format.asprintf "%a" Tx.pp_delta d in
+  QCheck.make ~print
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun n -> Tx.Add n) (int_range (-100) 100);
+          map (fun n -> Tx.Maxi n) (int_range (-100) 100);
+          map
+            (fun l -> Tx.Union l)
+            (list_size (0 -- 4) (string_size ~gen:(char_range 'a' 'd') (1 -- 2)));
+        ])
+
+let prop_merge_combine_commutative =
+  QCheck.Test.make ~name:"merge combine is commutative" ~count:300
+    QCheck.(pair delta_arb delta_arb)
+    (fun (a, b) -> Merge.combine a b = Merge.combine b a)
+
+let prop_merge_combine_associative =
+  QCheck.Test.make ~name:"merge combine is associative" ~count:300
+    QCheck.(triple delta_arb delta_arb delta_arb)
+    (fun (a, b, c) ->
+      let ( >>= ) = Option.bind in
+      (Merge.combine a b >>= fun ab -> Merge.combine ab c)
+      = (Merge.combine b c >>= fun bc -> Merge.combine a bc))
+
+let prop_merge_identity =
+  QCheck.Test.make ~name:"merge identity is neutral" ~count:300 delta_arb (fun d ->
+      Merge.combine d (Merge.identity d) = Some (Merge.canon d))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -613,6 +731,9 @@ let qsuite =
       prop_utxo_value_never_increases;
       prop_prepare_abort_is_identity;
       prop_tx_serialize_roundtrip;
+      prop_merge_combine_commutative;
+      prop_merge_combine_associative;
+      prop_merge_identity;
     ]
 
 let () =
@@ -686,6 +807,14 @@ let () =
           Alcotest.test_case "single-shard entry" `Quick test_contract_single_shard_entry;
           Alcotest.test_case "auto-sharded entries" `Quick test_contract_auto_sharded_entries;
           Alcotest.test_case "guarded withdraw" `Quick test_contract_guarded_withdraw;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "classify" `Quick test_merge_classify;
+          Alcotest.test_case "apply delta" `Quick test_merge_apply_delta;
+          Alcotest.test_case "fold order-free" `Quick test_merge_lane_fold_order_free;
+          Alcotest.test_case "audit detects divergence" `Quick
+            test_merge_audit_detects_divergence;
         ] );
       ( "utxo",
         [
